@@ -1,0 +1,192 @@
+(* Benchmark harness: regenerates every measured artifact of the paper's
+   evaluation (Figures 4-7; Figures 1-3 are architecture diagrams), runs
+   the design-choice ablations, and finishes with Bechamel
+   micro-benchmarks of the core data structures.
+
+   Scale: by default the TPC-B database uses a 4-TPS rating with every
+   machine parameter scaled by the same factor, preserving the paper's
+   cache << database << disk ratios; pass `--scale 10 --txns 100000` for
+   the paper's full configuration (slow). `--quick` shrinks everything
+   for a smoke run. *)
+
+let usage () =
+  print_endline
+    "usage: bench [--quick] [--scale N] [--txns N] [--seeds N] [--skip-micro]";
+  exit 1
+
+type opts = {
+  mutable tps_scale : int;
+  mutable txns : int;
+  mutable nseeds : int;
+  mutable micro : bool;
+}
+
+let parse_args () =
+  let o = { tps_scale = 4; txns = 20_000; nseeds = 3; micro = true } in
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      o.tps_scale <- 2;
+      o.txns <- 3_000;
+      o.nseeds <- 1;
+      go rest
+    | "--scale" :: n :: rest ->
+      o.tps_scale <- int_of_string n;
+      go rest
+    | "--txns" :: n :: rest ->
+      o.txns <- int_of_string n;
+      go rest
+    | "--seeds" :: n :: rest ->
+      o.nseeds <- int_of_string n;
+      go rest
+    | "--skip-micro" :: rest ->
+      o.micro <- false;
+      go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  o
+
+(* Bechamel micro-benchmarks ------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let mk_btree n =
+    let clock = Clock.create () in
+    let stats = Stats.create () in
+    let cfg = Config.scaled ~factor:0.05 Config.default in
+    let disk = Disk.create clock stats cfg.Config.disk in
+    let fs = Lfs.format disk clock stats cfg in
+    let v = Lfs.vfs fs in
+    let fd = v.Vfs.create "/bench" in
+    let bt = Btree.attach clock stats cfg.Config.cpu (Pager.plain v fd) in
+    for i = 0 to n - 1 do
+      Btree.insert bt (Printf.sprintf "key%08d" i) "value"
+    done;
+    bt
+  in
+  let btree_find =
+    let bt = mk_btree 10_000 in
+    let i = ref 0 in
+    Test.make ~name:"btree.find (10k keys)"
+      (Staged.stage (fun () ->
+           incr i;
+           ignore (Btree.find bt (Printf.sprintf "key%08d" (!i * 7919 mod 10_000)))))
+  in
+  let btree_insert =
+    let bt = mk_btree 1_000 in
+    let i = ref 0 in
+    Test.make ~name:"btree.insert (growing)"
+      (Staged.stage (fun () ->
+           incr i;
+           Btree.insert bt (Printf.sprintf "new%08d" !i) "value"))
+  in
+  let lock_cycle =
+    let clock = Clock.create () in
+    let stats = Stats.create () in
+    let lm = Lockmgr.create clock stats Config.default.Config.cpu in
+    let i = ref 0 in
+    Test.make ~name:"lockmgr.acquire+release_all"
+      (Staged.stage (fun () ->
+           incr i;
+           ignore (Lockmgr.acquire lm ~txn:1 (0, !i land 1023) Lockmgr.Exclusive);
+           Lockmgr.release_all lm ~txn:1))
+  in
+  let logrec_codec =
+    let r =
+      {
+        Logrec.txn = 42;
+        prev = 1234;
+        body =
+          Logrec.Update
+            {
+              file = 7;
+              page = 99;
+              off = 100;
+              before = Bytes.make 120 'b';
+              after = Bytes.make 120 'a';
+            };
+      }
+    in
+    Test.make ~name:"logrec encode+decode"
+      (Staged.stage (fun () ->
+           match Logrec.decode (Logrec.encode r) 0 with
+           | Some _ -> ()
+           | None -> assert false))
+  in
+  let summary_codec =
+    let entries = List.init 100 (fun i -> Layout.Data { inum = 7; lblock = i }) in
+    let b = Bytes.make 4096 '\000' in
+    Test.make ~name:"segment summary encode+decode"
+      (Staged.stage (fun () ->
+           Layout.write_summary b
+             { Layout.seq = 9L; timestamp = 1.0; next_seg = 3; entries };
+           match Layout.read_summary b with
+           | Some _ -> ()
+           | None -> assert false))
+  in
+  let cache_hit =
+    let clock = Clock.create () in
+    let stats = Stats.create () in
+    let c = Cache.create clock stats Config.default.Config.cpu ~capacity:1024 in
+    Cache.set_writeback c (fun _ -> ());
+    for i = 0 to 1023 do
+      ignore (Cache.insert c ~file:1 ~lblock:i (Bytes.make 64 'x'))
+    done;
+    let i = ref 0 in
+    Test.make ~name:"buffer cache hit"
+      (Staged.stage (fun () ->
+           incr i;
+           ignore (Cache.lookup c ~file:1 ~lblock:(!i land 1023))))
+  in
+  [ btree_find; btree_insert; lock_cycle; logrec_codec; summary_codec; cache_hit ]
+
+let run_micro () =
+  let open Bechamel in
+  Expcommon.pp_header "Micro-benchmarks (Bechamel; real time per operation)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      Hashtbl.iter
+        (fun name result ->
+          let v = Analyze.one ols instance result in
+          match Analyze.OLS.estimates v with
+          | Some (t :: _) -> Printf.printf "%-42s %12.0f ns/op\n%!" name t
+          | _ -> Printf.printf "%-42s (no estimate)\n%!" name)
+        results)
+    (List.map (fun t -> Test.make_grouped ~name:"micro" [ t ]) (micro_tests ()))
+
+let () =
+  let o = parse_args () in
+  let seeds = List.init o.nseeds (fun i -> i + 1) in
+  Printf.printf
+    "Reproduction benches for: Seltzer, \"Transaction Support in a \
+     Log-Structured File System\" (ICDE 1993)\n";
+  Printf.printf "TPC-B scale: %d TPS rating (%d accounts); %d txns; %d seed(s)\n%!"
+    o.tps_scale
+    (Tpcb.scale_for_tps o.tps_scale).Tpcb.accounts
+    o.txns o.nseeds;
+  let fig4 = Fig4.run ~tps_scale:o.tps_scale ~txns:o.txns ~seeds () in
+  Fig4.print fig4;
+  let fig5 = Fig5.run ~tps_scale:(min o.tps_scale 2) () in
+  Fig5.print fig5;
+  let fig6 = Fig6.run ~tps_scale:o.tps_scale ~txns:o.txns () in
+  Fig6.print fig6;
+  let fig7 = Fig7.of_measurements ~fig4 ~fig6 in
+  Fig7.print fig7;
+  Ablation.print (Ablation.test_and_set ~tps_scale:o.tps_scale ~txns:(o.txns / 2) ());
+  Ablation.print
+    (Ablation.cleaner_placement ~tps_scale:o.tps_scale ~txns:(o.txns * 3 / 4) ());
+  Ablation.print
+    (Ablation.cleaning_policy ~tps_scale:o.tps_scale ~txns:(o.txns * 3 / 4) ());
+  Ablation.print (Ablation.group_commit ~tps_scale:o.tps_scale ~txns:(o.txns / 2) ());
+  Ablation.print_coalescing
+    (Ablation.coalescing ~tps_scale:o.tps_scale ~txns:(o.txns * 3 / 4) ());
+  Ablation.print
+    (Ablation.multiprogramming ~tps_scale:o.tps_scale ~txns:(o.txns / 2) ());
+  if o.micro then run_micro ()

@@ -1,0 +1,210 @@
+(* txnlfs — command-line driver for the reproduction: run any paper
+   experiment or ablation individually, run TPC-B ad hoc on any of the
+   three configurations, or poke at a simulated file system. *)
+
+open Cmdliner
+
+let scale_arg =
+  let doc = "TPC-B scale rating in TPS (the paper uses 10). All machine \
+             parameters are scaled by scale/10 to preserve the paper's \
+             cache/database/disk ratios." in
+  Arg.(value & opt int 4 & info [ "scale" ] ~docv:"N" ~doc)
+
+let txns_arg default =
+  let doc = "Number of transactions to execute." in
+  Arg.(value & opt int default & info [ "txns" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let seeds_arg =
+  let doc = "Number of seeds (independent runs averaged)." in
+  Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N" ~doc)
+
+(* fig4 *)
+let fig4_cmd =
+  let run scale txns nseeds =
+    Fig4.print (Fig4.run ~tps_scale:scale ~txns ~seeds:(List.init nseeds (fun i -> i + 1)) ())
+  in
+  Cmd.v
+    (Cmd.info "fig4" ~doc:"Figure 4: TPC-B throughput of the three configurations")
+    Term.(const run $ scale_arg $ txns_arg 20_000 $ seeds_arg)
+
+let fig5_cmd =
+  let run scale = Fig5.print (Fig5.run ~tps_scale:scale ()) in
+  Cmd.v
+    (Cmd.info "fig5"
+       ~doc:"Figure 5: non-transaction performance on normal vs transaction kernel")
+    Term.(const run $ scale_arg)
+
+let fig6_cmd =
+  let run scale txns seed =
+    Fig6.print (Fig6.run ~tps_scale:scale ~txns ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Figure 6: key-order scan after random updates")
+    Term.(const run $ scale_arg $ txns_arg 20_000 $ seed_arg)
+
+let fig7_cmd =
+  let run scale txns nseeds =
+    Fig7.print
+      (Fig7.run ~tps_scale:scale ~txns ~seeds:(List.init nseeds (fun i -> i + 1)) ())
+  in
+  Cmd.v
+    (Cmd.info "fig7" ~doc:"Figure 7: transaction/scan trade-off crossover")
+    Term.(const run $ scale_arg $ txns_arg 20_000 $ seeds_arg)
+
+let ablation_cmd =
+  let which =
+    let doc = "Which ablation: tas, cleaner, policy, group-commit, coalesce, mpl, or all." in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"NAME" ~doc)
+  in
+  let run name scale txns =
+    let all =
+      [
+        ("tas", fun () -> Ablation.test_and_set ~tps_scale:scale ~txns ());
+        ("cleaner", fun () -> Ablation.cleaner_placement ~tps_scale:scale ~txns ());
+        ("policy", fun () -> Ablation.cleaning_policy ~tps_scale:scale ~txns ());
+        ("group-commit", fun () -> Ablation.group_commit ~tps_scale:scale ~txns ());
+        ("mpl", fun () -> Ablation.multiprogramming ~tps_scale:scale ~txns ());
+      ]
+    in
+    match name with
+    | "all" ->
+      List.iter (fun (_, f) -> Ablation.print (f ())) all;
+      Ablation.print_coalescing (Ablation.coalescing ~tps_scale:scale ~txns ())
+    | "coalesce" ->
+      Ablation.print_coalescing (Ablation.coalescing ~tps_scale:scale ~txns ())
+    | _ -> (
+      match List.assoc_opt name all with
+      | Some f -> Ablation.print (f ())
+      | None -> prerr_endline ("unknown ablation: " ^ name))
+  in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Design-choice ablations (test-and-set, cleaner, ...)")
+    Term.(const run $ which $ scale_arg $ txns_arg 10_000)
+
+(* Ad hoc TPC-B *)
+let tpcb_cmd =
+  let setup_arg =
+    let doc = "Configuration: readopt-user, lfs-user, or lfs-kernel." in
+    Arg.(value & opt string "lfs-kernel" & info [ "setup" ] ~docv:"SETUP" ~doc)
+  in
+  let run setup scale txns seed =
+    let setup =
+      match setup with
+      | "readopt-user" -> Expcommon.Readopt_user
+      | "lfs-user" -> Expcommon.Lfs_user
+      | "lfs-kernel" -> Expcommon.Lfs_kernel
+      | s -> failwith ("unknown setup: " ^ s)
+    in
+    let config =
+      Config.scaled ~factor:(float_of_int scale /. 10.0) Config.default
+    in
+    let r =
+      Expcommon.run_tpcb ~config ~scale:(Tpcb.scale_for_tps scale) ~txns ~seed
+        setup
+    in
+    Printf.printf
+      "%s: %d txns in %.1f simulated seconds = %.2f TPS (max latency %.3fs, \
+       cleaner stall %.1fs)\n"
+      (Expcommon.setup_label setup)
+      r.Expcommon.result.Tpcb.txns r.Expcommon.result.Tpcb.elapsed_s
+      r.Expcommon.result.Tpcb.tps r.Expcommon.result.Tpcb.max_latency_s
+      r.Expcommon.cleaner_stall_s
+  in
+  Cmd.v
+    (Cmd.info "tpcb" ~doc:"Run TPC-B on one configuration and report TPS")
+    Term.(const run $ setup_arg $ scale_arg $ txns_arg 10_000 $ seed_arg)
+
+(* LFS inspection: build a small fs, exercise it, dump segment usage. *)
+let lfsdump_cmd =
+  let run () =
+    let cfg = Config.scaled ~factor:0.1 Config.default in
+    let clock = Clock.create () in
+    let stats = Stats.create () in
+    let disk = Disk.create clock stats cfg.Config.disk in
+    let fs = Lfs.format disk clock stats cfg in
+    let v = Lfs.vfs fs in
+    let rng = Rng.create ~seed:1 in
+    for i = 0 to 19 do
+      let fd = v.Vfs.create (Printf.sprintf "/file%02d" i) in
+      let data = Bytes.create (4096 * (1 + Rng.int rng 32)) in
+      v.Vfs.write fd ~off:0 data
+    done;
+    Lfs.sync fs;
+    Printf.printf "segments: %d   free: %d\n" (Lfs.nsegments fs)
+      (Lfs.free_segments fs);
+    Printf.printf "segment live-block counts:\n";
+    for i = 0 to Lfs.nsegments fs - 1 do
+      let l = Lfs.live_blocks fs i in
+      if l > 0 then Printf.printf "  seg %3d: %d live\n" i l
+    done;
+    Format.printf "%a@." Stats.pp stats
+  in
+  Cmd.v
+    (Cmd.info "lfs-dump" ~doc:"Build a demo LFS image and dump segment usage")
+    Term.(const run $ const ())
+
+let fsck_cmd =
+  let run () =
+    let cfg = Config.scaled ~factor:0.1 Config.default in
+    let clock = Clock.create () in
+    let stats = Stats.create () in
+    let disk = Disk.create clock stats cfg.Config.disk in
+    let fs = Ffs.format disk clock stats cfg in
+    let v = Ffs.vfs fs in
+    let fd = v.Vfs.create "/data" in
+    v.Vfs.write fd ~off:0 (Bytes.create 100_000);
+    v.Vfs.fsync fd;
+    Ffs.crash fs;
+    let fs = Ffs.mount disk clock stats cfg in
+    let r = Ffs.fsck fs in
+    Printf.printf
+      "fsck: %d inodes scanned, %d leaked blocks, %d cross-allocated, fixed=%b\n"
+      r.Ffs.scanned_inodes r.Ffs.leaked_blocks r.Ffs.cross_allocated r.Ffs.fixed
+  in
+  Cmd.v
+    (Cmd.info "ffs-fsck" ~doc:"Demonstrate FFS crash + fsck repair")
+    Term.(const run $ const ())
+
+let snapshot_cmd =
+  let run () =
+    let cfg = Config.scaled ~factor:0.1 Config.default in
+    let clock = Clock.create () in
+    let stats = Stats.create () in
+    let disk = Disk.create clock stats cfg.Config.disk in
+    let fs = Lfs.format disk clock stats cfg in
+    let v = Lfs.vfs fs in
+    let fd = v.Vfs.create "/journal" in
+    v.Vfs.write fd ~off:0 (Bytes.of_string "day 1: all is well");
+    let snap = Lfs.snapshot fs in
+    Printf.printf "snapshot taken; %d segment(s) free for new writes\n"
+      (Lfs.free_segments fs);
+    v.Vfs.write fd ~off:0 (Bytes.of_string "day 2: overwritten!");
+    v.Vfs.remove "/journal";
+    v.Vfs.sync ();
+    Printf.printf "present: /journal exists = %b\n" (v.Vfs.exists "/journal");
+    let old = Lfs.snapshot_view fs snap in
+    Printf.printf "snapshot: /journal exists = %b, contents = %S\n"
+      (old.Vfs.exists "/journal")
+      (Bytes.to_string
+         (old.Vfs.read (old.Vfs.open_file "/journal") ~off:0 ~len:100));
+    Lfs.release_snapshot fs snap;
+    print_endline "snapshot released; segments returned to the cleaner"
+  in
+  Cmd.v
+    (Cmd.info "snapshot-demo"
+       ~doc:"Demonstrate snapshots and undelete on the no-overwrite log")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "txnlfs" ~version:"1.0.0"
+       ~doc:
+         "Reproduction of Seltzer's 'Transaction Support in a Log-Structured \
+          File System' (ICDE 1993)")
+    [ fig4_cmd; fig5_cmd; fig6_cmd; fig7_cmd; ablation_cmd; tpcb_cmd; lfsdump_cmd; fsck_cmd; snapshot_cmd ]
+
+let () = exit (Cmd.eval main)

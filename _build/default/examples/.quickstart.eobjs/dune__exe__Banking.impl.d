@@ -1,0 +1,1 @@
+examples/banking.ml: Btree Bytes Config Core Ktxn Printf Recno Rng String

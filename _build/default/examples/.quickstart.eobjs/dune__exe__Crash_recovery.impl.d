@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Bytes Clock Config Core Disk Ktxn Lfs Libtp List Logmgr Printf Stats String Vfs

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Btree Core Option Printf

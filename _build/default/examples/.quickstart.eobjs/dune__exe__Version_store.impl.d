@@ -1,0 +1,1 @@
+examples/version_store.ml: Btree Bytes Config Core List Printf Recno String

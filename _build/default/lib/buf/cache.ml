@@ -1,0 +1,178 @@
+
+type frame = {
+  file : int;
+  lblock : int;
+  data : bytes;
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable dirtied_at : float;
+  mutable modseq : int;
+  mutable txn : int;
+  mutable prev : frame;
+  mutable next : frame;
+  mutable resident : bool;
+}
+
+exception Cache_full
+
+type t = {
+  clock : Clock.t;
+  stats : Stats.t;
+  cpu : Config.cpu;
+  cap : int;
+  tbl : (int * int, frame) Hashtbl.t;
+  lru : frame; (* sentinel of a cyclic list; [lru.next] is least recent *)
+  mutable writeback : frame -> unit;
+  mutable seq : int;
+}
+
+let make_sentinel () =
+  let rec s =
+    {
+      file = -1;
+      lblock = -1;
+      data = Bytes.empty;
+      dirty = false;
+      pins = 0;
+      dirtied_at = 0.0;
+      modseq = 0;
+      txn = -1;
+      prev = s;
+      next = s;
+      resident = false;
+    }
+  in
+  s
+
+let create clock stats cpu ~capacity =
+  if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
+  {
+    clock;
+    stats;
+    cpu;
+    cap = capacity;
+    tbl = Hashtbl.create (2 * capacity);
+    lru = make_sentinel ();
+    writeback = (fun _ -> failwith "Cache: writeback hook not installed");
+    seq = 0;
+  }
+
+let set_writeback t f = t.writeback <- f
+let capacity t = t.cap
+let resident t = Hashtbl.length t.tbl
+let modseq t = t.seq
+
+let unlink f =
+  f.prev.next <- f.next;
+  f.next.prev <- f.prev;
+  f.prev <- f;
+  f.next <- f
+
+(* Insert just before the sentinel: most recently used end. *)
+let push_mru t f =
+  f.prev <- t.lru.prev;
+  f.next <- t.lru;
+  t.lru.prev.next <- f;
+  t.lru.prev <- f
+
+let touch t f =
+  unlink f;
+  push_mru t f
+
+let lookup t ~file ~lblock =
+  Cpu.charge t.clock t.stats t.cpu Cpu.Buffer_lookup;
+  match Hashtbl.find_opt t.tbl (file, lblock) with
+  | Some f ->
+    Stats.incr t.stats "cache.hits";
+    touch t f;
+    Some f
+  | None ->
+    Stats.incr t.stats "cache.misses";
+    None
+
+let mark_clean _t f = f.dirty <- false
+
+let drop t f =
+  unlink f;
+  Hashtbl.remove t.tbl (f.file, f.lblock);
+  f.resident <- false
+
+let evict_one t =
+  (* Walk from the LRU end for the first evictable frame. *)
+  let rec find f =
+    if f == t.lru then raise Cache_full
+    else if f.pins = 0 && f.txn < 0 then f
+    else find f.next
+  in
+  let victim = find t.lru.next in
+  if victim.dirty then begin
+    Stats.incr t.stats "cache.evict_dirty";
+    t.writeback victim;
+    victim.dirty <- false
+  end
+  else Stats.incr t.stats "cache.evict_clean";
+  drop t victim
+
+let insert t ~file ~lblock data =
+  (match Hashtbl.find_opt t.tbl (file, lblock) with
+  | Some old -> drop t old
+  | None -> ());
+  while Hashtbl.length t.tbl >= t.cap do
+    evict_one t
+  done;
+  let f =
+    {
+      file;
+      lblock;
+      data = Bytes.copy data;
+      dirty = false;
+      pins = 0;
+      dirtied_at = 0.0;
+      modseq = 0;
+      txn = -1;
+      prev = t.lru;
+      next = t.lru;
+      resident = true;
+    }
+  in
+  Hashtbl.add t.tbl (file, lblock) f;
+  push_mru t f;
+  f
+
+let mark_dirty t f =
+  if not f.resident then invalid_arg "Cache.mark_dirty: frame not resident";
+  if not f.dirty then begin
+    f.dirty <- true;
+    f.dirtied_at <- Clock.now t.clock
+  end;
+  t.seq <- t.seq + 1;
+  f.modseq <- t.seq
+
+let pin f = f.pins <- f.pins + 1
+
+let unpin f =
+  if f.pins <= 0 then invalid_arg "Cache.unpin: frame not pinned";
+  f.pins <- f.pins - 1
+
+let set_txn _t f txn = f.txn <- txn
+
+let invalidate t f = if f.resident then drop t f
+
+let fold t acc0 g =
+  let rec go f acc = if f == t.lru then acc else go f.next (g acc f) in
+  go t.lru.next acc0
+
+let dirty_frames t ?file () =
+  let keep f =
+    f.dirty && f.txn < 0
+    && match file with None -> true | Some inum -> f.file = inum
+  in
+  fold t [] (fun acc f -> if keep f then f :: acc else acc)
+  |> List.sort (fun a b -> Float.compare a.dirtied_at b.dirtied_at)
+
+let txn_frames t txn = fold t [] (fun acc f -> if f.txn = txn then f :: acc else acc)
+
+let file_frames t inum =
+  fold t [] (fun acc f -> if f.file = inum then f :: acc else acc)
+
+let iter t g = fold t () (fun () f -> g f)

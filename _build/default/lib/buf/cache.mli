@@ -1,0 +1,85 @@
+(** Operating-system buffer cache.
+
+    Frames are keyed by [(file, logical block)] — not by physical address,
+    because in a log-structured file system a block's physical address
+    changes on every write; the mapping to disk addresses belongs to the
+    owning file system, which supplies the {!set_writeback} hook used when
+    a dirty victim must be evicted.
+
+    Replacement is strict LRU over unpinned frames. Frames owned by an
+    in-kernel transaction ([txn >= 0]) are never evicted or written back
+    behind the transaction manager's back: the paper's implementation
+    holds all of a transaction's dirty buffers in memory until commit
+    (Section 4.5, restriction 1). Each frame also remembers when it was
+    first dirtied so the 30-second syncer can find delayed writes, and a
+    sequence number of its last modification so a user-space cleaner can
+    detect "recently modified" blocks (Section 5.4). *)
+
+type t
+
+type frame = private {
+  file : int;  (** owning inode number *)
+  lblock : int;  (** logical block within the file *)
+  data : bytes;  (** exactly one block; mutated in place *)
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable dirtied_at : float;  (** clock time of the first dirtying *)
+  mutable modseq : int;  (** cache-wide sequence of last modification *)
+  mutable txn : int;  (** owning kernel transaction id, or -1 *)
+  mutable prev : frame;
+  mutable next : frame;
+  mutable resident : bool;
+}
+
+exception Cache_full
+(** Raised when every frame is pinned or transaction-owned and a new
+    block must be brought in. *)
+
+val create :
+  Clock.t -> Stats.t -> Config.cpu -> capacity:int -> t
+
+val set_writeback : t -> (frame -> unit) -> unit
+(** [set_writeback t f] installs the file system's writeback routine,
+    called when a dirty, unowned victim is evicted. [f] must persist the
+    frame's contents; the cache marks the frame clean afterwards. *)
+
+val capacity : t -> int
+val resident : t -> int
+
+val lookup : t -> file:int -> lblock:int -> frame option
+(** Cache probe; charges one buffer lookup of CPU and refreshes LRU. *)
+
+val insert : t -> file:int -> lblock:int -> bytes -> frame
+(** Bring a block into the cache (evicting if needed) and return its
+    frame. The byte contents are copied in. Any previous frame for the
+    same key is replaced.
+    @raise Cache_full if no frame can be evicted. *)
+
+val mark_dirty : t -> frame -> unit
+(** Flag the frame as containing unwritten data and bump [modseq]. *)
+
+val mark_clean : t -> frame -> unit
+
+val pin : frame -> unit
+val unpin : frame -> unit
+
+val set_txn : t -> frame -> int -> unit
+(** Attach the frame to kernel transaction [txn] ([-1] releases it). *)
+
+val invalidate : t -> frame -> unit
+(** Drop the frame without writing it back (transaction abort). *)
+
+val dirty_frames : t -> ?file:int -> unit -> frame list
+(** Dirty frames (optionally of one file), oldest-dirtied first. Frames
+    owned by a transaction are excluded — they are not eligible for
+    writeback until their transaction commits. *)
+
+val txn_frames : t -> int -> frame list
+(** All frames owned by kernel transaction [txn]. *)
+
+val file_frames : t -> int -> frame list
+
+val iter : t -> (frame -> unit) -> unit
+
+val modseq : t -> int
+(** Current modification sequence number (monotone). *)

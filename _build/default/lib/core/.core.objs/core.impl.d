@@ -1,0 +1,1 @@
+lib/core/core.ml: Btree Clock Config Disk Hashdb Ktxn Lfs Recno Stats String Vfs

@@ -1,0 +1,1 @@
+lib/core/core.mli: Btree Clock Config Disk Hashdb Ktxn Lfs Recno Stats

@@ -1,0 +1,1 @@
+lib/core/ktxn.ml: Bytes Cache Clock Config Cpu Float Hashtbl Lfs List Lockmgr Pager Stats Vfs

@@ -1,0 +1,1 @@
+lib/core/ktxn.mli: Lfs Lockmgr Pager

@@ -1,0 +1,86 @@
+type system = {
+  config : Config.t;
+  clock : Clock.t;
+  stats : Stats.t;
+  disk : Disk.t;
+  lfs : Lfs.t;
+  ktxn : Ktxn.t;
+}
+
+let boot ?(config = Config.default) () =
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  let disk = Disk.create clock stats config.Config.disk in
+  let lfs = Lfs.format disk clock stats config in
+  { config; clock; stats; disk; lfs; ktxn = Ktxn.create lfs }
+
+let crash sys = Lfs.crash sys.lfs
+
+let reboot sys =
+  Lfs.crash sys.lfs;
+  let lfs = Lfs.mount sys.disk sys.clock sys.stats sys.config in
+  { sys with lfs; ktxn = Ktxn.create lfs }
+
+let shutdown sys = Lfs.unmount sys.lfs
+
+let with_txn sys f =
+  let txn = Ktxn.txn_begin sys.ktxn in
+  match f txn with
+  | result ->
+    Ktxn.txn_commit sys.ktxn txn;
+    result
+  | exception e ->
+    (match e with
+    | Ktxn.Deadlock_abort _ -> () (* already aborted by the lock path *)
+    | _ -> Ktxn.txn_abort sys.ktxn txn);
+    raise e
+
+(* mkdir -p for a database path's parent directories. *)
+let ensure_parents (v : Vfs.t) path =
+  match String.split_on_char '/' path with
+  | "" :: components when components <> [] ->
+    let rec go prefix = function
+      | [] | [ _ ] -> ()
+      | dir :: rest ->
+        let p = prefix ^ "/" ^ dir in
+        if not (v.Vfs.exists p) then v.Vfs.mkdir p;
+        go p rest
+    in
+    go "" components
+  | _ -> ()
+
+let ensure_protected sys path =
+  let v = Lfs.vfs sys.lfs in
+  let fresh = not (v.Vfs.exists path) in
+  if fresh then begin
+    ensure_parents v path;
+    ignore (v.Vfs.create path)
+  end;
+  if not (v.Vfs.stat path).Vfs.protected_ then begin
+    Ktxn.protect sys.ktxn path;
+    (* Creating/protecting a database is a utility operation; make the
+       namespace durable so commits only depend on the data they force. *)
+    Lfs.sync sys.lfs
+  end
+
+let btree sys txn ~path =
+  ensure_protected sys path;
+  let inum = Lfs.inum_of sys.lfs path in
+  Btree.attach sys.clock sys.stats sys.config.Config.cpu
+    (Ktxn.pager sys.ktxn txn ~inum)
+
+let recno sys txn ~path ~reclen =
+  ensure_protected sys path;
+  let inum = Lfs.inum_of sys.lfs path in
+  Recno.attach sys.clock sys.stats sys.config.Config.cpu
+    (Ktxn.pager sys.ktxn txn ~inum)
+    ~reclen
+
+let hash sys txn ~path ~buckets =
+  ensure_protected sys path;
+  let inum = Lfs.inum_of sys.lfs path in
+  Hashdb.attach sys.clock sys.stats sys.config.Config.cpu
+    (Ktxn.pager sys.ktxn txn ~inum)
+    ~buckets
+
+let elapsed sys = Clock.now sys.clock

@@ -1,0 +1,200 @@
+type txn = {
+  id : int;
+  mutable frames : Cache.frame list; (* this transaction's dirty buffers *)
+  mutable live : bool;
+}
+
+type t = {
+  lfs : Lfs.t;
+  clock : Clock.t;
+  stats : Stats.t;
+  cfg : Config.t;
+  locks : Lockmgr.t; (* the lock table hanging off the file-system state *)
+  active_tbl : (int, txn) Hashtbl.t;
+  mutable next_id : int;
+  mutable pending_commits : (txn * Cache.frame list) list; (* group commit *)
+  mutable pending_deadline : float; (* flush time of the oldest pending *)
+}
+
+exception Conflict of int list
+exception Deadlock_abort of int
+exception Too_large
+
+let create lfs =
+  let clock = Lfs.clock lfs in
+  let stats = Lfs.stats lfs in
+  let cfg = Lfs.config lfs in
+  {
+    lfs;
+    clock;
+    stats;
+    cfg;
+    locks = Lockmgr.create clock stats cfg.Config.cpu;
+    active_tbl = Hashtbl.create 16;
+    next_id = 1;
+    pending_commits = [];
+    pending_deadline = 0.0;
+  }
+
+let lfs t = t.lfs
+let locks t = t.locks
+let txn_id txn = txn.id
+let active t = Hashtbl.length t.active_tbl
+
+let syscall t = Cpu.charge t.clock t.stats t.cfg.Config.cpu Cpu.Syscall
+let kmutex t = Cpu.charge t.clock t.stats t.cfg.Config.cpu Cpu.Kernel_mutex
+
+let protect t path =
+  let v = Lfs.vfs t.lfs in
+  v.Vfs.set_protected path true
+
+let unprotect t path =
+  let v = Lfs.vfs t.lfs in
+  v.Vfs.set_protected path false
+
+(* Forward reference: group-commit flushing is defined with commit below,
+   but transaction begin must settle any deferred commits first. *)
+let settle_pending_ref = ref (fun _ -> ())
+
+let txn_begin t =
+  !settle_pending_ref t;
+  syscall t;
+  kmutex t;
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let txn = { id; frames = []; live = true } in
+  Hashtbl.replace t.active_tbl id txn;
+  Stats.incr t.stats "ktxn.begins";
+  txn
+
+let check_live txn =
+  if not txn.live then invalid_arg "Ktxn: transaction already finished"
+
+let release t txn =
+  Lockmgr.release_all t.locks ~txn:txn.id;
+  Hashtbl.remove t.active_tbl txn.id;
+  txn.live <- false
+
+let do_abort t txn =
+  let cache = Lfs.cache t.lfs in
+  List.iter
+    (fun f ->
+      Cache.set_txn cache f (-1);
+      (* Dropping the buffer exposes the on-disk before-image — no log
+         needed, courtesy of the no-overwrite policy. *)
+      Cache.invalidate cache f)
+    txn.frames;
+  txn.frames <- [];
+  release t txn;
+  Stats.incr t.stats "ktxn.aborts"
+
+let lock t txn ~inum ~page mode =
+  kmutex t;
+  match Lockmgr.acquire t.locks ~txn:txn.id (inum, page) mode with
+  | `Granted -> ()
+  | `Would_block blockers ->
+    (* The process would be descheduled and left sleeping (Section 4.2). *)
+    Cpu.charge t.clock t.stats t.cfg.Config.cpu Cpu.Context_switch;
+    raise (Conflict blockers)
+  | `Deadlock ->
+    do_abort t txn;
+    raise (Deadlock_abort txn.id)
+
+let read_page t txn ~inum ~page =
+  check_live txn;
+  syscall t;
+  if Lfs.is_protected t.lfs inum then
+    lock t txn ~inum ~page Lockmgr.Shared;
+  let f = Lfs.get_page t.lfs ~inum ~lblock:page in
+  f.Cache.data
+
+let write_page t txn ~inum ~page data =
+  check_live txn;
+  syscall t;
+  let protected_ = Lfs.is_protected t.lfs inum in
+  if protected_ then lock t txn ~inum ~page Lockmgr.Exclusive;
+  let cache = Lfs.cache t.lfs in
+  let f =
+    try Lfs.get_page t.lfs ~inum ~lblock:page
+    with Cache.Cache_full -> raise Too_large
+  in
+  Bytes.blit data 0 f.Cache.data 0 (Bytes.length data);
+  Lfs.page_dirty t.lfs f;
+  Lfs.extend_to t.lfs ~inum ((page + 1) * Bytes.length data);
+  if protected_ && f.Cache.txn <> txn.id then begin
+    Cache.set_txn cache f txn.id;
+    txn.frames <- f :: txn.frames
+  end;
+  Stats.incr t.stats "ktxn.page_writes"
+
+let flush_pending t =
+  let cache = Lfs.cache t.lfs in
+  let all_frames =
+    List.concat_map
+      (fun (_, frames) ->
+        List.iter (fun f -> Cache.set_txn cache f (-1)) frames;
+        frames)
+      t.pending_commits
+  in
+  (* Frames may have been superseded if two pending transactions touched
+     the same page; de-duplicate while preserving order. *)
+  let seen = Hashtbl.create 16 in
+  let frames =
+    List.filter
+      (fun (f : Cache.frame) ->
+        let k = (f.Cache.file, f.Cache.lblock) in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          f.Cache.resident && f.Cache.dirty
+        end)
+      all_frames
+  in
+  Lfs.force_frames t.lfs frames;
+  List.iter (fun (txn, _) -> release t txn) t.pending_commits;
+  t.pending_commits <- [];
+  Stats.incr t.stats "ktxn.group_flushes"
+
+(* Committers deferred by group commit sleep until the timeout expires;
+   any later event past that point (a new transaction, an explicit
+   flush) implies the flush happened first. *)
+let settle_pending t =
+  if t.pending_commits <> [] then begin
+    Clock.sleep_until t.clock t.pending_deadline;
+    flush_pending t
+  end
+
+let () = settle_pending_ref := settle_pending
+
+let flush_commits t = if t.pending_commits <> [] then flush_pending t
+
+let txn_commit t txn =
+  check_live txn;
+  syscall t;
+  kmutex t;
+  let was_empty = t.pending_commits = [] in
+  t.pending_commits <- (txn, txn.frames) :: t.pending_commits;
+  txn.frames <- [];
+  Stats.incr t.stats "ktxn.commits";
+  let timeout = t.cfg.Config.fs.group_commit_timeout_s in
+  if was_empty then
+    t.pending_deadline <- Clock.now t.clock +. Float.max 0.0 timeout;
+  if
+    timeout <= 0.0
+    || List.length t.pending_commits >= t.cfg.Config.fs.group_commit_size
+  then flush_pending t
+  (* Otherwise the committing process sleeps; concurrent transactions may
+     still commit and share the flush (Section 4.4). *)
+
+let txn_abort t txn =
+  check_live txn;
+  syscall t;
+  kmutex t;
+  do_abort t txn
+
+let pager t txn ~inum =
+  {
+    Pager.page_size = (Lfs.vfs t.lfs).Vfs.block_size;
+    get = (fun page -> read_page t txn ~inum ~page);
+    put = (fun page data -> write_page t txn ~inum ~page data);
+  }

@@ -1,0 +1,1 @@
+lib/db/btree.ml: Bytes Clock Config Cpu Enc List Option Pager Printf Stats String

@@ -1,0 +1,1 @@
+lib/db/db.ml: Btree Bytes Enc Hashdb Pager Recno

@@ -1,0 +1,1 @@
+lib/db/db.mli: Clock Config Pager Stats

@@ -1,0 +1,1 @@
+lib/db/hashdb.ml: Bytes Clock Config Cpu Enc Hashtbl List Pager Stats String

@@ -1,0 +1,1 @@
+lib/db/hashdb.mli: Clock Config Pager Stats

@@ -1,0 +1,1 @@
+lib/db/pager.ml: Bytes Libtp Vfs

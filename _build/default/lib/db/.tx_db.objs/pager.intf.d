@@ -1,0 +1,1 @@
+lib/db/pager.mli: Libtp Vfs

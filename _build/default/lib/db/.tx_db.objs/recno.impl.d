@@ -1,0 +1,1 @@
+lib/db/recno.ml: Bytes Clock Config Cpu Enc Pager Printf Stats

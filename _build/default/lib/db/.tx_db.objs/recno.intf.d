@@ -1,0 +1,1 @@
+lib/db/recno.mli: Clock Config Pager Stats

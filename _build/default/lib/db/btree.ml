@@ -1,0 +1,379 @@
+exception Entry_too_large
+
+let magic = 0x42545231 (* "BTR1" *)
+
+type node =
+  | Leaf of { mutable next : int; mutable items : (string * string) list }
+  | Node of { mutable child0 : int; mutable items : (string * int) list }
+(* Leaf items are (key, value); internal items are (key, child) with the
+   child holding keys >= key; [child0] holds keys below the first key. *)
+
+type meta = {
+  mutable root : int;
+  mutable npages : int;
+  mutable nrecords : int;
+  mutable tree_height : int;
+}
+
+type t = {
+  clock : Clock.t;
+  stats : Stats.t;
+  cpu : Config.cpu;
+  pager : Pager.t;
+  meta : meta;
+  mutable meta_dirty : bool;
+}
+
+(* Codecs ----------------------------------------------------------------- *)
+
+let read_meta b =
+  if Enc.get_u32 b 0 <> magic then None
+  else
+    Some
+      {
+        root = Enc.get_u32 b 4;
+        npages = Enc.get_u32 b 8;
+        nrecords = Enc.get_u32 b 12;
+        tree_height = Enc.get_u32 b 16;
+      }
+
+let write_meta t =
+  let b = Bytes.make t.pager.Pager.page_size '\000' in
+  Enc.set_u32 b 0 magic;
+  Enc.set_u32 b 4 t.meta.root;
+  Enc.set_u32 b 8 t.meta.npages;
+  Enc.set_u32 b 12 t.meta.nrecords;
+  Enc.set_u32 b 16 t.meta.tree_height;
+  t.pager.Pager.put 0 b;
+  t.meta_dirty <- false
+
+let decode_node ps b =
+  match Enc.get_u8 b 0 with
+  | 0 ->
+    let n = Enc.get_u16 b 1 in
+    let next = Enc.get_u32 b 3 in
+    let off = ref 7 in
+    let items =
+      List.init n (fun _ ->
+          let klen = Enc.get_u16 b !off in
+          let vlen = Enc.get_u16 b (!off + 2) in
+          let key = Enc.get_string b (!off + 4) ~len:klen in
+          let value = Enc.get_string b (!off + 4 + klen) ~len:vlen in
+          off := !off + 4 + klen + vlen;
+          (key, value))
+    in
+    ignore ps;
+    Leaf { next; items }
+  | 1 ->
+    let n = Enc.get_u16 b 1 in
+    let child0 = Enc.get_u32 b 3 in
+    let off = ref 7 in
+    let items =
+      List.init n (fun _ ->
+          let klen = Enc.get_u16 b !off in
+          let child = Enc.get_u32 b (!off + 2) in
+          let key = Enc.get_string b (!off + 6) ~len:klen in
+          off := !off + 6 + klen;
+          (key, child))
+    in
+    Node { child0; items }
+  | k -> failwith (Printf.sprintf "Btree: bad node kind %d" k)
+
+let encode_node ps node =
+  let b = Bytes.make ps '\000' in
+  (match node with
+  | Leaf { next; items } ->
+    Enc.set_u8 b 0 0;
+    Enc.set_u16 b 1 (List.length items);
+    Enc.set_u32 b 3 next;
+    let off = ref 7 in
+    List.iter
+      (fun (k, v) ->
+        Enc.set_u16 b !off (String.length k);
+        Enc.set_u16 b (!off + 2) (String.length v);
+        Enc.set_string b (!off + 4) k;
+        Enc.set_string b (!off + 4 + String.length k) v;
+        off := !off + 4 + String.length k + String.length v)
+      items
+  | Node { child0; items } ->
+    Enc.set_u8 b 0 1;
+    Enc.set_u16 b 1 (List.length items);
+    Enc.set_u32 b 3 child0;
+    let off = ref 7 in
+    List.iter
+      (fun (k, child) ->
+        Enc.set_u16 b !off (String.length k);
+        Enc.set_u32 b (!off + 2) child;
+        Enc.set_string b (!off + 6) k;
+        off := !off + 6 + String.length k)
+      items);
+  b
+
+let node_size = function
+  | Leaf { items; _ } ->
+    List.fold_left (fun acc (k, v) -> acc + 4 + String.length k + String.length v) 7 items
+  | Node { items; _ } ->
+    List.fold_left (fun acc (k, _) -> acc + 6 + String.length k) 7 items
+
+(* Page I/O --------------------------------------------------------------- *)
+
+let read_node t page = decode_node t.pager.Pager.page_size (t.pager.Pager.get page)
+let write_node t page node = t.pager.Pager.put page (encode_node t.pager.Pager.page_size node)
+
+let alloc_page t =
+  let p = t.meta.npages in
+  t.meta.npages <- p + 1;
+  t.meta_dirty <- true;
+  p
+
+(* Construction ----------------------------------------------------------- *)
+
+let attach clock stats cpu pager =
+  let meta_page = pager.Pager.get 0 in
+  match read_meta meta_page with
+  | Some meta -> { clock; stats; cpu; pager; meta; meta_dirty = false }
+  | None ->
+    let meta = { root = 1; npages = 2; nrecords = 0; tree_height = 1 } in
+    let t = { clock; stats; cpu; pager; meta; meta_dirty = false } in
+    write_node t 1 (Leaf { next = 0; items = [] });
+    write_meta t;
+    t
+
+let count t = t.meta.nrecords
+let height t = t.meta.tree_height
+
+let charge t kind = Cpu.charge t.clock t.stats t.cpu kind
+
+let max_entry t = (t.pager.Pager.page_size - 7) / 4
+
+(* Search ------------------------------------------------------------------ *)
+
+(* Child of an internal node that covers [key]. *)
+let child_for items child0 key =
+  let rec go prev = function
+    | [] -> prev
+    | (k, child) :: rest -> if key < k then prev else go child rest
+  in
+  go child0 items
+
+let rec descend t page key =
+  match read_node t page with
+  | Leaf _ as leaf -> (page, leaf)
+  | Node { child0; items } -> descend t (child_for items child0 key) key
+
+let find t key =
+  charge t Cpu.Record_op;
+  let _, leaf = descend t t.meta.root key in
+  match leaf with
+  | Leaf { items; _ } -> List.assoc_opt key items
+  | Node _ -> assert false
+
+(* Insert ------------------------------------------------------------------ *)
+
+let insert_sorted_leaf items key value =
+  let rec go = function
+    | [] -> [ (key, value) ]
+    | (k, _) :: rest when k = key -> (key, value) :: rest
+    | (k, v) :: rest when key < k -> (key, value) :: (k, v) :: rest
+    | kv :: rest -> kv :: go rest
+  in
+  go items
+
+let insert_sorted_node items key child =
+  let rec go = function
+    | [] -> [ (key, child) ]
+    | (k, c) :: rest when key < k -> (key, child) :: (k, c) :: rest
+    | kc :: rest -> kc :: go rest
+  in
+  go items
+
+(* Split a list of items so the left part holds roughly half the bytes —
+   except when the overflow was caused by an append at the right end
+   ([appending]), where we keep the left node full and start a fresh
+   right node: sequential loads then fill pages completely instead of
+   leaving every page half empty. *)
+let split_items ?(appending = false) size_of items =
+  if appending then
+    match List.rev items with
+    | last :: rev_rest -> (List.rev rev_rest, [ last ])
+    | [] -> ([], [])
+  else
+    let total = List.fold_left (fun acc it -> acc + size_of it) 0 items in
+    let rec go acc taken = function
+      | [] -> (List.rev acc, [])
+      | it :: rest ->
+        if taken >= total / 2 && rest <> [] then (List.rev acc, it :: rest)
+        else go (it :: acc) (taken + size_of it) rest
+    in
+    go [] 0 items
+
+let leaf_item_size (k, v) = 4 + String.length k + String.length v
+let node_item_size (k, _) = 6 + String.length k
+
+(* Returns [Some (separator, right page)] when the child split. *)
+let rec insert_rec t page key value =
+  match read_node t page with
+  | Leaf { items; next } ->
+    let existed = List.mem_assoc key items in
+    let items = insert_sorted_leaf items key value in
+    if not existed then begin
+      t.meta.nrecords <- t.meta.nrecords + 1;
+      t.meta_dirty <- true
+    end;
+    let node = Leaf { next; items } in
+    if node_size node <= t.pager.Pager.page_size then begin
+      write_node t page node;
+      None
+    end
+    else begin
+      let appending =
+        match List.rev items with (k, _) :: _ -> k = key | [] -> false
+      in
+      let left_items, right_items = split_items ~appending leaf_item_size items in
+      let right_page = alloc_page t in
+      write_node t right_page (Leaf { next; items = right_items });
+      write_node t page (Leaf { next = right_page; items = left_items });
+      match right_items with
+      | (sep, _) :: _ -> Some (sep, right_page)
+      | [] -> assert false
+    end
+  | Node { child0; items } -> (
+    let child = child_for items child0 key in
+    match insert_rec t child key value with
+    | None -> None
+    | Some (sep, right) ->
+      let items = insert_sorted_node items sep right in
+      let node = Node { child0; items } in
+      if node_size node <= t.pager.Pager.page_size then begin
+        write_node t page node;
+        None
+      end
+      else begin
+        let appending =
+          match List.rev items with (k, _) :: _ -> k = sep | [] -> false
+        in
+        let left_items, right_items = split_items ~appending node_item_size items in
+        match right_items with
+        | (mid_key, mid_child) :: rest ->
+          let right_page = alloc_page t in
+          write_node t right_page (Node { child0 = mid_child; items = rest });
+          write_node t page (Node { child0; items = left_items });
+          Some (mid_key, right_page)
+        | [] -> assert false
+      end)
+
+let insert t key value =
+  charge t Cpu.Record_op;
+  if 4 + String.length key + String.length value > max_entry t then
+    raise Entry_too_large;
+  (match insert_rec t t.meta.root key value with
+  | None -> ()
+  | Some (sep, right) ->
+    let new_root = alloc_page t in
+    write_node t new_root (Node { child0 = t.meta.root; items = [ (sep, right) ] });
+    t.meta.root <- new_root;
+    t.meta.tree_height <- t.meta.tree_height + 1;
+    t.meta_dirty <- true);
+  if t.meta_dirty then write_meta t
+
+(* Delete (lazy, as in db(3): pages are never merged) ---------------------- *)
+
+let delete t key =
+  charge t Cpu.Record_op;
+  let page, leaf = descend t t.meta.root key in
+  match leaf with
+  | Leaf { next; items } ->
+    if List.mem_assoc key items then begin
+      write_node t page (Leaf { next; items = List.remove_assoc key items });
+      t.meta.nrecords <- t.meta.nrecords - 1;
+      t.meta_dirty <- true;
+      write_meta t;
+      true
+    end
+    else false
+  | Node _ -> assert false
+
+(* Cursor ------------------------------------------------------------------ *)
+
+let iter t ?from f =
+  let start_key = Option.value from ~default:"" in
+  let rec leftmost page =
+    match read_node t page with
+    | Leaf _ -> page
+    | Node { child0; items } ->
+      if from = None then leftmost child0
+      else leftmost (child_for items child0 start_key)
+  in
+  let rec walk page skip_below =
+    if page <> 0 then
+      match read_node t page with
+      | Leaf { next; items } ->
+        let continue_ =
+          List.for_all
+            (fun (k, v) ->
+              if k < skip_below then true
+              else begin
+                charge t Cpu.Cursor_next;
+                f k v
+              end)
+            items
+        in
+        if continue_ then walk next ""
+      | Node _ -> failwith "Btree.iter: leaf chain reached an internal node"
+  in
+  walk (leftmost t.meta.root) start_key
+
+(* Invariant check ---------------------------------------------------------- *)
+
+let check t =
+  let ps = t.pager.Pager.page_size in
+  let counted = ref 0 in
+  (* Verify key ordering and separator bounds over the whole tree. *)
+  let rec go page lo hi depth =
+    let node = read_node t page in
+    if node_size node > ps then failwith "node overflows page";
+    match node with
+    | Leaf { items; _ } ->
+      counted := !counted + List.length items;
+      let rec sorted = function
+        | a :: (b :: _ as rest) ->
+          if fst a >= fst b then failwith "leaf keys not strictly sorted";
+          sorted rest
+        | _ -> ()
+      in
+      sorted items;
+      List.iter
+        (fun (k, _) ->
+          (match lo with Some l when k < l -> failwith "leaf key below bound" | _ -> ());
+          match hi with Some h when k >= h -> failwith "leaf key above bound" | _ -> ())
+        items;
+      depth
+    | Node { child0; items } ->
+      let rec bounds = function
+        | [] -> []
+        | (k, c) :: rest ->
+          let hi' = match rest with (k', _) :: _ -> Some k' | [] -> hi in
+          (Some k, c, hi') :: bounds rest
+      in
+      let first_hi = match items with (k, _) :: _ -> Some k | [] -> hi in
+      let all = (lo, child0, first_hi) :: bounds items in
+      let depths =
+        List.map (fun (lo', c, hi') -> go c lo' hi' (depth + 1)) all
+      in
+      (match depths with
+      | d :: rest when List.for_all (( = ) d) rest -> d
+      | _ -> failwith "uneven depth")
+  in
+  ignore (go t.meta.root None None 1);
+  if !counted <> t.meta.nrecords then
+    failwith
+      (Printf.sprintf "record count mismatch: counted %d, meta %d" !counted
+         t.meta.nrecords);
+  (* Leaf chain must be sorted globally. *)
+  let prev = ref None in
+  iter t (fun k _ ->
+      (match !prev with
+      | Some p when p >= k -> failwith "leaf chain out of order"
+      | _ -> ());
+      prev := Some k;
+      true)

@@ -1,0 +1,41 @@
+(** Page-based B+tree access method, in the style of the 4.4BSD db(3)
+    B-tree used by the paper's benchmark: the TPC-B account, branch and
+    teller relations are "primary B-Tree indices (the data resides in the
+    B-Tree file)".
+
+    Keys and values are byte strings ordered lexicographically; data
+    lives in the leaves, which are chained for key-order scans (the SCAN
+    experiment of Section 5.3 is one long cursor walk). Deletion is lazy
+    — emptied pages are not merged — matching db(3)'s behaviour.
+
+    The tree is bound to a {!Pager.t}, so the same code runs
+    non-transactionally, under LIBTP, or under the embedded kernel
+    transaction manager. Every [find]/[insert]/[delete] charges one
+    record-operation of query-processing CPU; cursor steps charge the
+    (cheaper) per-record scan cost. *)
+
+type t
+
+exception Entry_too_large
+
+val attach : Clock.t -> Stats.t -> Config.cpu -> Pager.t -> t
+(** Open the tree through the pager, initializing an empty tree if the
+    meta page is blank. *)
+
+val find : t -> string -> string option
+val insert : t -> string -> string -> unit
+(** Upsert. @raise Entry_too_large if the pair cannot fit four-to-a-page. *)
+
+val delete : t -> string -> bool
+(** [true] if the key existed. *)
+
+val iter : t -> ?from:string -> (string -> string -> bool) -> unit
+(** In-order scan starting at the first key [>= from] (or the smallest
+    key); stops early when the callback returns [false]. *)
+
+val count : t -> int
+val height : t -> int
+
+val check : t -> unit
+(** Structural invariant check (sorted keys, separator bounds, leaf chain
+    order); raises [Failure] on violation. For tests. *)

@@ -1,0 +1,81 @@
+type kind = Btree_db | Hash_db of int | Recno_db of int
+
+type handle =
+  | Hbtree of Btree.t
+  | Hhash of Hashdb.t
+  | Hrecno of Recno.t
+
+type t = { kind : kind; handle : handle }
+
+(* Each access method stamps its own magic on page 0; opening with the
+   wrong kind must fail rather than reinterpret the pages. *)
+let detect_kind (pager : Pager.t) =
+  let meta = pager.Pager.get 0 in
+  match Enc.get_u32 meta 0 with
+  | 0x42545231 -> Some Btree_db
+  | 0x48534831 -> Some (Hash_db 0)
+  | 0x52454331 -> Some (Recno_db 0)
+  | _ -> None
+
+let same_family a b =
+  match (a, b) with
+  | Btree_db, Btree_db | Hash_db _, Hash_db _ | Recno_db _, Recno_db _ -> true
+  | _ -> false
+
+let opendb clock stats cpu pager kind =
+  (match detect_kind pager with
+  | Some existing when not (same_family existing kind) ->
+    invalid_arg "Db.opendb: file holds a different access method"
+  | _ -> ());
+  let handle =
+    match kind with
+    | Btree_db -> Hbtree (Btree.attach clock stats cpu pager)
+    | Hash_db buckets -> Hhash (Hashdb.attach clock stats cpu pager ~buckets:(max 1 buckets))
+    | Recno_db reclen -> Hrecno (Recno.attach clock stats cpu pager ~reclen)
+  in
+  { kind; handle }
+
+let kind t = t.kind
+
+let recno_key key =
+  match int_of_string_opt key with
+  | Some n when n >= 0 -> n
+  | _ -> invalid_arg "Db: recno keys are non-negative decimal record numbers"
+
+let get t key =
+  match t.handle with
+  | Hbtree bt -> Btree.find bt key
+  | Hhash h -> Hashdb.find h key
+  | Hrecno r -> (
+    match Recno.get r (recno_key key) with
+    | data -> Some (Bytes.to_string data)
+    | exception Not_found -> None)
+
+let put t key value =
+  match t.handle with
+  | Hbtree bt -> Btree.insert bt key value
+  | Hhash h -> Hashdb.insert h key value
+  | Hrecno r ->
+    let n = recno_key key in
+    let data = Bytes.of_string value in
+    if n = Recno.count r then ignore (Recno.append r data)
+    else Recno.set r n data
+
+let del t key =
+  match t.handle with
+  | Hbtree bt -> Btree.delete bt key
+  | Hhash h -> Hashdb.delete h key
+  | Hrecno _ -> invalid_arg "Db.del: recno records cannot be deleted"
+
+let seq t f =
+  match t.handle with
+  | Hbtree bt -> Btree.iter bt f
+  | Hhash h -> Hashdb.iter h f
+  | Hrecno r ->
+    Recno.iter r (fun recno data -> f (string_of_int recno) (Bytes.to_string data))
+
+let count t =
+  match t.handle with
+  | Hbtree bt -> Btree.count bt
+  | Hhash h -> Hashdb.count h
+  | Hrecno r -> Recno.count r

@@ -1,0 +1,42 @@
+(** The record-oriented subroutine interface of 4.4BSD db(3), unified
+    over the three access methods — the surface the paper's transaction
+    application is written against ("the record-oriented subroutine
+    interface provided by the 4.4BSD database access routines [to] read
+    and write B-Tree, hashed, or fixed-length records").
+
+    Keys are byte strings for B-tree and hash, and decimal record
+    numbers for recno (as db(3)'s [DB_RECNO] does via its integer keys).
+    A handle is bound to one pager — plain, WAL, or kernel — so the same
+    application code runs on all three transaction configurations. *)
+
+type kind =
+  | Btree_db  (** sorted keys, data in the leaves *)
+  | Hash_db of int  (** bucket count for a fresh database *)
+  | Recno_db of int  (** fixed record length *)
+
+type t
+
+val opendb : Clock.t -> Stats.t -> Config.cpu -> Pager.t -> kind -> t
+(** Open (creating if blank) a database of the given kind through the
+    pager.
+    @raise Invalid_argument if the file exists with a different kind. *)
+
+val kind : t -> kind
+
+val get : t -> string -> string option
+(** Look up by key (recno: the key is a decimal record number). *)
+
+val put : t -> string -> string -> unit
+(** Insert or replace. For recno, the key must be the next record number
+    or an existing one (db(3) recno semantics for fixed-length files). *)
+
+val del : t -> string -> bool
+(** Delete by key. Recno files do not support deletion (fixed-length
+    records are overwritten, not removed); raises
+    [Invalid_argument]. *)
+
+val seq : t -> (string -> string -> bool) -> unit
+(** Sequential scan: key order for B-tree, record order for recno,
+    unspecified order for hash. Stops early on [false]. *)
+
+val count : t -> int

@@ -1,0 +1,28 @@
+type t = {
+  page_size : int;
+  get : int -> bytes;
+  put : int -> bytes -> unit;
+}
+
+let plain (vfs : Vfs.t) fd =
+  let ps = vfs.Vfs.block_size in
+  {
+    page_size = ps;
+    get =
+      (fun page ->
+        let b = Bytes.make ps '\000' in
+        let size = vfs.Vfs.size fd in
+        if page * ps < size then begin
+          let chunk = vfs.Vfs.read fd ~off:(page * ps) ~len:ps in
+          Bytes.blit chunk 0 b 0 (Bytes.length chunk)
+        end;
+        b);
+    put = (fun page data -> vfs.Vfs.write fd ~off:(page * ps) data);
+  }
+
+let wal env txn fd =
+  {
+    page_size = Libtp.page_size env;
+    get = (fun page -> Bytes.copy (Libtp.read_page env txn ~file:fd ~page));
+    put = (fun page data -> Libtp.write_page env txn ~file:fd ~page data);
+  }

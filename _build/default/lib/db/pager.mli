@@ -1,0 +1,28 @@
+(** The page-access interface the record library is written against.
+
+    The paper's central comparison runs the {e same} access methods on
+    three substrates; a [Pager.t] is that seam. {!plain} goes straight to
+    the file system (no transactions); {!wal} routes every page through
+    LIBTP's locks, log and buffer pool (the user-level system of
+    Section 3); the kernel pager for the embedded system lives in
+    [lib/core] next to the transaction manager it belongs to.
+
+    Contract: [get] returns bytes the caller must not mutate; changed
+    pages are produced fresh and handed to [put] whole (the WAL pager
+    diffs them to log only the changed range, Section 3's byte-range
+    logging). *)
+
+type t = {
+  page_size : int;
+  get : int -> bytes;
+  put : int -> bytes -> unit;
+}
+
+val plain : Vfs.t -> Vfs.fd -> t
+(** Direct, non-transactional paging (used to bulk-load databases and by
+    non-transactional applications). *)
+
+val wal : Libtp.t -> Libtp.txn -> Vfs.fd -> t
+(** User-level transactional paging: [get] takes a shared page lock,
+    [put] an exclusive one and logs before/after images. The pager is
+    bound to one transaction. *)

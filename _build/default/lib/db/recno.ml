@@ -1,0 +1,90 @@
+let magic = 0x52454331 (* "REC1" *)
+
+type t = {
+  clock : Clock.t;
+  stats : Stats.t;
+  cpu : Config.cpu;
+  pager : Pager.t;
+  rl : int;
+  mutable n : int;
+}
+
+let per_page t = t.pager.Pager.page_size / t.rl
+
+let write_meta t =
+  let b = Bytes.make t.pager.Pager.page_size '\000' in
+  Enc.set_u32 b 0 magic;
+  Enc.set_u32 b 4 t.rl;
+  Enc.set_u32 b 8 t.n;
+  t.pager.Pager.put 0 b
+
+let attach clock stats cpu (pager : Pager.t) ~reclen =
+  if reclen <= 0 || reclen > pager.Pager.page_size then
+    invalid_arg "Recno.attach: record length must fit in a page";
+  let meta = pager.Pager.get 0 in
+  if Enc.get_u32 meta 0 = magic then begin
+    let stored = Enc.get_u32 meta 4 in
+    if stored <> reclen then
+      invalid_arg
+        (Printf.sprintf "Recno.attach: record length %d, file has %d" reclen
+           stored);
+    { clock; stats; cpu; pager; rl = reclen; n = Enc.get_u32 meta 8 }
+  end
+  else begin
+    let t = { clock; stats; cpu; pager; rl = reclen; n = 0 } in
+    write_meta t;
+    t
+  end
+
+let reclen t = t.rl
+let count t = t.n
+
+let charge t kind = Cpu.charge t.clock t.stats t.cpu kind
+
+let location t recno =
+  let pp = per_page t in
+  (1 + (recno / pp), recno mod pp * t.rl)
+
+let check_size t data =
+  if Bytes.length data <> t.rl then
+    invalid_arg
+      (Printf.sprintf "Recno: record must be %d bytes, got %d" t.rl
+         (Bytes.length data))
+
+let set_at t recno data =
+  let page, off = location t recno in
+  let b = Bytes.copy (t.pager.Pager.get page) in
+  Bytes.blit data 0 b off t.rl;
+  t.pager.Pager.put page b
+
+let append t data =
+  charge t Cpu.Record_op;
+  check_size t data;
+  let recno = t.n in
+  set_at t recno data;
+  t.n <- recno + 1;
+  write_meta t;
+  recno
+
+let get t recno =
+  charge t Cpu.Record_op;
+  if recno < 0 || recno >= t.n then raise Not_found;
+  let page, off = location t recno in
+  Bytes.sub (t.pager.Pager.get page) off t.rl
+
+let set t recno data =
+  charge t Cpu.Record_op;
+  check_size t data;
+  if recno < 0 || recno >= t.n then raise Not_found;
+  set_at t recno data
+
+let iter t f =
+  let continue_ = ref true in
+  let recno = ref 0 in
+  while !continue_ && !recno < t.n do
+    charge t Cpu.Cursor_next;
+    let page, off = location t !recno in
+    let data = Bytes.sub (t.pager.Pager.get page) off t.rl in
+    continue_ := f !recno data;
+    incr recno
+  done

@@ -1,0 +1,1 @@
+lib/disk/sched.ml: Int List

@@ -1,0 +1,115 @@
+
+type t = {
+  data : bytes;
+  cfg : Config.disk;
+  clock : Clock.t;
+  stats : Stats.t;
+  mutable head : int;
+}
+
+let create clock stats (cfg : Config.disk) =
+  if cfg.nblocks <= 0 || cfg.block_size <= 0 then
+    invalid_arg "Disk.create: bad geometry";
+  {
+    data = Bytes.make (cfg.nblocks * cfg.block_size) '\000';
+    cfg;
+    clock;
+    stats;
+    head = 0;
+  }
+
+let nblocks t = t.cfg.nblocks
+let block_size t = t.cfg.block_size
+
+let check_range t blkno n =
+  if blkno < 0 || n < 0 || blkno + n > t.cfg.nblocks then
+    invalid_arg
+      (Printf.sprintf "Disk: blocks [%d..%d) out of range [0..%d)" blkno
+         (blkno + n) t.cfg.nblocks)
+
+let cylinder t blkno = blkno / t.cfg.blocks_per_cylinder
+
+let ncylinders t =
+  (t.cfg.nblocks + t.cfg.blocks_per_cylinder - 1) / t.cfg.blocks_per_cylinder
+
+let seek_time t ~from ~target =
+  let d = abs (cylinder t target - cylinder t from) in
+  if d = 0 then 0.0
+  else
+    let c = max 2 (ncylinders t) in
+    let frac = sqrt (float_of_int (d - 1)) /. sqrt (float_of_int (c - 1)) in
+    t.cfg.min_seek_s +. ((t.cfg.max_seek_s -. t.cfg.min_seek_s) *. frac)
+
+let rotation_time t = 0.5 *. (60.0 /. t.cfg.rpm)
+
+let transfer_time t nblocks =
+  float_of_int (nblocks * t.cfg.block_size) /. t.cfg.transfer_bytes_per_s
+
+let service_time t blkno ~nblocks =
+  let seek = seek_time t ~from:t.head ~target:blkno in
+  (* A request that continues exactly where the head stopped streams with
+     no positioning cost at all (the common case for log/segment writes). *)
+  let rotation = if seek = 0.0 && blkno = t.head then 0.0 else rotation_time t in
+  seek +. rotation +. transfer_time t nblocks
+
+let serve ?(queued = false) t blkno ~nblocks ~write =
+  check_range t blkno nblocks;
+  let seek = seek_time t ~from:t.head ~target:blkno in
+  let dt =
+    if queued then
+      (0.3 *. seek)
+      +. (0.75 *. rotation_time t)
+      +. transfer_time t nblocks
+    else service_time t blkno ~nblocks
+  in
+  Clock.advance t.clock dt;
+  Stats.add_time t.stats "disk.busy" dt;
+  Stats.add_time t.stats "disk.seek" (if queued then 0.3 *. seek else seek);
+  if seek > 0.0 then Stats.incr t.stats "disk.seeks";
+  Stats.incr t.stats "disk.requests";
+  Stats.add t.stats
+    (if write then "disk.blocks_written" else "disk.blocks_read")
+    nblocks;
+  t.head <- blkno + nblocks
+
+let read t blkno =
+  serve t blkno ~nblocks:1 ~write:false;
+  Bytes.sub t.data (blkno * t.cfg.block_size) t.cfg.block_size
+
+let read_run t blkno n =
+  serve t blkno ~nblocks:n ~write:false;
+  Bytes.sub t.data (blkno * t.cfg.block_size) (n * t.cfg.block_size)
+
+let write_blocks t blkno data =
+  let bs = t.cfg.block_size in
+  let len = Bytes.length data in
+  if len = 0 || len mod bs <> 0 then
+    invalid_arg "Disk.write: data must be a positive whole number of blocks";
+  let n = len / bs in
+  serve t blkno ~nblocks:n ~write:true;
+  Bytes.blit data 0 t.data (blkno * bs) len
+
+let write t blkno data =
+  if Bytes.length data <> t.cfg.block_size then
+    invalid_arg "Disk.write: data must be exactly one block";
+  write_blocks t blkno data
+
+let write_queued t blkno data =
+  if Bytes.length data <> t.cfg.block_size then
+    invalid_arg "Disk.write_queued: data must be exactly one block";
+  serve ~queued:true t blkno ~nblocks:1 ~write:true;
+  Bytes.blit data 0 t.data (blkno * t.cfg.block_size) (Bytes.length data)
+
+let write_run t blkno data = write_blocks t blkno data
+
+let head t = t.head
+
+let peek t blkno =
+  check_range t blkno 1;
+  Bytes.sub t.data (blkno * t.cfg.block_size) t.cfg.block_size
+
+let poke t blkno data =
+  check_range t blkno 1;
+  if Bytes.length data <> t.cfg.block_size then
+    invalid_arg "Disk.poke: data must be exactly one block";
+  Bytes.blit data 0 t.data (blkno * t.cfg.block_size) t.cfg.block_size

@@ -1,0 +1,69 @@
+(** Simulated block device.
+
+    The device is a byte-addressable image plus a service-time model with
+    a tracked head position: each request pays
+
+    - a seek, computed from the cylinder distance between the head and the
+      target with a square-root curve anchored at the configured
+      single-cylinder and full-stroke times;
+    - half a rotation of latency (the deterministic expectation);
+    - transfer time proportional to bytes moved.
+
+    Sequential multi-block transfers ({!read_run} / {!write_run}) pay the
+    positioning cost once and then stream at media rate — this asymmetry
+    between one large sequential I/O and many small random I/Os is the
+    entire physical basis of the paper's results (Section 2).
+
+    Reads and writes move real bytes: the image is the durable truth that
+    crash-recovery tests re-mount. *)
+
+type t
+
+val create : Clock.t -> Stats.t -> Config.disk -> t
+(** A zero-filled device with the head parked at block 0. [Clock] and
+    [Stats] may be shared with other components of the same machine. *)
+
+val nblocks : t -> int
+val block_size : t -> int
+
+val read : t -> int -> bytes
+(** [read t blkno] services a one-block read and returns a fresh copy of
+    the block's contents.
+    @raise Invalid_argument on an out-of-range block number. *)
+
+val write : t -> int -> bytes -> unit
+(** [write t blkno data] services a one-block write. [data] must be
+    exactly one block long. *)
+
+val read_run : t -> int -> int -> bytes
+(** [read_run t blkno n] reads [n] consecutive blocks as one sequential
+    request, returning their concatenation. *)
+
+val write_run : t -> int -> bytes -> unit
+(** [write_run t blkno data] writes [data] (a whole number of blocks) as
+    one sequential request starting at [blkno]. Used by the LFS segment
+    writer: one seek, one rotational delay, then pure streaming. *)
+
+val write_queued : t -> int -> bytes -> unit
+(** A delayed write issued from a sorted disk queue. Because the
+    scheduler orders these among the other traffic, positioning is much
+    cheaper than a cold random write: the seek is charged at a quarter
+    and the rotational delay at half. The resulting ~10 ms per 4 KB page
+    (≈ 40 % of media bandwidth) matches the sorted-write ceiling the
+    paper cites from the disk-scheduling study it references
+    (Section 2). Used by the read-optimized file system's syncer. *)
+
+val head : t -> int
+(** Current head position (block number), exposed for scheduler tests. *)
+
+val peek : t -> int -> bytes
+(** Read a block {e without} charging any service time or moving the
+    head. For consistency checkers and tests only. *)
+
+val poke : t -> int -> bytes -> unit
+(** Write a block without charging time. For test setup only. *)
+
+val service_time : t -> int -> nblocks:int -> float
+(** [service_time t blkno ~nblocks] is the time a sequential request of
+    [nblocks] starting at [blkno] would cost from the current head
+    position, without performing it. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Clock Config Expcommon Ktxn Lfs Libtp List Printf Rng Tpcb Workloads

@@ -1,0 +1,1 @@
+lib/experiments/expcommon.ml: Clock Config Disk Ffs Ktxn Lfs Libtp List Printf Rng Stats String Tpcb

@@ -1,0 +1,1 @@
+lib/experiments/expcommon.mli: Clock Config Disk Stats Tpcb

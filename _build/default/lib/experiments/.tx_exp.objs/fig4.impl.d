@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Config Expcommon List Printf Tpcb

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Clock Config Expcommon Lfs Libtp List Printf Rng Tpcb Workloads

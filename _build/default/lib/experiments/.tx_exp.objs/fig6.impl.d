@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Config Expcommon Ffs Lfs Libtp Printf Rng Tpcb Vfs Workloads

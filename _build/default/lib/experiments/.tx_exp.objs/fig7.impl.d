@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Expcommon Fig4 Fig6 List Printf

@@ -1,0 +1,87 @@
+type machine = {
+  cfg : Config.t;
+  clock : Clock.t;
+  stats : Stats.t;
+  disk : Disk.t;
+}
+
+let machine cfg =
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  { cfg; clock; stats; disk = Disk.create clock stats cfg.Config.disk }
+
+type setup = Readopt_user | Lfs_user | Lfs_kernel
+
+let setup_label = function
+  | Readopt_user -> "read-optimized / user-level"
+  | Lfs_user -> "LFS / user-level"
+  | Lfs_kernel -> "LFS / kernel (embedded)"
+
+type tpcb_run = {
+  setup : setup;
+  seed : int;
+  result : Tpcb.result;
+  cleaner_stall_s : float;
+  cleaner_max_stall_s : float;
+}
+
+let run_tpcb ?(pool_pages = 1024) ~config ~scale ~txns ~seed setup =
+  let m = machine config in
+  let rng = Rng.create ~seed in
+  let vfs, backend =
+    match setup with
+    | Readopt_user ->
+      let fs = Ffs.format m.disk m.clock m.stats m.cfg in
+      let v = Ffs.vfs fs in
+      let db = Tpcb.build m.clock m.stats m.cfg v ~rng ~scale in
+      ignore db;
+      let env =
+        Libtp.open_env m.clock m.stats m.cfg v ~pool_pages ~log_path:"/tpcb/log" ()
+      in
+      (v, Tpcb.User env)
+    | Lfs_user ->
+      let fs = Lfs.format m.disk m.clock m.stats m.cfg in
+      let v = Lfs.vfs fs in
+      let db = Tpcb.build m.clock m.stats m.cfg v ~rng ~scale in
+      ignore db;
+      let env =
+        Libtp.open_env m.clock m.stats m.cfg v ~pool_pages ~log_path:"/tpcb/log" ()
+      in
+      (v, Tpcb.User env)
+    | Lfs_kernel ->
+      let fs = Lfs.format m.disk m.clock m.stats m.cfg in
+      let v = Lfs.vfs fs in
+      let db = Tpcb.build m.clock m.stats m.cfg v ~rng ~scale in
+      ignore db;
+      let k = Ktxn.create fs in
+      Tpcb.protect_all db k;
+      (v, Tpcb.Kernel k)
+  in
+  let db = Tpcb.open_db vfs ~scale in
+  (* Measure the transaction phase only, like the paper. Cleaner stall
+     accounting is also restricted to the measured window. *)
+  let stall0 = Stats.time m.stats "cleaner.stall" in
+  let result = Tpcb.run m.clock m.stats m.cfg db backend ~rng ~n:txns in
+  {
+    setup;
+    seed;
+    result;
+    cleaner_stall_s = Stats.time m.stats "cleaner.stall" -. stall0;
+    cleaner_max_stall_s = Stats.time m.stats "cleaner.max_stall";
+  }
+
+let mean xs =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stdev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    sqrt (mean (List.map (fun x -> (x -. m) ** 2.0) xs))
+
+let pp_header title =
+  let line = String.make 72 '=' in
+  Printf.printf "\n%s\n%s\n%s\n" line title line

@@ -1,0 +1,46 @@
+(** Shared machinery for the paper-reproduction experiments: booting
+    machines, building TPC-B databases on either file system, running the
+    transaction phase under any of the three configurations, and small
+    statistics helpers. *)
+
+type machine = {
+  cfg : Config.t;
+  clock : Clock.t;
+  stats : Stats.t;
+  disk : Disk.t;
+}
+
+val machine : Config.t -> machine
+
+(** The three measured configurations of Figure 4. *)
+type setup =
+  | Readopt_user  (** user-level transactions on the read-optimized FS *)
+  | Lfs_user  (** user-level transactions on LFS *)
+  | Lfs_kernel  (** the embedded transaction manager in LFS *)
+
+val setup_label : setup -> string
+
+type tpcb_run = {
+  setup : setup;
+  seed : int;
+  result : Tpcb.result;
+  cleaner_stall_s : float;  (** total time the system stalled cleaning *)
+  cleaner_max_stall_s : float;
+}
+
+val run_tpcb :
+  ?pool_pages:int ->
+  config:Config.t ->
+  scale:Tpcb.scale ->
+  txns:int ->
+  seed:int ->
+  setup ->
+  tpcb_run
+(** Boot a fresh machine, build the database, run [txns] transactions,
+    and report throughput plus cleaner interference. *)
+
+val mean : float list -> float
+val stdev : float list -> float
+
+val pp_header : string -> unit
+(** Print a section banner for the experiment reports. *)

@@ -1,0 +1,74 @@
+type bar = {
+  setup : Expcommon.setup;
+  tps_mean : float;
+  tps_sd : float;
+  per_seed : float list;
+  cleaner_stall_mean_s : float;
+  paper_tps : float option;
+}
+
+type t = { bars : bar list; scale : Tpcb.scale; txns : int }
+
+let default_tps_scale = 4
+
+let paper_value = function
+  | Expcommon.Readopt_user -> Some 12.3
+  | Expcommon.Lfs_user -> Some 13.6
+  | Expcommon.Lfs_kernel -> None (* "comparable to user level" *)
+
+let run ?config ?(tps_scale = default_tps_scale) ?(txns = 20_000)
+    ?(seeds = [ 1; 2; 3 ]) () =
+  let config =
+    match config with
+    | Some c -> c
+    | None ->
+      Config.scaled ~factor:(float_of_int tps_scale /. 10.0) Config.default
+  in
+  let scale = Tpcb.scale_for_tps tps_scale in
+  let bar setup =
+    let runs =
+      List.map
+        (fun seed -> Expcommon.run_tpcb ~config ~scale ~txns ~seed setup)
+        seeds
+    in
+    let tps = List.map (fun r -> r.Expcommon.result.Tpcb.tps) runs in
+    {
+      setup;
+      tps_mean = Expcommon.mean tps;
+      tps_sd = Expcommon.stdev tps;
+      per_seed = tps;
+      cleaner_stall_mean_s =
+        Expcommon.mean (List.map (fun r -> r.Expcommon.cleaner_stall_s) runs);
+      paper_tps = paper_value setup;
+    }
+  in
+  {
+    bars =
+      List.map bar
+        [ Expcommon.Readopt_user; Expcommon.Lfs_user; Expcommon.Lfs_kernel ];
+    scale;
+    txns;
+  }
+
+let print t =
+  Expcommon.pp_header
+    (Printf.sprintf
+       "Figure 4: Transaction Performance Summary (TPC-B, %d accounts, %d txns)"
+       t.scale.Tpcb.accounts t.txns);
+  Printf.printf "%-30s %10s %8s %14s %10s\n" "configuration" "TPS" "sd"
+    "cleaner stall" "paper TPS";
+  List.iter
+    (fun b ->
+      Printf.printf "%-30s %10.2f %8.2f %13.1fs %10s\n"
+        (Expcommon.setup_label b.setup)
+        b.tps_mean b.tps_sd b.cleaner_stall_mean_s
+        (match b.paper_tps with Some v -> Printf.sprintf "%.1f" v | None -> "~user"))
+    t.bars;
+  match t.bars with
+  | [ ro; lu; lk ] ->
+    Printf.printf
+      "\nshape: LFS/user vs read-optimized: %+.1f%% (paper: +10.6%%); \
+       kernel vs user on LFS: %+.1f%% (paper: comparable, kernel >= user)\n"
+      (100.0 *. ((lu.tps_mean /. ro.tps_mean) -. 1.0))
+      (100.0 *. ((lk.tps_mean /. lu.tps_mean) -. 1.0))
+  | _ -> ()

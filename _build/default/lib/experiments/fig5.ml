@@ -1,0 +1,84 @@
+type row = {
+  benchmark : string;
+  normal_s : float;
+  txn_kernel_s : float;
+  delta_pct : float;
+}
+
+type t = { rows : row list }
+
+let elapsed_of phases = List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 phases
+
+(* All three benchmarks run on LFS (the modified operating system), with
+   and without the embedded transaction manager compiled in. *)
+let measure config bench =
+  let m = Expcommon.machine config in
+  let fs = Lfs.format m.Expcommon.disk m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg in
+  let v = Lfs.vfs fs in
+  bench m v
+
+let andrew_bench m v =
+  let t0 = Clock.now m.Expcommon.clock in
+  ignore
+    (Workloads.andrew m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg v
+       (Rng.create ~seed:5) Workloads.default_andrew);
+  Clock.now m.Expcommon.clock -. t0
+
+let bigfile_bench m v =
+  elapsed_of
+    (Workloads.bigfile m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg v
+       (Rng.create ~seed:5) Workloads.default_bigfile)
+
+let user_tp_bench tps_scale txns m v =
+  let scale = Tpcb.scale_for_tps tps_scale in
+  let rng = Rng.create ~seed:5 in
+  let db = Tpcb.build m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg v ~rng ~scale in
+  let env =
+    Libtp.open_env m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg v
+      ~pool_pages:1024 ~log_path:"/tpcb/log" ()
+  in
+  let r =
+    Tpcb.run m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg db
+      (Tpcb.User env) ~rng ~n:txns
+  in
+  r.Tpcb.elapsed_s
+
+let run ?config ?(tps_scale = 2) () =
+  let config =
+    match config with
+    | Some c -> c
+    | None ->
+      Config.scaled ~factor:(float_of_int tps_scale /. 10.0) Config.default
+  in
+  let with_kernel ktxn =
+    { config with Config.fs = { config.Config.fs with kernel_txn = ktxn } }
+  in
+  let row benchmark bench =
+    let normal_s = measure (with_kernel false) bench in
+    let txn_kernel_s = measure (with_kernel true) bench in
+    {
+      benchmark;
+      normal_s;
+      txn_kernel_s;
+      delta_pct = 100.0 *. ((txn_kernel_s /. normal_s) -. 1.0);
+    }
+  in
+  {
+    rows =
+      [
+        row "ANDREW" andrew_bench;
+        row "BIGFILE" bigfile_bench;
+        row "USER-TP" (user_tp_bench tps_scale 3_000);
+      ];
+  }
+
+let print t =
+  Expcommon.pp_header
+    "Figure 5: Non-transaction performance, normal vs transaction kernel";
+  Printf.printf "%-12s %14s %18s %10s %12s\n" "benchmark" "normal (s)"
+    "txn kernel (s)" "delta" "paper";
+  List.iter
+    (fun r ->
+      Printf.printf "%-12s %14.1f %18.1f %+9.2f%% %12s\n" r.benchmark
+        r.normal_s r.txn_kernel_s r.delta_pct "within 1-2%")
+    t.rows

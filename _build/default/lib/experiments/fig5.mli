@@ -1,0 +1,20 @@
+(** Figure 5 — Impact of Kernel Transaction Implementation on
+    Non-transaction Performance.
+
+    The Andrew-like benchmark, the Bigfile benchmark, and the user-level
+    transaction system itself are run on a kernel without the embedded
+    transaction manager and on one with it. None of them use the new
+    system calls, so the only cost is the per-buffer "is this file
+    protected?" check — the paper measures differences within 1–2 %. *)
+
+type row = {
+  benchmark : string;
+  normal_s : float;  (** elapsed on the unmodified kernel *)
+  txn_kernel_s : float;  (** elapsed with embedded transactions compiled in *)
+  delta_pct : float;
+}
+
+type t = { rows : row list }
+
+val run : ?config:Config.t -> ?tps_scale:int -> unit -> t
+val print : t -> unit

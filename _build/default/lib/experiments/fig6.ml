@@ -1,0 +1,72 @@
+type side = {
+  fs_name : string;
+  tps : float;
+  scan_s : float;
+  contiguity : float option;
+}
+
+type t = { readopt : side; lfs : side; txns : int }
+
+let run ?config ?(tps_scale = 4) ?(txns = 20_000) ?(seed = 1) () =
+  let config =
+    match config with
+    | Some c -> c
+    | None ->
+      Config.scaled ~factor:(float_of_int tps_scale /. 10.0) Config.default
+  in
+  let scale = Tpcb.scale_for_tps tps_scale in
+  let one which =
+    let m = Expcommon.machine config in
+    let rng = Rng.create ~seed in
+    let v, contiguity =
+      match which with
+      | `Readopt ->
+        let fs = Ffs.format m.Expcommon.disk m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg in
+        (Ffs.vfs fs, fun () -> Some (Ffs.contiguity fs "/tpcb/account"))
+      | `Lfs ->
+        let fs = Lfs.format m.Expcommon.disk m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg in
+        (Lfs.vfs fs, fun () -> None)
+    in
+    let db = Tpcb.build m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg v ~rng ~scale in
+    let env =
+      Libtp.open_env m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg v
+        ~pool_pages:1024 ~log_path:"/tpcb/log" ()
+    in
+    let r =
+      Tpcb.run m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg db
+        (Tpcb.User env) ~rng ~n:txns
+    in
+    (* Flush everything so the scan measures the on-disk layout, not the
+       caches' leftovers. *)
+    Libtp.checkpoint env;
+    v.Vfs.sync ();
+    let scan_s =
+      Workloads.scan m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg v db
+    in
+    {
+      fs_name = v.Vfs.name;
+      tps = r.Tpcb.tps;
+      scan_s;
+      contiguity = contiguity ();
+    }
+  in
+  { readopt = one `Readopt; lfs = one `Lfs; txns }
+
+let print t =
+  Expcommon.pp_header
+    (Printf.sprintf
+       "Figure 6: Sequential (key-order) read after %d random transactions"
+       t.txns);
+  let row s =
+    Printf.printf "%-16s scan %10.1fs   (preceding run: %.2f TPS)%s\n"
+      s.fs_name s.scan_s s.tps
+      (match s.contiguity with
+      | Some c -> Printf.sprintf "   layout contiguity %.2f" c
+      | None -> "")
+  in
+  row t.readopt;
+  row t.lfs;
+  Printf.printf
+    "\nshape: LFS scan / read-optimized scan = %.2fx (paper: ~1.5x — \
+     read-optimized 50%% faster)\n"
+    (t.lfs.scan_s /. t.readopt.scan_s)

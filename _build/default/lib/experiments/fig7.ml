@@ -1,0 +1,81 @@
+type t = {
+  readopt_tps : float;
+  lfs_tps : float;
+  readopt_scan_s : float;
+  lfs_scan_s : float;
+  crossover_txns : float option;
+  series : (int * float * float) list;
+}
+
+let derive ~readopt_tps ~lfs_tps ~readopt_scan_s ~lfs_scan_s =
+  let crossover =
+    let dslope = (1.0 /. readopt_tps) -. (1.0 /. lfs_tps) in
+    let dscan = lfs_scan_s -. readopt_scan_s in
+    if dslope > 0.0 && dscan > 0.0 then Some (dscan /. dslope) else None
+  in
+  let samples =
+    match crossover with
+    | Some c ->
+      List.map (fun f -> int_of_float (f *. c)) [ 0.0; 0.5; 1.0; 1.5; 2.0 ]
+    | None -> [ 0; 50_000; 100_000; 150_000; 200_000 ]
+  in
+  {
+    readopt_tps;
+    lfs_tps;
+    readopt_scan_s;
+    lfs_scan_s;
+    crossover_txns = crossover;
+    series =
+      List.map
+        (fun n ->
+          let fn = float_of_int n in
+          ( n,
+            (fn /. readopt_tps) +. readopt_scan_s,
+            (fn /. lfs_tps) +. lfs_scan_s ))
+        samples;
+  }
+
+let of_measurements ~(fig4 : Fig4.t) ~(fig6 : Fig6.t) =
+  let tps setup =
+    match
+      List.find_opt (fun b -> b.Fig4.setup = setup) fig4.Fig4.bars
+    with
+    | Some b -> b.Fig4.tps_mean
+    | None -> invalid_arg "Fig7: missing Figure 4 bar"
+  in
+  derive
+    ~readopt_tps:(tps Expcommon.Readopt_user)
+    ~lfs_tps:(tps Expcommon.Lfs_user)
+    ~readopt_scan_s:fig6.Fig6.readopt.Fig6.scan_s
+    ~lfs_scan_s:fig6.Fig6.lfs.Fig6.scan_s
+
+let run ?config ?tps_scale ?txns ?seeds () =
+  let fig4 = Fig4.run ?config ?tps_scale ?txns ?seeds () in
+  let fig6 = Fig6.run ?config ?tps_scale ?txns () in
+  of_measurements ~fig4 ~fig6
+
+let print t =
+  Expcommon.pp_header
+    "Figure 7: Total elapsed time (transactions + one scan) vs transactions";
+  Printf.printf
+    "inputs: read-optimized %.2f TPS / scan %.0fs; LFS %.2f TPS / scan %.0fs\n\n"
+    t.readopt_tps t.readopt_scan_s t.lfs_tps t.lfs_scan_s;
+  Printf.printf "%12s %22s %16s %10s\n" "transactions" "read-optimized (s)"
+    "LFS (s)" "winner";
+  List.iter
+    (fun (n, ro, lfs) ->
+      Printf.printf "%12d %22.0f %16.0f %10s\n" n ro lfs
+        (if lfs < ro then "LFS" else "read-opt"))
+    t.series;
+  (match t.crossover_txns with
+  | Some c ->
+    Printf.printf
+      "\ncrossover: %.0f transactions per scan (%.1f hours at %.1f TPS)\n" c
+      (c /. t.lfs_tps /. 3600.0)
+      t.lfs_tps;
+    Printf.printf
+      "paper: 134,300 transactions (~2h40m at 13.6 TPS), at 10x this \
+       database scale and a 100,000-transaction scan-aging run\n"
+  | None ->
+    print_endline
+      "\nno crossover: one system dominates both workloads at this scale")

@@ -1,0 +1,52 @@
+(** The read-optimized, update-in-place file system — the paper's baseline
+    (Sprite's conventional FFS-derived file system).
+
+    Blocks are assigned {e permanent} disk addresses when first allocated;
+    rewriting a block overwrites the same address. The allocator chases
+    contiguity (next-fit from the file's previous block), so sequentially
+    written files stay sequential on disk and later random updates do not
+    move them — which is exactly why this system wins the SCAN benchmark
+    of Section 5.3 and pays seeks during transaction processing.
+
+    Dirty pages are delayed writes: a 30-second syncer flushes them,
+    elevator-sorted into the disk queue (Section 5.1). [fsync] forces one
+    file synchronously. There is no crash-consistency machinery beyond
+    {!fsck}, mirroring the original. *)
+
+type t
+
+exception Crashed
+
+val format : Disk.t -> Clock.t -> Stats.t -> Config.t -> t
+val mount : Disk.t -> Clock.t -> Stats.t -> Config.t -> t
+val unmount : t -> unit
+
+val crash : t -> unit
+(** Discard all volatile state; the disk image keeps only what was
+    physically written. *)
+
+val vfs : t -> Vfs.t
+
+val config : t -> Config.t
+val clock : t -> Clock.t
+val stats : t -> Stats.t
+val cache : t -> Cache.t
+val free_blocks : t -> int
+val inum_of : t -> string -> int
+val sync : t -> unit
+
+type fsck_report = {
+  scanned_inodes : int;
+  leaked_blocks : int;  (** marked used but referenced by no inode *)
+  cross_allocated : int;  (** referenced by more than one inode *)
+  fixed : bool;  (** whether the bitmap was rewritten *)
+}
+
+val fsck : t -> fsck_report
+(** Rebuild the allocation bitmap from the inodes, reporting (and fixing)
+    leaks from an unclean shutdown. *)
+
+val contiguity : t -> string -> float
+(** Fraction of a file's adjacent logical blocks that are also adjacent
+    on disk — 1.0 for a perfectly laid-out file. Used by the SCAN
+    experiment to show the two systems' layouts diverging. *)

@@ -1,0 +1,1 @@
+lib/lfs/lfs.ml: Array Bytes Cache Clock Config Cpu Disk Enc Fun Hashtbl Inode Int Int64 Layout List Namespace Option Policy Printf Set Stats Vfs

@@ -1,0 +1,1 @@
+lib/lfs/lfs.mli: Cache Clock Config Disk Stats Vfs

@@ -1,0 +1,1 @@
+lib/lfs/policy.ml: Float Option

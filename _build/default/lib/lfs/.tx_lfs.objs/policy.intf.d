@@ -1,0 +1,1 @@
+lib/lfs/policy.mli:

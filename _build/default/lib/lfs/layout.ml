@@ -1,0 +1,224 @@
+
+let superblock_blkno = 0
+let checkpoint_blknos = (1, 2)
+let data_start = 3
+let inode_size = 256
+
+let sb_magic = 0x4c46_5353 (* "LFSS" *)
+let sum_magic = 0x4c46_5355 (* "LFSU" *)
+let cp_magic = 0x4c46_5343 (* "LFSC" *)
+
+let checksum b =
+  let acc = ref 0 in
+  for i = 0 to Bytes.length b - 1 do
+    acc := (!acc + (Char.code (Bytes.unsafe_get b i) * (1 + (i land 0xff)))) land 0x3fffffff
+  done;
+  !acc
+
+(* Checksums live in bytes [4..8) of each structure, just after the magic.
+   They are computed with that field zeroed. *)
+let seal b =
+  Enc.set_u32 b 4 0;
+  Enc.set_u32 b 4 (checksum b)
+
+let check_seal b =
+  let stored = Enc.get_u32 b 4 in
+  Enc.set_u32 b 4 0;
+  let ok = checksum b = stored in
+  Enc.set_u32 b 4 stored;
+  ok
+
+(* Superblock *)
+
+type superblock = {
+  block_size : int;
+  nblocks : int;
+  segment_blocks : int;
+  nsegments : int;
+  max_inodes : int;
+}
+
+let nsegments_of ~block_size:_ ~nblocks ~segment_blocks =
+  (nblocks - data_start) / segment_blocks
+
+let segment_base sb i = data_start + (i * sb.segment_blocks)
+
+let write_superblock b sb =
+  Bytes.fill b 0 (Bytes.length b) '\000';
+  Enc.set_u32 b 0 sb_magic;
+  Enc.set_u32 b 8 sb.block_size;
+  Enc.set_u32 b 12 sb.nblocks;
+  Enc.set_u32 b 16 sb.segment_blocks;
+  Enc.set_u32 b 20 sb.nsegments;
+  Enc.set_u32 b 24 sb.max_inodes;
+  seal b
+
+let read_superblock b =
+  if Enc.get_u32 b 0 <> sb_magic || not (check_seal b) then
+    Vfs.error Invalid "LFS superblock: bad magic or checksum";
+  {
+    block_size = Enc.get_u32 b 8;
+    nblocks = Enc.get_u32 b 12;
+    segment_blocks = Enc.get_u32 b 16;
+    nsegments = Enc.get_u32 b 20;
+    max_inodes = Enc.get_u32 b 24;
+  }
+
+(* Segment summary *)
+
+type summary_entry =
+  | Data of { inum : int; lblock : int }
+  | Inode_block of { inums : int list }
+  | Indirect of { inum : int; index : int }
+  | Double_indirect of { inum : int }
+  | Imap_block of { index : int }
+  | Usage_block of { index : int }
+
+type summary = {
+  seq : int64;
+  timestamp : float;
+  next_seg : int;
+  entries : summary_entry list;
+}
+
+let sum_header = 40
+
+(* Fixed 9-byte entries; Inode_block stores its inums in a side table after
+   the entries, referenced by (offset, count). *)
+let entry_bytes = 9
+
+let max_summary_entries ~block_size =
+  (* Reserve a quarter of the block for inode-number side tables. *)
+  (block_size - sum_header) * 3 / 4 / entry_bytes
+
+let write_summary b s =
+  Bytes.fill b 0 (Bytes.length b) '\000';
+  let n = List.length s.entries in
+  Enc.set_u32 b 0 sum_magic;
+  Enc.set_i64 b 8 s.seq;
+  Enc.set_f64 b 16 s.timestamp;
+  Enc.set_u32 b 24 s.next_seg;
+  Enc.set_u16 b 28 n;
+  let side = ref (sum_header + (n * entry_bytes)) in
+  List.iteri
+    (fun i e ->
+      let off = sum_header + (i * entry_bytes) in
+      match e with
+      | Data { inum; lblock } ->
+        Enc.set_u8 b off 0;
+        Enc.set_u32 b (off + 1) inum;
+        Enc.set_u32 b (off + 5) lblock
+      | Inode_block { inums } ->
+        Enc.set_u8 b off 1;
+        Enc.set_u32 b (off + 1) !side;
+        Enc.set_u32 b (off + 5) (List.length inums);
+        List.iter
+          (fun inum ->
+            Enc.set_u32 b !side inum;
+            side := !side + 4)
+          inums
+      | Indirect { inum; index } ->
+        Enc.set_u8 b off 2;
+        Enc.set_u32 b (off + 1) inum;
+        Enc.set_u32 b (off + 5) index
+      | Double_indirect { inum } ->
+        Enc.set_u8 b off 3;
+        Enc.set_u32 b (off + 1) inum;
+        Enc.set_u32 b (off + 5) 0
+      | Imap_block { index } ->
+        Enc.set_u8 b off 4;
+        Enc.set_u32 b (off + 1) index;
+        Enc.set_u32 b (off + 5) 0
+      | Usage_block { index } ->
+        Enc.set_u8 b off 5;
+        Enc.set_u32 b (off + 1) index;
+        Enc.set_u32 b (off + 5) 0)
+    s.entries;
+  seal b
+
+let read_summary b =
+  if Enc.get_u32 b 0 <> sum_magic || not (check_seal b) then None
+  else
+    let n = Enc.get_u16 b 28 in
+    let entry i =
+      let off = sum_header + (i * entry_bytes) in
+      let a = Enc.get_u32 b (off + 1) and c = Enc.get_u32 b (off + 5) in
+      match Enc.get_u8 b off with
+      | 0 -> Data { inum = a; lblock = c }
+      | 1 ->
+        let inums = List.init c (fun j -> Enc.get_u32 b (a + (4 * j))) in
+        Inode_block { inums }
+      | 2 -> Indirect { inum = a; index = c }
+      | 3 -> Double_indirect { inum = a }
+      | 4 -> Imap_block { index = a }
+      | 5 -> Usage_block { index = a }
+      | k -> Vfs.error Invalid "LFS summary: bad entry kind %d" k
+    in
+    Some
+      {
+        seq = Enc.get_i64 b 8;
+        timestamp = Enc.get_f64 b 16;
+        next_seg = Enc.get_u32 b 24;
+        entries = List.init n entry;
+      }
+
+(* Checkpoint *)
+
+type checkpoint = {
+  cp_seq : int64;
+  cp_timestamp : float;
+  cur_seg : int;
+  cur_off : int;
+  cp_next_seg : int;
+  next_inum : int;
+  write_seq : int64;
+  imap_addrs : int array;
+  usage_addrs : int array;
+}
+
+let write_checkpoint b cp =
+  Bytes.fill b 0 (Bytes.length b) '\000';
+  Enc.set_u32 b 0 cp_magic;
+  Enc.set_i64 b 8 cp.cp_seq;
+  Enc.set_f64 b 16 cp.cp_timestamp;
+  Enc.set_u32 b 24 cp.cur_seg;
+  Enc.set_u32 b 28 cp.cur_off;
+  Enc.set_u32 b 32 cp.cp_next_seg;
+  Enc.set_u32 b 36 cp.next_inum;
+  Enc.set_i64 b 40 cp.write_seq;
+  Enc.set_u16 b 48 (Array.length cp.imap_addrs);
+  Enc.set_u16 b 50 (Array.length cp.usage_addrs);
+  let off = ref 52 in
+  Array.iter
+    (fun a ->
+      Enc.set_u32 b !off a;
+      off := !off + 4)
+    cp.imap_addrs;
+  Array.iter
+    (fun a ->
+      Enc.set_u32 b !off a;
+      off := !off + 4)
+    cp.usage_addrs;
+  seal b
+
+let read_checkpoint b =
+  if Enc.get_u32 b 0 <> cp_magic || not (check_seal b) then None
+  else
+    let n_imap = Enc.get_u16 b 48 and n_usage = Enc.get_u16 b 50 in
+    let imap_addrs = Array.init n_imap (fun i -> Enc.get_u32 b (52 + (4 * i))) in
+    let base = 52 + (4 * n_imap) in
+    let usage_addrs =
+      Array.init n_usage (fun i -> Enc.get_u32 b (base + (4 * i)))
+    in
+    Some
+      {
+        cp_seq = Enc.get_i64 b 8;
+        cp_timestamp = Enc.get_f64 b 16;
+        cur_seg = Enc.get_u32 b 24;
+        cur_off = Enc.get_u32 b 28;
+        cp_next_seg = Enc.get_u32 b 32;
+        next_inum = Enc.get_u32 b 36;
+        write_seq = Enc.get_i64 b 40;
+        imap_addrs;
+        usage_addrs;
+      }

@@ -1,0 +1,85 @@
+(** On-disk layout of the log-structured file system.
+
+    Block 0 is the superblock; blocks 1 and 2 are the two alternating
+    checkpoint regions; the rest of the device is divided into fixed-size
+    segments. Inside a segment, every partial write ("partial segment")
+    starts with a summary block describing the blocks that follow — the
+    summary is what lets the cleaner decide liveness and what recovery
+    rolls forward over.
+
+    All structures carry a magic number and an additive checksum so that a
+    torn or stale block is detected rather than trusted. *)
+
+val superblock_blkno : int
+val checkpoint_blknos : int * int
+val data_start : int
+(** First block of segment 0. *)
+
+val inode_size : int
+(** Bytes per packed on-disk inode (256; 16 inodes per 4 KB block). *)
+
+val checksum : bytes -> int
+(** Additive 32-bit checksum of a buffer with its checksum field zeroed
+    (the caller zeroes it before calling). *)
+
+(** {1 Superblock} *)
+
+type superblock = {
+  block_size : int;
+  nblocks : int;
+  segment_blocks : int;
+  nsegments : int;
+  max_inodes : int;
+}
+
+val write_superblock : bytes -> superblock -> unit
+val read_superblock : bytes -> superblock
+(** @raise Vfs.Error [Invalid] on bad magic or checksum. *)
+
+val nsegments_of : block_size:int -> nblocks:int -> segment_blocks:int -> int
+val segment_base : superblock -> int -> int
+(** First block number of segment [i]. *)
+
+(** {1 Segment summary} *)
+
+(** What a block inside a partial segment is. The cleaner uses this
+    (together with the inode map and inodes) to decide liveness; recovery
+    uses it to roll the in-memory state forward. *)
+type summary_entry =
+  | Data of { inum : int; lblock : int }
+  | Inode_block of { inums : int list }  (** packed inodes, in slot order *)
+  | Indirect of { inum : int; index : int }
+      (** [index]-th single-indirect block of the file *)
+  | Double_indirect of { inum : int }
+  | Imap_block of { index : int }  (** chunk [index] of the inode map *)
+  | Usage_block of { index : int }  (** chunk of the segment usage table *)
+
+type summary = {
+  seq : int64;  (** monotone partial-segment sequence number *)
+  timestamp : float;
+  next_seg : int;  (** where the log continues after this segment *)
+  entries : summary_entry list;  (** one per following block, in order *)
+}
+
+val write_summary : bytes -> summary -> unit
+val read_summary : bytes -> summary option
+(** [None] if the block is not a valid summary (bad magic or checksum). *)
+
+val max_summary_entries : block_size:int -> int
+
+(** {1 Checkpoint region} *)
+
+type checkpoint = {
+  cp_seq : int64;
+  cp_timestamp : float;
+  cur_seg : int;
+  cur_off : int;  (** next free block within [cur_seg] *)
+  cp_next_seg : int;
+  next_inum : int;
+  write_seq : int64;  (** seq of the next partial segment to be written *)
+  imap_addrs : int array;  (** disk address of each imap chunk *)
+  usage_addrs : int array;
+}
+
+val write_checkpoint : bytes -> checkpoint -> unit
+val read_checkpoint : bytes -> checkpoint option

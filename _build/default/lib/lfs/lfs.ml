@@ -1,0 +1,1581 @@
+
+exception Crashed
+
+type seg_state = Free | Current | Dirty | Pending
+
+type usage_entry = {
+  mutable live : int;
+  mutable mtime : float;
+  mutable state : seg_state;
+}
+
+type t = {
+  disk : Disk.t;
+  clock : Clock.t;
+  stats : Stats.t;
+  cfg : Config.t;
+  sb : Layout.superblock;
+  cache : Cache.t;
+  inodes : (int, Inode.t) Hashtbl.t;
+  imap_addr : int array; (* inum -> disk address of its inode block; 0 = none *)
+  imap_slot : int array;
+  imap_alloc : bool array;
+  imap_dirty : bool array; (* per imap chunk *)
+  imap_chunk_addr : int array;
+  usage_chunk_addr : int array;
+  inode_block_refs : (int, int) Hashtbl.t; (* inode-block addr -> #inodes *)
+  usage : usage_entry array;
+  mutable next_inum : int;
+  mutable free_inums : int list;
+  mutable cur_seg : int;
+  mutable cur_off : int;
+  mutable next_seg : int;
+  mutable write_seq : int64;
+  mutable cp_seq : int64;
+  mutable segs_since_cp : int;
+  mutable last_syncer : float;
+  mutable in_maintenance : bool;
+  mutable pending_cp : bool;
+  mutable crashed : bool;
+  mutable snaps : snapshot list;
+  mutable next_snap : int;
+}
+
+and snapshot = {
+  snap_id : int;
+  snap_cp : Layout.checkpoint;
+  snap_segments : bool array; (* segments frozen by this snapshot *)
+  mutable snap_live : bool;
+}
+
+let max_inodes = 32_768
+let root_inum_init = 1
+
+(* Chunk geometry *)
+let imap_entry_bytes = 8
+let usage_entry_bytes = 12
+let imap_per_chunk t = t.sb.Layout.block_size / imap_entry_bytes
+let usage_per_chunk t = t.sb.Layout.block_size / usage_entry_bytes
+
+let n_imap_chunks t =
+  (max_inodes + imap_per_chunk t - 1) / imap_per_chunk t
+
+let n_usage_chunks t =
+  (t.sb.Layout.nsegments + usage_per_chunk t - 1) / usage_per_chunk t
+
+let block_size t = t.sb.Layout.block_size
+let seg_base t i = Layout.segment_base t.sb i
+let seg_of_addr t addr = (addr - Layout.data_start) / t.cfg.fs.segment_blocks
+let nsegments t = t.sb.Layout.nsegments
+let rec free_segments t =
+  let n = ref 0 in
+  Array.iteri
+    (fun i u -> if u.state = Free && not (pinned t i) then incr n)
+    t.usage;
+  !n
+
+and pinned t i =
+  List.exists (fun s -> s.snap_live && s.snap_segments.(i)) t.snaps
+
+let live_blocks t i = t.usage.(i).live
+let config t = t.cfg
+let clock t = t.clock
+let stats t = t.stats
+let cache t = t.cache
+
+let check_alive t = if t.crashed then raise Crashed
+
+let dec_usage t addr =
+  if addr >= Layout.data_start then begin
+    let u = t.usage.(seg_of_addr t addr) in
+    if u.live <= 0 then
+      invalid_arg (Printf.sprintf "LFS: live count underflow at block %d" addr);
+    u.live <- u.live - 1
+  end
+
+let inc_usage t seg n =
+  let u = t.usage.(seg) in
+  u.live <- u.live + n;
+  u.mtime <- Clock.now t.clock
+
+let dec_inode_block_ref t addr =
+  if addr <> 0 then
+    match Hashtbl.find_opt t.inode_block_refs addr with
+    | None -> invalid_arg "LFS: inode block refcount missing"
+    | Some 1 ->
+      Hashtbl.remove t.inode_block_refs addr;
+      dec_usage t addr
+    | Some n -> Hashtbl.replace t.inode_block_refs addr (n - 1)
+
+(* Inode cache *)
+
+let iget_opt t inum =
+  if inum <= 0 || inum >= max_inodes || not t.imap_alloc.(inum) then None
+  else
+    match Hashtbl.find_opt t.inodes inum with
+    | Some ino -> Some ino
+    | None ->
+      let addr = t.imap_addr.(inum) in
+      if addr = 0 then None (* allocated but never written: lost *)
+      else begin
+        let block = Disk.read t.disk addr in
+        match Inode.decode block (t.imap_slot.(inum) * Layout.inode_size) with
+        | None -> None
+        | Some ino ->
+          let bs = block_size t in
+          let nind = Inode.indirect_count ino ~block_size:bs in
+          if nind > 1 && ino.Inode.dbl_addr <> 0 then
+            Inode.decode_double ino ~block_size:bs
+              (Disk.read t.disk ino.Inode.dbl_addr);
+          for idx = 0 to nind - 1 do
+            let a =
+              if idx < Array.length ino.Inode.ind_addrs then
+                ino.Inode.ind_addrs.(idx)
+              else 0
+            in
+            if a <> 0 then
+              Inode.decode_indirect ino ~block_size:bs idx (Disk.read t.disk a)
+          done;
+          Hashtbl.replace t.inodes inum ino;
+          Some ino
+      end
+
+let iget t inum =
+  match iget_opt t inum with
+  | Some ino -> ino
+  | None -> Vfs.error Not_found "inode %d" inum
+
+(* Segment writing ------------------------------------------------------- *)
+
+type ditem = {
+  d_inum : int;
+  d_lblock : int;
+  d_src : [ `Frame of Cache.frame | `Raw of bytes ];
+}
+
+type inode_plan = {
+  pi_inode : Inode.t;
+  mutable pi_ditems : ditem list;
+  mutable pi_ind : int list; (* indirect indexes to write, sorted *)
+  mutable pi_dbl : bool;
+}
+
+let imap_chunk_of t inum = inum / imap_per_chunk t
+let mark_imap_dirty t inum = t.imap_dirty.(imap_chunk_of t inum) <- true
+
+(* Exact block count and per-inode metadata plan for one partial segment. *)
+let plan t ~ditems ~inodes =
+  let bs = block_size t in
+  let per = Hashtbl.create 8 in
+  let get_plan ino =
+    match Hashtbl.find_opt per ino.Inode.inum with
+    | Some p -> p
+    | None ->
+      let p = { pi_inode = ino; pi_ditems = []; pi_ind = []; pi_dbl = false } in
+      Hashtbl.add per ino.Inode.inum p;
+      p
+  in
+  List.iter
+    (fun d ->
+      let p = get_plan (iget t d.d_inum) in
+      p.pi_ditems <- d :: p.pi_ditems)
+    ditems;
+  List.iter (fun ino -> ignore (get_plan ino)) inodes;
+  (* Fill in metadata needs per inode. *)
+  let plans =
+    Hashtbl.fold (fun _ p acc -> p :: acc) per []
+    |> List.sort (fun a b -> Int.compare a.pi_inode.Inode.inum b.pi_inode.Inode.inum)
+  in
+  List.iter
+    (fun p ->
+      let ino = p.pi_inode in
+      let nmap' =
+        List.fold_left
+          (fun m d -> max m (d.d_lblock + 1))
+          (Inode.nblocks ino) p.pi_ditems
+      in
+      let module IS = Set.Make (Int) in
+      let ind =
+        List.fold_left
+          (fun s d ->
+            if d.d_lblock >= Inode.ndirect then
+              IS.add ((d.d_lblock - Inode.ndirect) / Inode.per_indirect ~block_size:bs) s
+            else s)
+          IS.empty p.pi_ditems
+      in
+      let ind =
+        Hashtbl.fold (fun idx () s -> IS.add idx s) ino.Inode.dirty_ind ind
+      in
+      let nind =
+        if nmap' <= Inode.ndirect then 0
+        else
+          (nmap' - Inode.ndirect + Inode.per_indirect ~block_size:bs - 1)
+          / Inode.per_indirect ~block_size:bs
+      in
+      p.pi_ind <- IS.elements ind;
+      p.pi_dbl <-
+        nind > 1 && (ino.Inode.dbl_dirty || IS.exists (fun i -> i >= 1) ind))
+    plans;
+  let n_data = List.length ditems in
+  let n_ind = List.fold_left (fun n p -> n + List.length p.pi_ind) 0 plans in
+  let n_dbl = List.fold_left (fun n p -> n + if p.pi_dbl then 1 else 0) 0 plans in
+  let ipb = bs / Layout.inode_size in
+  let n_inode_blocks = (List.length plans + ipb - 1) / ipb in
+  (plans, n_data + n_ind + n_dbl + n_inode_blocks)
+
+let pop_free t =
+  let rec find i =
+    if i >= nsegments t then Vfs.error No_space "LFS: out of clean segments"
+    else if t.usage.(i).state = Free && not (pinned t i) then i
+    else find (i + 1)
+  in
+  let s = find 0 in
+  t.usage.(s).state <- Current;
+  s
+
+let close_segment t =
+  let u = t.usage.(t.cur_seg) in
+  u.state <- Dirty;
+  t.cur_seg <- t.next_seg;
+  t.cur_off <- 0;
+  t.next_seg <- pop_free t;
+  t.segs_since_cp <- t.segs_since_cp + 1;
+  if t.segs_since_cp >= t.cfg.fs.checkpoint_segments then t.pending_cp <- true;
+  Stats.incr t.stats "lfs.segments_closed"
+
+(* Write one partial segment containing [ditems] data blocks, the dirty
+   metadata of every involved inode, plus the listed imap/usage chunks.
+   The caller guarantees the partial fits in a segment.
+
+   With [defer_meta] the partial carries only the data blocks and their
+   summary — no inodes or indirect blocks. That is how real LFS commits:
+   recovery re-derives the block locations from the summary entries, and
+   the (still-dirty) in-memory metadata reaches the log with the next
+   syncer flush or checkpoint. *)
+let write_partial ?(defer_meta = false) t ~ditems ~inodes ~imap_chunks
+    ~usage_chunks =
+  let bs = block_size t in
+  let plans, n_meta =
+    if defer_meta then ([], List.length ditems) else plan t ~ditems ~inodes
+  in
+  let n_chunks = List.length imap_chunks + List.length usage_chunks in
+  let total = 1 + n_meta + n_chunks in
+  if total > t.cfg.fs.segment_blocks then
+    invalid_arg "LFS.write_partial: partial larger than a segment";
+  if total > t.cfg.fs.segment_blocks - t.cur_off then close_segment t;
+  let base = seg_base t t.cur_seg + t.cur_off in
+  (* Position cursor: summary occupies [base]; blocks follow. *)
+  let pos = ref (base + 1) in
+  let entries = ref [] in
+  let fills = ref [] in
+  (* [assign entry fill] gives the next block address to a block whose
+     bytes are produced by [fill] (thunked: metadata is encoded only after
+     every address assignment is done). *)
+  let assign entry fill =
+    let addr = !pos in
+    incr pos;
+    entries := entry :: !entries;
+    fills := fill :: !fills;
+    inc_usage t t.cur_seg 1;
+    addr
+  in
+  (* 1. Data blocks. *)
+  let all_ditems =
+    if defer_meta then ditems
+    else List.concat_map (fun p -> List.rev p.pi_ditems) plans
+  in
+  List.iter
+    (fun d ->
+      let ino = iget t d.d_inum in
+      let old = Inode.get_addr ino d.d_lblock in
+      let addr =
+        assign
+          (Layout.Data { inum = d.d_inum; lblock = d.d_lblock })
+          (fun () ->
+            match d.d_src with
+            | `Frame f -> f.Cache.data
+            | `Raw b -> b)
+      in
+      dec_usage t old;
+      Inode.set_addr ino ~block_size:bs d.d_lblock addr)
+    all_ditems;
+  (* 2. Indirect blocks. *)
+  List.iter
+    (fun p ->
+      let ino = p.pi_inode in
+      List.iter
+        (fun idx ->
+          let old =
+            if idx < Array.length ino.Inode.ind_addrs then
+              ino.Inode.ind_addrs.(idx)
+            else 0
+          in
+          let addr =
+            assign
+              (Layout.Indirect { inum = ino.Inode.inum; index = idx })
+              (fun () -> Inode.encode_indirect ino ~block_size:bs idx)
+          in
+          dec_usage t old;
+          if idx >= Array.length ino.Inode.ind_addrs then begin
+            let a = Array.make (idx + 1) 0 in
+            Array.blit ino.Inode.ind_addrs 0 a 0 (Array.length ino.Inode.ind_addrs);
+            ino.Inode.ind_addrs <- a
+          end;
+          ino.Inode.ind_addrs.(idx) <- addr)
+        p.pi_ind)
+    plans;
+  (* 3. Double-indirect blocks. *)
+  List.iter
+    (fun p ->
+      if p.pi_dbl then begin
+        let ino = p.pi_inode in
+        let old = ino.Inode.dbl_addr in
+        let addr =
+          assign
+            (Layout.Double_indirect { inum = ino.Inode.inum })
+            (fun () -> Inode.encode_double ino ~block_size:bs)
+        in
+        dec_usage t old;
+        ino.Inode.dbl_addr <- addr
+      end)
+    plans;
+  (* 4. Inode blocks (packed). *)
+  let ipb = bs / Layout.inode_size in
+  let rec pack = function
+    | [] -> ()
+    | group_src ->
+      let group, rest =
+        let rec take n = function
+          | x :: xs when n > 0 ->
+            let g, r = take (n - 1) xs in
+            (x :: g, r)
+          | l -> ([], l)
+        in
+        take ipb group_src
+      in
+      let inums = List.map (fun p -> p.pi_inode.Inode.inum) group in
+      let addr =
+        assign
+          (Layout.Inode_block { inums })
+          (fun () ->
+            let b = Bytes.make bs '\000' in
+            List.iteri
+              (fun slot p ->
+                Bytes.blit (Inode.encode p.pi_inode) 0 b
+                  (slot * Layout.inode_size) Layout.inode_size)
+              group;
+            b)
+      in
+      Hashtbl.replace t.inode_block_refs addr (List.length group);
+      List.iteri
+        (fun slot p ->
+          let inum = p.pi_inode.Inode.inum in
+          dec_inode_block_ref t t.imap_addr.(inum);
+          t.imap_addr.(inum) <- addr;
+          t.imap_slot.(inum) <- slot;
+          mark_imap_dirty t inum)
+        group;
+      pack rest
+  in
+  pack plans;
+  (* 5. Inode-map and usage-table chunks (checkpoint partials only). *)
+  List.iter
+    (fun idx ->
+      let old = t.imap_chunk_addr.(idx) in
+      let addr =
+        assign
+          (Layout.Imap_block { index = idx })
+          (fun () ->
+            let b = Bytes.make bs '\000' in
+            let lo = idx * imap_per_chunk t in
+            for i = 0 to imap_per_chunk t - 1 do
+              let inum = lo + i in
+              if inum < max_inodes then begin
+                Enc.set_u32 b (i * imap_entry_bytes) t.imap_addr.(inum);
+                Enc.set_u8 b ((i * imap_entry_bytes) + 4) t.imap_slot.(inum);
+                Enc.set_u8 b
+                  ((i * imap_entry_bytes) + 5)
+                  (if t.imap_alloc.(inum) then 1 else 0)
+              end
+            done;
+            b)
+      in
+      dec_usage t old;
+      t.imap_chunk_addr.(idx) <- addr)
+    imap_chunks;
+  List.iter
+    (fun idx ->
+      let old = t.usage_chunk_addr.(idx) in
+      let addr =
+        assign
+          (Layout.Usage_block { index = idx })
+          (fun () ->
+            let b = Bytes.make bs '\000' in
+            let lo = idx * usage_per_chunk t in
+            for i = 0 to usage_per_chunk t - 1 do
+              let seg = lo + i in
+              if seg < nsegments t then begin
+                Enc.set_u32 b (i * usage_entry_bytes) t.usage.(seg).live;
+                Enc.set_f64 b ((i * usage_entry_bytes) + 4)
+                  t.usage.(seg).mtime
+              end
+            done;
+            b)
+      in
+      dec_usage t old;
+      t.usage_chunk_addr.(idx) <- addr)
+    usage_chunks;
+  (* 6. Encode and write the whole partial as one sequential I/O. *)
+  let entries = List.rev !entries and fills = List.rev !fills in
+  let nblocks = !pos - base in
+  let buf = Bytes.make (nblocks * bs) '\000' in
+  let summary_bytes = Bytes.make bs '\000' in
+  Layout.write_summary summary_bytes
+    {
+      Layout.seq = t.write_seq;
+      timestamp = Clock.now t.clock;
+      next_seg = t.next_seg;
+      entries;
+    };
+  Bytes.blit summary_bytes 0 buf 0 bs;
+  List.iteri
+    (fun i fill ->
+      let b = fill () in
+      Bytes.blit b 0 buf ((i + 1) * bs) bs)
+    fills;
+  Disk.write_run t.disk base buf;
+  Stats.incr t.stats "lfs.partials";
+  Stats.add t.stats "lfs.blocks_logged" nblocks;
+  t.write_seq <- Int64.succ t.write_seq;
+  t.cur_off <- t.cur_off + nblocks;
+  (* 7. Mark everything clean. *)
+  List.iter
+    (fun d -> match d.d_src with `Frame f -> Cache.mark_clean t.cache f | `Raw _ -> ())
+    all_ditems;
+  List.iter
+    (fun p ->
+      let ino = p.pi_inode in
+      ino.Inode.dirty <- false;
+      Hashtbl.reset ino.Inode.dirty_ind;
+      ino.Inode.dbl_dirty <- false)
+    plans;
+  List.iter (fun idx -> t.imap_dirty.(idx) <- false) imap_chunks;
+  if t.cur_off >= t.cfg.fs.segment_blocks then close_segment t
+
+let dirty_ditems frames =
+  List.map
+    (fun f -> { d_inum = f.Cache.file; d_lblock = f.Cache.lblock; d_src = `Frame f })
+    frames
+
+(* Write an arbitrary amount of dirty data, chunked into partials that fit
+   in a segment. *)
+let log_write ?(defer_meta = false) t ~ditems ~inodes =
+  (* Writing an inode whose file still has dirty cached data would put a
+     size and block map on disk that describe bytes which are only in
+     memory; pull every involved file's eligible dirty frames into the
+     write so each partial is self-consistent. (Irrelevant when metadata
+     is deferred: no inodes are written at all.) *)
+  let files = Hashtbl.create 8 in
+  List.iter (fun d -> Hashtbl.replace files d.d_inum ()) ditems;
+  List.iter
+    (fun (ino : Inode.t) -> Hashtbl.replace files ino.Inode.inum ())
+    inodes;
+  let have = Hashtbl.create 16 in
+  List.iter (fun d -> Hashtbl.replace have (d.d_inum, d.d_lblock) ()) ditems;
+  let extra =
+    if defer_meta then []
+    else
+      Hashtbl.fold
+        (fun inum () acc ->
+          List.filter
+            (fun (f : Cache.frame) ->
+              not (Hashtbl.mem have (inum, f.Cache.lblock)))
+            (Cache.dirty_frames t.cache ~file:inum ())
+          @ acc)
+        files []
+  in
+  let ditems = ditems @ dirty_ditems extra in
+  let max_data = max 1 (t.cfg.fs.segment_blocks * 3 / 4) in
+  let rec chunks = function
+    | [] -> []
+    | l ->
+      let rec take n = function
+        | x :: xs when n > 0 ->
+          let g, r = take (n - 1) xs in
+          (x :: g, r)
+        | l -> ([], l)
+      in
+      let g, r = take max_data l in
+      g :: chunks r
+  in
+  match ditems with
+  | [] ->
+    if List.exists (fun (i : Inode.t) -> i.Inode.dirty) inodes then
+      write_partial ~defer_meta t ~ditems:[] ~inodes ~imap_chunks:[]
+        ~usage_chunks:[]
+  | _ ->
+    let groups = chunks ditems in
+    let last = List.length groups - 1 in
+    List.iteri
+      (fun i g ->
+        (* Attach the extra inodes to the last chunk so their final state
+           is what lands on disk. *)
+        let inodes = if i = last then inodes else [] in
+        write_partial ~defer_meta t ~ditems:g ~inodes ~imap_chunks:[]
+          ~usage_chunks:[])
+      groups
+
+let dirty_inodes t =
+  Hashtbl.fold (fun _ ino acc -> if ino.Inode.dirty then ino :: acc else acc) t.inodes []
+  |> List.sort (fun a b -> Int.compare a.Inode.inum b.Inode.inum)
+
+(* Checkpoint ------------------------------------------------------------ *)
+
+let checkpoint t =
+  let was = t.in_maintenance in
+  t.in_maintenance <- true;
+  (* A checkpoint must leave the on-disk state self-consistent: flush the
+     eligible dirty data first (transaction-owned buffers stay pinned),
+     so no inode reaches disk describing data that is only in memory. *)
+  (* Files with transaction-pinned buffers keep their older on-disk inode
+     until commit forces the buffers. *)
+  let file_has_txn_frames inum =
+    List.exists
+      (fun (f : Cache.frame) -> f.Cache.txn >= 0)
+      (Cache.file_frames t.cache inum)
+  in
+  let flushable =
+    List.filter
+      (fun (ino : Inode.t) -> not (file_has_txn_frames ino.Inode.inum))
+      (dirty_inodes t)
+  in
+  log_write t
+    ~ditems:(dirty_ditems (Cache.dirty_frames t.cache ()))
+    ~inodes:flushable;
+  (* Then every dirty imap chunk and the whole usage table, and finally
+     the alternating checkpoint region. *)
+  let imap_chunks =
+    List.filter (fun i -> t.imap_dirty.(i)) (List.init (n_imap_chunks t) Fun.id)
+  in
+  let usage_chunks = List.init (n_usage_chunks t) Fun.id in
+  write_partial t ~ditems:[] ~inodes:[] ~imap_chunks ~usage_chunks;
+  (* Segments cleaned since the previous checkpoint are now safe to reuse:
+     no checkpoint references their old contents any more. *)
+  Array.iter (fun u -> if u.state = Pending then u.state <- Free) t.usage;
+  t.cp_seq <- Int64.succ t.cp_seq;
+  let cp =
+    {
+      Layout.cp_seq = t.cp_seq;
+      cp_timestamp = Clock.now t.clock;
+      cur_seg = t.cur_seg;
+      cur_off = t.cur_off;
+      cp_next_seg = t.next_seg;
+      next_inum = t.next_inum;
+      write_seq = t.write_seq;
+      imap_addrs = Array.copy t.imap_chunk_addr;
+      usage_addrs = Array.copy t.usage_chunk_addr;
+    }
+  in
+  let b = Bytes.make (block_size t) '\000' in
+  Layout.write_checkpoint b cp;
+  let r0, r1 = Layout.checkpoint_blknos in
+  let region = if Int64.rem t.cp_seq 2L = 0L then r0 else r1 in
+  Disk.write t.disk region b;
+  t.segs_since_cp <- 0;
+  t.pending_cp <- false;
+  Stats.incr t.stats "lfs.checkpoints";
+  t.in_maintenance <- was
+
+(* Cleaner --------------------------------------------------------------- *)
+
+let clean_victim t victim =
+  let bs = block_size t in
+  let u = t.usage.(victim) in
+  if u.live = 0 then begin
+    u.state <- Pending;
+    Stats.incr t.stats "cleaner.reclaimed_dead";
+    true
+  end
+  else begin
+    let t0 = Clock.now t.clock in
+    Stats.add t.stats "cleaner.victim_live" u.live;
+    let seg_blocks = t.cfg.fs.segment_blocks in
+    let run = Disk.read_run t.disk (seg_base t victim) seg_blocks in
+    let block i = Bytes.sub run (i * bs) bs in
+    let ditems = ref [] in
+    let extra = ref [] in
+    let imap_chunks = ref [] in
+    let usage_chunks = ref [] in
+    let add_inode ino =
+      if not (List.memq ino !extra) then extra := ino :: !extra
+    in
+    let pos = ref 0 in
+    let continue = ref true in
+    while !continue && !pos < seg_blocks do
+      match Layout.read_summary (block !pos) with
+      | None -> continue := false
+      | Some s ->
+        List.iteri
+          (fun i entry ->
+            let addr = seg_base t victim + !pos + 1 + i in
+            match entry with
+            | Layout.Data { inum; lblock } -> (
+              match iget_opt t inum with
+              | Some ino when Inode.get_addr ino lblock = addr -> (
+                (* Live. A dirty cached copy supersedes the disk bytes. *)
+                match Cache.lookup t.cache ~file:inum ~lblock with
+                | Some f when f.Cache.dirty ->
+                  ditems :=
+                    { d_inum = inum; d_lblock = lblock; d_src = `Frame f }
+                    :: !ditems
+                | _ ->
+                  ditems :=
+                    {
+                      d_inum = inum;
+                      d_lblock = lblock;
+                      d_src = `Raw (block (!pos + 1 + i));
+                    }
+                    :: !ditems)
+              | _ -> ())
+            | Layout.Indirect { inum; index } -> (
+              match iget_opt t inum with
+              | Some ino
+                when index < Array.length ino.Inode.ind_addrs
+                     && ino.Inode.ind_addrs.(index) = addr ->
+                Hashtbl.replace ino.Inode.dirty_ind index ();
+                ino.Inode.dirty <- true;
+                if index >= 1 then ino.Inode.dbl_dirty <- true;
+                add_inode ino
+              | _ -> ())
+            | Layout.Double_indirect { inum } -> (
+              match iget_opt t inum with
+              | Some ino when ino.Inode.dbl_addr = addr ->
+                ino.Inode.dbl_dirty <- true;
+                ino.Inode.dirty <- true;
+                add_inode ino
+              | _ -> ())
+            | Layout.Inode_block { inums } ->
+              List.iter
+                (fun inum ->
+                  if
+                    inum > 0 && inum < max_inodes
+                    && t.imap_alloc.(inum)
+                    && t.imap_addr.(inum) = addr
+                  then
+                    match iget_opt t inum with
+                    | Some ino ->
+                      ino.Inode.dirty <- true;
+                      add_inode ino
+                    | None -> ())
+                inums
+            | Layout.Imap_block { index } ->
+              if t.imap_chunk_addr.(index) = addr then
+                imap_chunks := index :: !imap_chunks
+            | Layout.Usage_block { index } ->
+              if t.usage_chunk_addr.(index) = addr then
+                usage_chunks := index :: !usage_chunks)
+          s.Layout.entries;
+        pos := !pos + 1 + List.length s.Layout.entries
+    done;
+    (* Copy the survivors to the head of the log. Chunk data; metadata and
+       chunks ride with the final partial. *)
+    log_write t ~ditems:(List.rev !ditems) ~inodes:!extra;
+    write_partial t ~ditems:[] ~inodes:[] ~imap_chunks:!imap_chunks
+      ~usage_chunks:!usage_chunks;
+    if u.live <> 0 then
+      invalid_arg
+        (Printf.sprintf "LFS cleaner: segment %d still has %d live blocks"
+           victim u.live);
+    u.state <- Pending;
+    let dt = Clock.now t.clock -. t0 in
+    Stats.incr t.stats "cleaner.segments";
+    Stats.add_time t.stats "cleaner.busy" dt;
+    true
+  end
+
+let clean_once t =
+  let was = t.in_maintenance in
+  t.in_maintenance <- true;
+  let r =
+    match
+      Policy.choose ~policy:t.cfg.fs.cleaner_policy ~nsegments:(nsegments t)
+        ~segment_blocks:t.cfg.fs.segment_blocks ~now:(Clock.now t.clock)
+        ~live:(fun i -> t.usage.(i).live)
+        ~mtime:(fun i -> t.usage.(i).mtime)
+        ~candidate:(fun i -> t.usage.(i).state = Dirty && not (pinned t i))
+    with
+    | None -> false
+    | Some victim -> clean_victim t victim
+  in
+  t.in_maintenance <- was;
+  r
+
+let maybe_clean t =
+  if free_segments t < t.cfg.fs.cleaner_low_segments then begin
+    let t0 = Clock.now t.clock in
+    if t.cfg.fs.lfs_user_cleaner then begin
+      (* User-space cleaner (Section 5.4): cleans incrementally, one
+         segment per opportunity, without locking files for long bursts. *)
+      ignore (clean_once t);
+      checkpoint t
+    end
+    else begin
+      (* Kernel cleaner: cleans a batch to the high-water mark while
+         holding the files locked; regular processing observes one long
+         stall (Section 5.1). *)
+      let reclaimable t =
+        Array.fold_left
+          (fun n u -> if u.state = Free || u.state = Pending then n + 1 else n)
+          0 t.usage
+      in
+      let continue = ref true in
+      let stalled = ref 0 in
+      while !continue && reclaimable t < t.cfg.fs.cleaner_high_segments do
+        let before = reclaimable t in
+        if not (clean_once t) then continue := false
+        else begin
+          (* Cleaned segments only become reusable at a checkpoint; do
+             that mid-batch if the writable reserve runs low, otherwise
+             the batch's own relocation writes could starve the log. *)
+          if free_segments t <= 4 then checkpoint t;
+          (* A single clean can be net-zero when its relocation closes a
+             segment; only sustained lack of progress means the disk is
+             genuinely full of live data. *)
+          if reclaimable t <= before then incr stalled else stalled := 0;
+          if !stalled >= 4 then continue := false
+        end
+      done;
+      (* One checkpoint for the whole batch turns Pending segments into
+         Free ones. *)
+      checkpoint t
+    end;
+    let stall = Clock.now t.clock -. t0 in
+    if stall > 0.0 then begin
+      Stats.add_time t.stats "cleaner.stall" stall;
+      Stats.record_max t.stats "cleaner.max_stall" stall
+    end
+  end
+
+(* Syncer + maintenance hook executed at every public operation. *)
+let tick t =
+  check_alive t;
+  if not t.in_maintenance then begin
+    t.in_maintenance <- true;
+    if Clock.now t.clock -. t.last_syncer >= t.cfg.fs.syncer_interval_s then begin
+      t.last_syncer <- Clock.now t.clock;
+      let frames = Cache.dirty_frames t.cache () in
+      log_write t ~ditems:(dirty_ditems frames) ~inodes:(dirty_inodes t);
+      Stats.incr t.stats "lfs.syncer_runs"
+    end;
+    t.in_maintenance <- false;
+    maybe_clean t;
+    if t.pending_cp then checkpoint t
+  end
+
+(* Page access ----------------------------------------------------------- *)
+
+let zero_block t = Bytes.make (block_size t) '\000'
+
+let get_page t ~inum ~lblock =
+  check_alive t;
+  (* With the transaction manager embedded, every buffer access checks
+     whether the file is transaction-protected — the only cost
+     non-transactional applications pay (Section 5.2). *)
+  if t.cfg.fs.kernel_txn then
+    Cpu.charge t.clock t.stats t.cfg.cpu Cpu.Protection_check;
+  match Cache.lookup t.cache ~file:inum ~lblock with
+  | Some f -> f
+  | None ->
+    let ino = iget t inum in
+    let addr = Inode.get_addr ino lblock in
+    let data = if addr = 0 then zero_block t else Disk.read t.disk addr in
+    Cache.insert t.cache ~file:inum ~lblock data
+
+let new_page t ~inum ~lblock =
+  check_alive t;
+  match Cache.lookup t.cache ~file:inum ~lblock with
+  | Some f -> f
+  | None -> Cache.insert t.cache ~file:inum ~lblock (zero_block t)
+
+let page_dirty t f =
+  Cache.mark_dirty t.cache f;
+  let ino = iget t f.Cache.file in
+  ino.Inode.dirty <- true;
+  ino.Inode.mtime <- Clock.now t.clock
+
+let extend_to t ~inum size =
+  let ino = iget t inum in
+  if size > ino.Inode.size then begin
+    ino.Inode.size <- size;
+    ino.Inode.dirty <- true
+  end
+
+let force_frames t frames =
+  check_alive t;
+  tick t;
+  let was = t.in_maintenance in
+  t.in_maintenance <- true;
+  log_write ~defer_meta:true t ~ditems:(dirty_ditems frames) ~inodes:[];
+  t.in_maintenance <- was
+
+let fsync_inum t inum =
+  check_alive t;
+  let was = t.in_maintenance in
+  t.in_maintenance <- true;
+  let frames = Cache.dirty_frames t.cache ~file:inum () in
+  let inodes = match iget_opt t inum with
+    | Some ino when ino.Inode.dirty -> [ ino ]
+    | _ -> []
+  in
+  log_write t ~ditems:(dirty_ditems frames) ~inodes;
+  t.in_maintenance <- was
+
+let sync t =
+  check_alive t;
+  let was = t.in_maintenance in
+  t.in_maintenance <- true;
+  let frames = Cache.dirty_frames t.cache () in
+  log_write t ~ditems:(dirty_ditems frames) ~inodes:[];
+  checkpoint t;
+  t.in_maintenance <- was
+
+(* Byte-level file I/O --------------------------------------------------- *)
+
+let read_bytes t inum ~off ~len =
+  let ino = iget t inum in
+  let bs = block_size t in
+  if off < 0 || len < 0 then Vfs.error Invalid "read: negative offset/length";
+  let len = max 0 (min len (ino.Inode.size - off)) in
+  let out = Bytes.create len in
+  let copied = ref 0 in
+  while !copied < len do
+    let pos = off + !copied in
+    let lb = pos / bs and boff = pos mod bs in
+    let n = min (bs - boff) (len - !copied) in
+    let f = get_page t ~inum ~lblock:lb in
+    Bytes.blit f.Cache.data boff out !copied n;
+    Cpu.charge t.clock t.stats t.cfg.cpu Cpu.Copy_block;
+    copied := !copied + n
+  done;
+  out
+
+let write_bytes t inum ~off data =
+  let ino = iget t inum in
+  let bs = block_size t in
+  let len = Bytes.length data in
+  if off < 0 then Vfs.error Invalid "write: negative offset";
+  let written = ref 0 in
+  while !written < len do
+    let pos = off + !written in
+    let lb = pos / bs and boff = pos mod bs in
+    let n = min (bs - boff) (len - !written) in
+    let f =
+      (* A read-modify-write is needed unless the write covers the whole
+         block or the block lies entirely at or past end of file. *)
+      if n = bs || lb * bs >= ino.Inode.size then new_page t ~inum ~lblock:lb
+      else get_page t ~inum ~lblock:lb
+    in
+    Bytes.blit data !written f.Cache.data boff n;
+    page_dirty t f;
+    Cpu.charge t.clock t.stats t.cfg.cpu Cpu.Copy_block;
+    written := !written + n
+  done;
+  if off + len > ino.Inode.size then begin
+    ino.Inode.size <- off + len;
+    ino.Inode.dirty <- true
+  end
+
+let truncate_bytes t inum len =
+  let ino = iget t inum in
+  let bs = block_size t in
+  if len < 0 then Vfs.error Invalid "truncate: negative length";
+  if len < ino.Inode.size then begin
+    let keep = (len + bs - 1) / bs in
+    let old_n = Inode.nblocks ino in
+    (* Release on-disk blocks past the cut. *)
+    for lb = keep to old_n - 1 do
+      dec_usage t (Inode.get_addr ino lb)
+    done;
+    (* Drop cached frames past the cut — they may exist even for blocks
+       that never reached the log. *)
+    List.iter
+      (fun f -> if f.Cache.lblock >= keep then Cache.invalidate t.cache f)
+      (Cache.file_frames t.cache inum);
+    (* Zero the tail of the boundary block so a later regrow reads zeros,
+       as POSIX requires. *)
+    (if len mod bs <> 0 && len < ino.Inode.size then begin
+       let f = get_page t ~inum ~lblock:(len / bs) in
+       Bytes.fill f.Cache.data (len mod bs) (bs - (len mod bs)) '\000';
+       page_dirty t f
+     end);
+    let old_nind = Inode.indirect_count ino ~block_size:bs in
+    Inode.truncate_map ino ~block_size:bs keep;
+    let new_nind = Inode.indirect_count ino ~block_size:bs in
+    for idx = new_nind to old_nind - 1 do
+      if idx < Array.length ino.Inode.ind_addrs then begin
+        dec_usage t ino.Inode.ind_addrs.(idx);
+        ino.Inode.ind_addrs.(idx) <- 0
+      end
+    done;
+    if new_nind <= 1 && ino.Inode.dbl_addr <> 0 then begin
+      dec_usage t ino.Inode.dbl_addr;
+      ino.Inode.dbl_addr <- 0;
+      ino.Inode.dbl_dirty <- false
+    end
+  end;
+  ino.Inode.size <- len;
+  ino.Inode.dirty <- true
+
+(* Inode allocation ------------------------------------------------------ *)
+
+let alloc_inode t ~kind =
+  let inum =
+    match t.free_inums with
+    | i :: rest ->
+      t.free_inums <- rest;
+      i
+    | [] ->
+      if t.next_inum >= max_inodes then Vfs.error No_space "LFS: out of inodes";
+      let i = t.next_inum in
+      t.next_inum <- i + 1;
+      i
+  in
+  let ino = Inode.create ~inum ~kind in
+  ino.Inode.mtime <- Clock.now t.clock;
+  Hashtbl.replace t.inodes inum ino;
+  t.imap_alloc.(inum) <- true;
+  t.imap_addr.(inum) <- 0;
+  t.imap_slot.(inum) <- 0;
+  mark_imap_dirty t inum;
+  inum
+
+let free_inode t inum =
+  truncate_bytes t inum 0;
+  (match Cache.file_frames t.cache inum with
+  | frames -> List.iter (Cache.invalidate t.cache) frames);
+  dec_inode_block_ref t t.imap_addr.(inum);
+  t.imap_addr.(inum) <- 0;
+  t.imap_alloc.(inum) <- false;
+  mark_imap_dirty t inum;
+  Hashtbl.remove t.inodes inum;
+  t.free_inums <- inum :: t.free_inums
+
+(* Namespace ------------------------------------------------------------- *)
+
+let root_inum = 1
+
+module Store = struct
+  type nonrec t = t
+
+  let root _ = root_inum
+  let read t inum ~off ~len = read_bytes t inum ~off ~len
+  let write t inum ~off data = write_bytes t inum ~off data
+  let truncate t inum ~len = truncate_bytes t inum len
+  let size t inum = (iget t inum).Inode.size
+  let alloc_inode t ~kind = alloc_inode t ~kind
+  let free_inode t inum = free_inode t inum
+end
+
+module Ns = Namespace.Make (Store)
+
+let inum_of t path =
+  match Ns.lookup t path with
+  | Some (inum, _) -> inum
+  | None -> Vfs.error Not_found "%s" path
+
+let is_protected t inum =
+  match iget_opt t inum with Some ino -> ino.Inode.protected_ | None -> false
+
+(* Construction ---------------------------------------------------------- *)
+
+let make_empty disk clock stats (cfg : Config.t) sb =
+  let nseg = sb.Layout.nsegments in
+  let t =
+    {
+      disk;
+      clock;
+      stats;
+      cfg;
+      sb;
+      cache = Cache.create clock stats cfg.cpu ~capacity:cfg.fs.cache_blocks;
+      inodes = Hashtbl.create 64;
+      imap_addr = Array.make max_inodes 0;
+      imap_slot = Array.make max_inodes 0;
+      imap_alloc = Array.make max_inodes false;
+      imap_dirty = Array.make ((max_inodes * imap_entry_bytes / sb.Layout.block_size) + 1) false;
+      imap_chunk_addr = Array.make ((max_inodes * imap_entry_bytes / sb.Layout.block_size) + 1) 0;
+      usage_chunk_addr =
+        Array.make ((nseg * usage_entry_bytes / sb.Layout.block_size) + 1) 0;
+      inode_block_refs = Hashtbl.create 64;
+      usage =
+        Array.init nseg (fun _ -> { live = 0; mtime = 0.0; state = Free });
+      next_inum = root_inum_init;
+      free_inums = [];
+      cur_seg = 0;
+      cur_off = 0;
+      next_seg = 1;
+      write_seq = 1L;
+      cp_seq = 0L;
+      segs_since_cp = 0;
+      last_syncer = Clock.now clock;
+      in_maintenance = false;
+      pending_cp = false;
+      crashed = false;
+      snaps = [];
+      next_snap = 1;
+    }
+  in
+  Cache.set_writeback t.cache (fun _victim ->
+      (* Cache pressure: flush all eligible dirty blocks as a segment
+         write, which leaves the victim clean. *)
+      let was = t.in_maintenance in
+      t.in_maintenance <- true;
+      let frames = Cache.dirty_frames t.cache () in
+      log_write t ~ditems:(dirty_ditems frames) ~inodes:[];
+      t.in_maintenance <- was);
+  t
+
+let format disk clock stats (cfg : Config.t) =
+  let sb =
+    {
+      Layout.block_size = cfg.disk.block_size;
+      nblocks = Disk.nblocks disk;
+      segment_blocks = cfg.fs.segment_blocks;
+      nsegments =
+        Layout.nsegments_of ~block_size:cfg.disk.block_size
+          ~nblocks:(Disk.nblocks disk) ~segment_blocks:cfg.fs.segment_blocks;
+      max_inodes;
+    }
+  in
+  let b = Bytes.make cfg.disk.block_size '\000' in
+  Layout.write_superblock b sb;
+  Disk.write disk Layout.superblock_blkno b;
+  let t = make_empty disk clock stats cfg sb in
+  t.usage.(0).state <- Current;
+  t.usage.(1).state <- Current;
+  (* Root directory. *)
+  let inum = alloc_inode t ~kind:Vfs.Dir in
+  assert (inum = root_inum);
+  t.in_maintenance <- true;
+  checkpoint t;
+  t.in_maintenance <- false;
+  t
+
+(* Mount: load the newest checkpoint, roll forward, rebuild usage. *)
+
+let load_checkpoint t =
+  let r0, r1 = Layout.checkpoint_blknos in
+  let cp0 = Layout.read_checkpoint (Disk.read t.disk r0) in
+  let cp1 = Layout.read_checkpoint (Disk.read t.disk r1) in
+  match (cp0, cp1) with
+  | None, None -> Vfs.error Invalid "LFS mount: no valid checkpoint"
+  | Some cp, None | None, Some cp -> cp
+  | Some a, Some b -> if a.Layout.cp_seq >= b.Layout.cp_seq then a else b
+
+let roll_forward t =
+  (* Follow the chain of partial segments written after the checkpoint,
+     applying inode locations; stop at the first gap in the sequence. *)
+  let expected = ref t.write_seq in
+  let seg = ref t.cur_seg and off = ref t.cur_off in
+  let next = ref t.next_seg in
+  let continue = ref true in
+  while !continue do
+    if !off >= t.cfg.fs.segment_blocks then begin
+      seg := !next;
+      off := 0
+    end;
+    let blkno = seg_base t !seg + !off in
+    match Layout.read_summary (Disk.read t.disk blkno) with
+    | Some s when Int64.equal s.Layout.seq !expected ->
+      List.iteri
+        (fun i entry ->
+          let addr = blkno + 1 + i in
+          match entry with
+          | Layout.Inode_block { inums } ->
+            List.iteri
+              (fun slot inum ->
+                if inum > 0 && inum < max_inodes then begin
+                  t.imap_addr.(inum) <- addr;
+                  t.imap_slot.(inum) <- slot;
+                  t.imap_alloc.(inum) <- true;
+                  (* Any inode loaded earlier in this scan is stale now:
+                     the block written later in the log wins. *)
+                  Hashtbl.remove t.inodes inum;
+                  if inum >= t.next_inum then t.next_inum <- inum + 1
+                end)
+              inums
+          | Layout.Imap_block { index } -> t.imap_chunk_addr.(index) <- addr
+          | Layout.Usage_block { index } -> t.usage_chunk_addr.(index) <- addr
+          | Layout.Data { inum; lblock } -> (
+            (* Commit partials defer their metadata; the summary entry is
+               authoritative for the block's new location. *)
+            match iget_opt t inum with
+            | Some ino ->
+              Inode.set_addr ino ~block_size:(block_size t) lblock addr;
+              if (lblock + 1) * block_size t > ino.Inode.size then
+                ino.Inode.size <- (lblock + 1) * block_size t;
+              ino.Inode.dirty <- true
+            | None -> () (* file created but its inode never reached disk *))
+          | Layout.Indirect _ | Layout.Double_indirect _ -> ())
+        s.Layout.entries;
+      expected := Int64.succ !expected;
+      off := !off + 1 + List.length s.Layout.entries;
+      next := s.Layout.next_seg;
+      Stats.incr t.stats "lfs.rolled_partials"
+    | Some _ | None ->
+      if !off > 0 then begin
+        (* Maybe the writer moved to the next segment early. *)
+        let blkno' = seg_base t !next in
+        match Layout.read_summary (Disk.read t.disk blkno') with
+        | Some s when Int64.equal s.Layout.seq !expected ->
+          seg := !next;
+          off := 0
+        | Some _ | None -> continue := false
+      end
+      else continue := false
+  done;
+  t.cur_seg <- !seg;
+  t.cur_off <- !off;
+  t.next_seg <- !next;
+  t.write_seq <- !expected
+
+let recompute_usage t =
+  Array.iter
+    (fun u ->
+      u.live <- 0;
+      u.state <- Free)
+    t.usage;
+  Hashtbl.reset t.inode_block_refs;
+  let count addr = if addr >= Layout.data_start then
+      inc_usage t (seg_of_addr t addr) 1
+  in
+  for inum = 1 to max_inodes - 1 do
+    if t.imap_alloc.(inum) && t.imap_addr.(inum) <> 0 then begin
+      let addr = t.imap_addr.(inum) in
+      (match Hashtbl.find_opt t.inode_block_refs addr with
+      | Some n -> Hashtbl.replace t.inode_block_refs addr (n + 1)
+      | None ->
+        Hashtbl.add t.inode_block_refs addr 1;
+        count addr);
+      match iget_opt t inum with
+      | None -> ()
+      | Some ino ->
+        for lb = 0 to Inode.nblocks ino - 1 do
+          count (Inode.get_addr ino lb)
+        done;
+        let nind = Inode.indirect_count ino ~block_size:(block_size t) in
+        for idx = 0 to nind - 1 do
+          if idx < Array.length ino.Inode.ind_addrs then
+            count ino.Inode.ind_addrs.(idx)
+        done;
+        if nind > 1 then count ino.Inode.dbl_addr
+    end
+  done;
+  Array.iter count t.imap_chunk_addr;
+  Array.iter count t.usage_chunk_addr;
+  Array.iteri
+    (fun _ u -> if u.live > 0 then u.state <- Dirty else u.state <- Free)
+    t.usage;
+  t.usage.(t.cur_seg).state <- Current;
+  t.usage.(t.next_seg).state <- Current
+
+let mount disk clock stats (cfg : Config.t) =
+  let sb = Layout.read_superblock (Disk.read disk Layout.superblock_blkno) in
+  if sb.Layout.block_size <> cfg.disk.block_size then
+    Vfs.error Invalid "LFS mount: block size mismatch";
+  let t = make_empty disk clock stats { cfg with fs = { cfg.fs with segment_blocks = sb.Layout.segment_blocks } } sb in
+  let cp = load_checkpoint t in
+  t.cp_seq <- cp.Layout.cp_seq;
+  t.cur_seg <- cp.Layout.cur_seg;
+  t.cur_off <- cp.Layout.cur_off;
+  t.next_seg <- cp.Layout.cp_next_seg;
+  t.next_inum <- cp.Layout.next_inum;
+  t.write_seq <- cp.Layout.write_seq;
+  Array.blit cp.Layout.imap_addrs 0 t.imap_chunk_addr 0
+    (Array.length cp.Layout.imap_addrs);
+  Array.blit cp.Layout.usage_addrs 0 t.usage_chunk_addr 0
+    (Array.length cp.Layout.usage_addrs);
+  (* Load the inode map. *)
+  Array.iteri
+    (fun chunk addr ->
+      if addr <> 0 then begin
+        let b = Disk.read t.disk addr in
+        let lo = chunk * imap_per_chunk t in
+        for i = 0 to imap_per_chunk t - 1 do
+          let inum = lo + i in
+          if inum < max_inodes then begin
+            t.imap_addr.(inum) <- Enc.get_u32 b (i * imap_entry_bytes);
+            t.imap_slot.(inum) <- Enc.get_u8 b ((i * imap_entry_bytes) + 4);
+            t.imap_alloc.(inum) <-
+              Enc.get_u8 b ((i * imap_entry_bytes) + 5) = 1
+          end
+        done
+      end)
+    t.imap_chunk_addr;
+  (* Load segment usage (live counts are recomputed below; keep mtimes). *)
+  Array.iteri
+    (fun chunk addr ->
+      if addr <> 0 then begin
+        let b = Disk.read t.disk addr in
+        let lo = chunk * usage_per_chunk t in
+        for i = 0 to usage_per_chunk t - 1 do
+          let seg = lo + i in
+          if seg < nsegments t then
+            t.usage.(seg).mtime <- Enc.get_f64 b ((i * usage_entry_bytes) + 4)
+        done
+      end)
+    t.usage_chunk_addr;
+  roll_forward t;
+  recompute_usage t;
+  (* Rebuild the free-inode list. *)
+  let free = ref [] in
+  for inum = t.next_inum - 1 downto 2 do
+    if not t.imap_alloc.(inum) then free := inum :: !free
+  done;
+  t.free_inums <- !free;
+  Stats.incr t.stats "lfs.mounts";
+  t
+
+let crash t =
+  t.crashed <- true
+
+let unmount t =
+  sync t;
+  t.crashed <- true
+
+(* Coalescing (Section 5.4): rewrite a file's blocks in logical order so
+   sequential reads become sequential again. *)
+
+let coalesce_file t inum =
+  check_alive t;
+  let was = t.in_maintenance in
+  t.in_maintenance <- true;
+  (match iget_opt t inum with
+  | None -> ()
+  | Some ino ->
+    let n = Inode.nblocks ino in
+    (* Rewrite in logical order, one batch at a time, so huge files do
+       not need to be held in memory whole. *)
+    let batch = 512 in
+    let lb = ref 0 in
+    while !lb < n do
+      let hi = min n (!lb + batch) in
+      let ditems = ref [] in
+      for b = hi - 1 downto !lb do
+        if Inode.get_addr ino b <> 0 then begin
+          let src =
+            match Cache.lookup t.cache ~file:inum ~lblock:b with
+            | Some f when f.Cache.txn < 0 -> `Frame f
+            | _ ->
+              (* Either uncached or pinned by a live transaction: the
+                 on-disk copy is the committed version. *)
+              `Raw (Disk.read t.disk (Inode.get_addr ino b))
+          in
+          ditems := { d_inum = inum; d_lblock = b; d_src = src } :: !ditems
+        end
+      done;
+      log_write t ~ditems:!ditems ~inodes:[];
+      lb := hi;
+      (* Rewriting a large file consumes clean segments while its old
+         blocks die behind us; give the cleaner a chance between
+         batches. *)
+      t.in_maintenance <- was;
+      maybe_clean t;
+      t.in_maintenance <- true
+    done;
+    Stats.incr t.stats "lfs.coalesced_files");
+  t.in_maintenance <- was;
+  maybe_clean t
+
+let contiguity t inum =
+  match iget_opt t inum with
+  | None -> 1.0
+  | Some ino ->
+    let n = Inode.nblocks ino in
+    if n < 2 then 1.0
+    else begin
+      let adjacent = ref 0 and pairs = ref 0 in
+      for lb = 1 to n - 1 do
+        let a = Inode.get_addr ino (lb - 1) and b = Inode.get_addr ino lb in
+        if a <> 0 && b <> 0 then begin
+          incr pairs;
+          if b = a + 1 then incr adjacent
+        end
+      done;
+      if !pairs = 0 then 1.0 else float_of_int !adjacent /. float_of_int !pairs
+    end
+
+let coalesce_all t =
+  check_alive t;
+  let files = ref [] in
+  for inum = 1 to max_inodes - 1 do
+    if t.imap_alloc.(inum) then
+      match iget_opt t inum with
+      | Some ino when ino.Inode.kind = Vfs.File && Inode.nblocks ino > 1 ->
+        files := (Inode.nblocks ino, inum) :: !files
+      | _ -> ()
+  done;
+  let ordered = List.sort (fun (a, _) (b, _) -> Int.compare b a) !files in
+  List.iter (fun (_, inum) -> coalesce_file t inum) ordered;
+  List.length ordered
+
+(* Snapshots --------------------------------------------------------------- *)
+
+let snapshot t =
+  check_alive t;
+  let was = t.in_maintenance in
+  t.in_maintenance <- true;
+  checkpoint t;
+  t.in_maintenance <- was;
+  let cp =
+    {
+      Layout.cp_seq = t.cp_seq;
+      cp_timestamp = Clock.now t.clock;
+      cur_seg = t.cur_seg;
+      cur_off = t.cur_off;
+      cp_next_seg = t.next_seg;
+      next_inum = t.next_inum;
+      write_seq = t.write_seq;
+      imap_addrs = Array.copy t.imap_chunk_addr;
+      usage_addrs = Array.copy t.usage_chunk_addr;
+    }
+  in
+  (* Freeze every segment that holds (or may hold) referenced blocks: the
+     partially-filled current segment only ever gains appends, but once
+     it closes it must not be cleaned or reused while the snapshot is
+     alive, so it is pinned along with everything else non-free. *)
+  let snap_segments =
+    Array.init (nsegments t) (fun i -> t.usage.(i).state <> Free)
+  in
+  let s =
+    { snap_id = t.next_snap; snap_cp = cp; snap_segments; snap_live = true }
+  in
+  t.next_snap <- t.next_snap + 1;
+  t.snaps <- s :: t.snaps;
+  Stats.incr t.stats "lfs.snapshots";
+  s
+
+let release_snapshot t s =
+  s.snap_live <- false;
+  t.snaps <- List.filter (fun x -> x != s) t.snaps
+
+let snapshots t = List.length t.snaps
+
+(* Consistency check ------------------------------------------------------ *)
+
+let check t =
+  check_alive t;
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let live = Array.make (nsegments t) 0 in
+  let owner : (int, string) Hashtbl.t = Hashtbl.create 1024 in
+  let claim addr what =
+    if addr <> 0 then begin
+      if addr < Layout.data_start || addr >= t.sb.Layout.nblocks then
+        fail "LFS.check: %s points outside the log (block %d)" what addr;
+      (match Hashtbl.find_opt owner addr with
+      | Some other ->
+        fail "LFS.check: block %d claimed by both %s and %s" addr other what
+      | None -> Hashtbl.add owner addr what);
+      live.(seg_of_addr t addr) <- live.(seg_of_addr t addr) + 1
+    end
+  in
+  (* Walk every allocated inode. *)
+  for inum = 1 to max_inodes - 1 do
+    if t.imap_alloc.(inum) then
+      match iget_opt t inum with
+      | None ->
+        if t.imap_addr.(inum) <> 0 then
+          fail "LFS.check: imap entry %d points at no decodable inode" inum
+      | Some ino ->
+        for lb = 0 to Inode.nblocks ino - 1 do
+          claim (Inode.get_addr ino lb) (Printf.sprintf "inode %d block %d" inum lb)
+        done;
+        let nind = Inode.indirect_count ino ~block_size:(block_size t) in
+        for idx = 0 to nind - 1 do
+          if idx < Array.length ino.Inode.ind_addrs then
+            claim ino.Inode.ind_addrs.(idx)
+              (Printf.sprintf "inode %d indirect %d" inum idx)
+        done;
+        if nind > 1 then
+          claim ino.Inode.dbl_addr (Printf.sprintf "inode %d double-indirect" inum)
+  done;
+  (* Inode blocks are shared: count each address once. *)
+  let seen_iblocks = Hashtbl.create 64 in
+  for inum = 1 to max_inodes - 1 do
+    if t.imap_alloc.(inum) then begin
+      let addr = t.imap_addr.(inum) in
+      if addr <> 0 && not (Hashtbl.mem seen_iblocks addr) then begin
+        Hashtbl.add seen_iblocks addr ();
+        claim addr (Printf.sprintf "inode block (first inum %d)" inum)
+      end
+    end
+  done;
+  Array.iteri (fun i a -> claim a (Printf.sprintf "imap chunk %d" i)) t.imap_chunk_addr;
+  Array.iteri (fun i a -> claim a (Printf.sprintf "usage chunk %d" i)) t.usage_chunk_addr;
+  (* Usage table must agree with reachability. *)
+  Array.iteri
+    (fun i u ->
+      if u.live <> live.(i) then
+        fail "LFS.check: segment %d usage says %d live, reachability says %d" i
+          u.live live.(i);
+      if u.state = Free && u.live <> 0 then
+        fail "LFS.check: free segment %d has %d live blocks" i u.live)
+    t.usage;
+  (* Inode-block refcounts. *)
+  Hashtbl.iter
+    (fun addr n ->
+      let counted = ref 0 in
+      for inum = 1 to max_inodes - 1 do
+        if t.imap_alloc.(inum) && t.imap_addr.(inum) = addr then incr counted
+      done;
+      if !counted <> n then
+        fail "LFS.check: inode block %d refcount %d but %d imap entries" addr n
+          !counted)
+    t.inode_block_refs
+
+(* VFS surface ----------------------------------------------------------- *)
+
+let charge_op t = Cpu.charge t.clock t.stats t.cfg.cpu Cpu.Syscall
+
+let resolve_file t path =
+  match Ns.lookup t path with
+  | Some (inum, Vfs.File) -> inum
+  | Some (_, Vfs.Dir) -> Vfs.error Is_dir "%s" path
+  | None -> Vfs.error Not_found "%s" path
+
+let vfs t =
+  let wrap f = fun x ->
+    tick t;
+    charge_op t;
+    f x
+  in
+  {
+    Vfs.name = "lfs";
+    block_size = block_size t;
+    create =
+      wrap (fun path ->
+          Cpu.charge t.clock t.stats t.cfg.cpu Cpu.File_op;
+          Ns.create t path ~kind:Vfs.File);
+    open_file =
+      wrap (fun path ->
+          Cpu.charge t.clock t.stats t.cfg.cpu Cpu.File_op;
+          resolve_file t path);
+    read =
+      (fun fd ~off ~len ->
+        tick t;
+        charge_op t;
+        read_bytes t fd ~off ~len);
+    write =
+      (fun fd ~off data ->
+        tick t;
+        charge_op t;
+        write_bytes t fd ~off data);
+    truncate =
+      (fun fd len ->
+        tick t;
+        charge_op t;
+        truncate_bytes t fd len);
+    size = (fun fd -> (iget t fd).Inode.size);
+    fsync = wrap (fun fd -> fsync_inum t fd);
+    sync = wrap (fun () -> sync t);
+    remove =
+      wrap (fun path ->
+          Cpu.charge t.clock t.stats t.cfg.cpu Cpu.File_op;
+          Ns.remove t path);
+    mkdir =
+      wrap (fun path ->
+          Cpu.charge t.clock t.stats t.cfg.cpu Cpu.File_op;
+          ignore (Ns.create t path ~kind:Vfs.Dir));
+    readdir = wrap (fun path -> Ns.readdir t path);
+    exists = (fun path -> Option.is_some (Ns.lookup t path));
+    stat =
+      wrap (fun path ->
+          match Ns.lookup t path with
+          | None -> Vfs.error Not_found "%s" path
+          | Some (inum, kind) ->
+            let ino = iget t inum in
+            {
+              Vfs.inum;
+              size = ino.Inode.size;
+              kind;
+              protected_ = ino.Inode.protected_;
+            });
+    set_protected =
+      wrap (fun path value ->
+          let inum = inum_of t path in
+          let ino = iget t inum in
+          ino.Inode.protected_ <- value;
+          ino.Inode.dirty <- true);
+  }
+
+(* A read-only file system reconstructed from a snapshot's checkpoint:
+   its own inode map and caches over the same disk image, with the
+   maintenance machinery disabled and every mutator rejected. *)
+let snapshot_view t s =
+  if not s.snap_live then invalid_arg "Lfs.snapshot_view: snapshot released";
+  let view = make_empty t.disk t.clock t.stats t.cfg t.sb in
+  let cp = s.snap_cp in
+  view.cp_seq <- cp.Layout.cp_seq;
+  view.cur_seg <- cp.Layout.cur_seg;
+  view.cur_off <- cp.Layout.cur_off;
+  view.next_seg <- cp.Layout.cp_next_seg;
+  view.next_inum <- cp.Layout.next_inum;
+  view.write_seq <- cp.Layout.write_seq;
+  Array.blit cp.Layout.imap_addrs 0 view.imap_chunk_addr 0
+    (Array.length cp.Layout.imap_addrs);
+  Array.iteri
+    (fun chunk addr ->
+      if addr <> 0 then begin
+        let b = Disk.read view.disk addr in
+        let lo = chunk * imap_per_chunk view in
+        for i = 0 to imap_per_chunk view - 1 do
+          let inum = lo + i in
+          if inum < max_inodes then begin
+            view.imap_addr.(inum) <- Enc.get_u32 b (i * imap_entry_bytes);
+            view.imap_slot.(inum) <- Enc.get_u8 b ((i * imap_entry_bytes) + 4);
+            view.imap_alloc.(inum) <-
+              Enc.get_u8 b ((i * imap_entry_bytes) + 5) = 1
+          end
+        done
+      end)
+    view.imap_chunk_addr;
+  (* No syncer, no cleaner, no checkpoints: the view never writes. *)
+  view.in_maintenance <- true;
+  let deny _ = Vfs.error Not_supported "snapshot view is read-only" in
+  {
+    Vfs.name = "lfs-snapshot";
+    block_size = block_size view;
+    create = deny;
+    open_file = (fun path -> resolve_file view path);
+    read = (fun fd ~off ~len -> read_bytes view fd ~off ~len);
+    write = (fun _ ~off:_ _ -> deny ());
+    truncate = (fun _ _ -> deny ());
+    size = (fun fd -> (iget view fd).Inode.size);
+    fsync = (fun _ -> deny ());
+    sync = deny;
+    remove = deny;
+    mkdir = deny;
+    readdir = (fun path -> Ns.readdir view path);
+    exists = (fun path -> Option.is_some (Ns.lookup view path));
+    stat =
+      (fun path ->
+        match Ns.lookup view path with
+        | None -> Vfs.error Not_found "%s" path
+        | Some (inum, kind) ->
+          let ino = iget view inum in
+          {
+            Vfs.inum;
+            size = ino.Inode.size;
+            kind;
+            protected_ = ino.Inode.protected_;
+          });
+    set_protected = (fun _ _ -> deny ());
+  }
+
+let checkpoint t =
+  check_alive t;
+  checkpoint t
+
+let clean_once t =
+  check_alive t;
+  clean_once t

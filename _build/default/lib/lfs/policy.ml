@@ -1,0 +1,24 @@
+let choose ~policy ~nsegments ~segment_blocks ~now ~live ~mtime ~candidate =
+  let score i =
+    let u = float_of_int (live i) /. float_of_int segment_blocks in
+    match policy with
+    | `Greedy -> -.float_of_int (live i)
+    | `Cost_benefit ->
+      let age = Float.max 0.0 (now -. mtime i) in
+      (1.0 -. u) *. (1.0 +. age) /. (1.0 +. u)
+  in
+  let best = ref None in
+  for i = 0 to nsegments - 1 do
+    if candidate i then
+      if live i = 0 then (
+        (* A dead segment is free to reclaim; nothing beats it. *)
+        match !best with
+        | Some (_, s) when s = infinity -> ()
+        | _ -> best := Some (i, infinity))
+      else
+        let s = score i in
+        match !best with
+        | Some (_, s') when s' >= s -> ()
+        | _ -> best := Some (i, s)
+  done;
+  Option.map fst !best

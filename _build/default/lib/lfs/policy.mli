@@ -1,0 +1,22 @@
+(** Segment-selection policies for the cleaner.
+
+    Pure functions so the policies can be property-tested: given per-
+    segment live-block counts and modification times, pick the next
+    victim. [`Greedy] takes the emptiest segment; [`Cost_benefit] is the
+    Rosenblum/Ousterhout benefit-to-cost ratio
+    [(1 - u) * age / (1 + u)], which prefers colder segments at equal
+    utilization. *)
+
+val choose :
+  policy:[ `Greedy | `Cost_benefit ] ->
+  nsegments:int ->
+  segment_blocks:int ->
+  now:float ->
+  live:(int -> int) ->
+  mtime:(int -> float) ->
+  candidate:(int -> bool) ->
+  int option
+(** The victim segment, or [None] when no candidate exists. Segments for
+    which [candidate] is false (free, current, pending) are skipped;
+    fully dead candidates (live = 0) are always preferred since they cost
+    nothing to clean. *)

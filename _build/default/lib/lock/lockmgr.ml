@@ -1,0 +1,160 @@
+type mode = Shared | Exclusive
+
+type obj = int * int
+
+type outcome = [ `Granted | `Would_block of int list | `Deadlock ]
+
+type entry = { mutable holders : (int * mode) list }
+
+type t = {
+  clock : Clock.t;
+  stats : Stats.t;
+  cpu : Config.cpu;
+  table : (obj, entry) Hashtbl.t;
+  chains : (int, (obj * mode) list ref) Hashtbl.t;
+  waits_for : (int, int list) Hashtbl.t;
+}
+
+let create clock stats cpu =
+  {
+    clock;
+    stats;
+    cpu;
+    table = Hashtbl.create 256;
+    chains = Hashtbl.create 32;
+    waits_for = Hashtbl.create 32;
+  }
+
+let charge t = Cpu.charge t.clock t.stats t.cpu Cpu.Lock_op
+
+let chain_ref t txn =
+  match Hashtbl.find_opt t.chains txn with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.add t.chains txn r;
+    r
+
+let holds t ~txn obj =
+  match Hashtbl.find_opt t.table obj with
+  | None -> None
+  | Some e -> List.assoc_opt txn e.holders
+
+let chain t ~txn = match Hashtbl.find_opt t.chains txn with
+  | Some r -> !r
+  | None -> []
+
+let locked_objects t = Hashtbl.length t.table
+
+let waiting t ~txn = Hashtbl.mem t.waits_for txn
+
+(* Would granting [mode] to [txn] conflict with the current holders? *)
+let conflicts e ~txn mode =
+  List.filter_map
+    (fun (holder, hmode) ->
+      if holder = txn then None
+      else
+        match (mode, hmode) with
+        | Shared, Shared -> None
+        | Shared, Exclusive | Exclusive, Shared | Exclusive, Exclusive ->
+          Some holder)
+    e.holders
+
+(* DFS over the waits-for graph: is [target] reachable from [start]? *)
+let reaches t start target =
+  let seen = Hashtbl.create 8 in
+  let rec go v =
+    v = target
+    || (not (Hashtbl.mem seen v))
+       && begin
+         Hashtbl.add seen v ();
+         match Hashtbl.find_opt t.waits_for v with
+         | None -> false
+         | Some succs -> List.exists go succs
+       end
+  in
+  go start
+
+let record_grant t ~txn obj mode =
+  let e =
+    match Hashtbl.find_opt t.table obj with
+    | Some e -> e
+    | None ->
+      let e = { holders = [] } in
+      Hashtbl.add t.table obj e;
+      e
+  in
+  let r = chain_ref t txn in
+  (match List.assoc_opt txn e.holders with
+  | None ->
+    e.holders <- (txn, mode) :: e.holders;
+    r := (obj, mode) :: !r
+  | Some _ ->
+    (* Upgrade in place, in both the table and the chain. *)
+    e.holders <-
+      List.map (fun (h, m) -> if h = txn then (h, mode) else (h, m)) e.holders;
+    r := List.map (fun (o, m) -> if o = obj then (o, mode) else (o, m)) !r);
+  Hashtbl.remove t.waits_for txn
+
+let acquire t ~txn obj mode =
+  charge t;
+  Stats.incr t.stats "lock.acquires";
+  let e =
+    match Hashtbl.find_opt t.table obj with
+    | Some e -> e
+    | None ->
+      let e = { holders = [] } in
+      Hashtbl.add t.table obj e;
+      e
+  in
+  match List.assoc_opt txn e.holders with
+  | Some Exclusive -> `Granted
+  | Some Shared when mode = Shared -> `Granted
+  | held -> (
+    match conflicts e ~txn mode with
+    | [] ->
+      (match held with
+      | Some Shared ->
+        (* Upgrade. *)
+        record_grant t ~txn obj Exclusive
+      | _ -> record_grant t ~txn obj mode);
+      `Granted
+    | blockers ->
+      Stats.incr t.stats "lock.conflicts";
+      (* Would waiting close a cycle? *)
+      if List.exists (fun b -> reaches t b txn) blockers then begin
+        Stats.incr t.stats "lock.deadlocks";
+        `Deadlock
+      end
+      else begin
+        Hashtbl.replace t.waits_for txn blockers;
+        `Would_block blockers
+      end)
+
+let remove_holder t ~txn obj =
+  match Hashtbl.find_opt t.table obj with
+  | None -> ()
+  | Some e ->
+    e.holders <- List.filter (fun (h, _) -> h <> txn) e.holders;
+    if e.holders = [] then Hashtbl.remove t.table obj
+
+let release t ~txn obj =
+  charge t;
+  remove_holder t ~txn obj;
+  match Hashtbl.find_opt t.chains txn with
+  | None -> ()
+  | Some r -> r := List.filter (fun (o, _) -> o <> obj) !r
+
+let cancel_wait t ~txn = Hashtbl.remove t.waits_for txn
+
+let release_all t ~txn =
+  (match Hashtbl.find_opt t.chains txn with
+  | None -> ()
+  | Some r ->
+    List.iter
+      (fun (obj, _) ->
+        charge t;
+        remove_holder t ~txn obj)
+      !r;
+    Hashtbl.remove t.chains txn);
+  Hashtbl.remove t.waits_for txn

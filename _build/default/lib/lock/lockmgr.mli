@@ -1,0 +1,54 @@
+(** General-purpose lock manager: single-writer / multiple-reader locks at
+    page granularity, with lock chains per transaction and waits-for
+    deadlock detection.
+
+    Both transaction systems in the paper use page-level two-phase
+    locking (Section 3 for the user-level system, Section 4.1's lock
+    table for the embedded one); this module is that table. Objects are
+    [(file, page)] pairs; lock chains are kept per transaction so commit
+    and abort can release everything the transaction holds in one
+    traversal, exactly as the paper describes.
+
+    The manager itself never blocks (the simulation is single-threaded):
+    a conflicting request returns [`Would_block] and registers the
+    waits-for edges, and the caller decides whether to spin, deschedule
+    its simulated process, or abort. A request that would close a cycle
+    in the waits-for graph returns [`Deadlock] instead. *)
+
+type mode = Shared | Exclusive
+
+type obj = int * int
+(** [(file, page)] — the unit of locking. *)
+
+type outcome =
+  [ `Granted  (** lock acquired (or already held at this or a stronger mode) *)
+  | `Would_block of int list  (** conflicting holders; wait edges recorded *)
+  | `Deadlock  (** waiting would close a cycle; caller should abort *)
+  ]
+
+type t
+
+val create : Clock.t -> Stats.t -> Config.cpu -> t
+
+val acquire : t -> txn:int -> obj -> mode -> outcome
+(** Request a lock. Upgrades ([Shared] then [Exclusive] by the sole
+    holder) are granted in place. Repeated requests at an equal or weaker
+    mode are no-ops. *)
+
+val release : t -> txn:int -> obj -> unit
+(** Early release of a single lock (used by non-two-phase callers such as
+    B-tree lock coupling). No-op if not held. *)
+
+val release_all : t -> txn:int -> unit
+(** Commit/abort path: walk the transaction's lock chain, release
+    everything, and clear its wait edges. *)
+
+val cancel_wait : t -> txn:int -> unit
+(** Forget the transaction's wait edges without releasing locks. *)
+
+val holds : t -> txn:int -> obj -> mode option
+val chain : t -> txn:int -> (obj * mode) list
+(** The transaction's lock chain (most recently acquired first). *)
+
+val locked_objects : t -> int
+val waiting : t -> txn:int -> bool

@@ -1,0 +1,1 @@
+lib/sim/enc.ml: Bytes Char Int32 Int64 Printf String

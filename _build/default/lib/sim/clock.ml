@@ -1,0 +1,12 @@
+type t = { mutable now : float }
+
+let create () = { now = 0.0 }
+
+let now t = t.now
+
+let advance t dt =
+  if not (Float.is_finite dt) || dt < 0.0 then
+    invalid_arg (Printf.sprintf "Clock.advance: bad delta %g" dt);
+  t.now <- t.now +. dt
+
+let sleep_until t deadline = if deadline > t.now then t.now <- deadline

@@ -1,0 +1,24 @@
+(** Simulated wall clock.
+
+    Every simulation instance (one "machine") owns exactly one clock. All
+    costs — disk service times, CPU charges, sleeps — advance it. Because
+    the reproduction runs at multiprogramming level 1 (as the paper's
+    measurements did), elapsed simulated time is simply the sum of all
+    charges. *)
+
+type t
+
+val create : unit -> t
+(** A clock starting at time 0.0 seconds. *)
+
+val now : t -> float
+(** Current simulated time in seconds. *)
+
+val advance : t -> float -> unit
+(** [advance t dt] moves the clock forward by [dt] seconds.
+    @raise Invalid_argument if [dt] is negative or not finite. *)
+
+val sleep_until : t -> float -> unit
+(** [sleep_until t deadline] advances the clock to [deadline] if it is in
+    the future; a no-op otherwise. Used by group commit timeouts and the
+    periodic syncer. *)

@@ -1,0 +1,30 @@
+(** Central CPU cost accounting.
+
+    All processor charges go through {!charge} so that every simulated
+    instruction-path cost is (a) taken from {!Config.cpu} in one place and
+    (b) attributed in the shared {!Stats.t} under a ["cpu."] key. *)
+
+type kind =
+  | Syscall  (** one trap into the kernel *)
+  | Context_switch
+  | User_mutex
+      (** user-level semaphore acquire+release; two system calls on a
+          machine without test-and-set (the DECstation), a few
+          instructions otherwise — the mechanism behind Figure 4's
+          user/kernel gap *)
+  | Kernel_mutex  (** kernel-side synchronization inside a system call *)
+  | Copy_block
+  | Buffer_lookup
+  | Protection_check
+  | Record_op
+  | Cursor_next
+  | Lock_op
+  | Log_record
+  | File_op
+  | Compile_unit
+
+val cost : Config.cpu -> kind -> float
+(** Seconds charged for one occurrence of [kind]. *)
+
+val charge : Clock.t -> Stats.t -> Config.cpu -> kind -> unit
+(** Advance the clock by {!cost} and record it in the stats. *)

@@ -1,0 +1,34 @@
+let get_u8 b off = Char.code (Bytes.get b off)
+let set_u8 b off v = Bytes.set b off (Char.chr (v land 0xff))
+
+let get_u16 b off = Bytes.get_uint16_be b off
+let set_u16 b off v = Bytes.set_uint16_be b off v
+
+let get_u32 b off = Int32.to_int (Bytes.get_int32_be b off) land 0xffffffff
+
+let set_u32 b off v =
+  if v < 0 || v > 0xffffffff then
+    invalid_arg (Printf.sprintf "Enc.set_u32: %d out of range" v);
+  Bytes.set_int32_be b off (Int32.of_int v)
+
+let get_i64 b off = Bytes.get_int64_be b off
+let set_i64 b off v = Bytes.set_int64_be b off v
+
+let get_f64 b off = Int64.float_of_bits (Bytes.get_int64_be b off)
+let set_f64 b off v = Bytes.set_int64_be b off (Int64.bits_of_float v)
+
+let get_string b off ~len = Bytes.sub_string b off len
+let set_string b off s = Bytes.blit_string s 0 b off (String.length s)
+
+let get_lstring b off =
+  let len = get_u16 b off in
+  (Bytes.sub_string b (off + 2) len, off + 2 + len)
+
+let set_lstring b off s =
+  let len = String.length s in
+  if len > 0xffff then invalid_arg "Enc.set_lstring: string too long";
+  set_u16 b off len;
+  Bytes.blit_string s 0 b (off + 2) len;
+  off + 2 + len
+
+let lstring_size s = 2 + String.length s

@@ -1,0 +1,53 @@
+type t = {
+  counts : (string, int ref) Hashtbl.t;
+  times : (string, float ref) Hashtbl.t;
+}
+
+let create () = { counts = Hashtbl.create 32; times = Hashtbl.create 32 }
+
+let cell tbl zero key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r
+  | None ->
+    let r = ref zero in
+    Hashtbl.add tbl key r;
+    r
+
+let add t key n =
+  let r = cell t.counts 0 key in
+  r := !r + n
+
+let incr t key = add t key 1
+
+let add_time t key dt =
+  let r = cell t.times 0.0 key in
+  r := !r +. dt
+
+let record_max t key v =
+  let r = cell t.times 0.0 key in
+  if v > !r then r := v
+
+let count t key =
+  match Hashtbl.find_opt t.counts key with Some r -> !r | None -> 0
+
+let time t key =
+  match Hashtbl.find_opt t.times key with Some r -> !r | None -> 0.0
+
+let reset t =
+  Hashtbl.reset t.counts;
+  Hashtbl.reset t.times
+
+let to_list t =
+  let entries = ref [] in
+  Hashtbl.iter (fun k r -> entries := (k, `Count !r) :: !entries) t.counts;
+  Hashtbl.iter (fun k r -> entries := (k, `Seconds !r) :: !entries) t.times;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !entries
+
+let pp ppf t =
+  let pp_entry ppf = function
+    | key, `Count n -> Format.fprintf ppf "%s: %d" key n
+    | key, `Seconds s -> Format.fprintf ppf "%s: %.6fs" key s
+  in
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_entry)
+    (to_list t)

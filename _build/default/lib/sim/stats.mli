@@ -1,0 +1,37 @@
+(** Named simulation counters and accumulators.
+
+    Every subsystem records what it did (seeks performed, blocks read,
+    segments cleaned, locks waited on, …) into a shared [Stats.t] so the
+    experiment harness can report not just elapsed time but {e why} time
+    was spent. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+(** Add 1 to the integer counter named by the key. *)
+
+val add : t -> string -> int -> unit
+(** Add [n] to the integer counter. *)
+
+val add_time : t -> string -> float -> unit
+(** Accumulate [dt] seconds under the key. *)
+
+val record_max : t -> string -> float -> unit
+(** Keep the maximum of all values reported under the key (stored in the
+    time table; read it back with {!time}). *)
+
+val count : t -> string -> int
+(** Current value of the integer counter (0 if never touched). *)
+
+val time : t -> string -> float
+(** Current value of the time accumulator (0.0 if never touched). *)
+
+val reset : t -> unit
+(** Zero every counter and accumulator. *)
+
+val to_list : t -> (string * [ `Count of int | `Seconds of float ]) list
+(** Sorted dump of all entries, for reports and debugging. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,378 @@
+type scale = { accounts : int; tellers : int; branches : int }
+
+let scale_for_tps tps =
+  if tps <= 0 then invalid_arg "Tpcb.scale_for_tps: tps must be positive";
+  { accounts = 100_000 * tps; tellers = 10 * tps; branches = tps }
+
+type backend = User of Libtp.t | Kernel of Ktxn.t
+
+type db = {
+  scale : scale;
+  acct : Vfs.fd;
+  tell : Vfs.fd;
+  br : Vfs.fd;
+  hist : Vfs.fd;
+}
+
+(* Record formats: 100-byte balance records keyed by a 10-digit decimal
+   id; 50-byte fixed history records. *)
+
+let record_bytes = 100
+let history_bytes = 50
+
+let key10 id = Printf.sprintf "%010d" id
+
+let balance_value balance =
+  let head = Printf.sprintf "%020d" balance in
+  head ^ String.make (record_bytes - String.length head) '.'
+
+let parse_balance v = int_of_string (String.sub v 0 20)
+
+let history_record ~account ~teller ~branch ~delta =
+  let head = Printf.sprintf "%010d%05d%05d%+015d" account teller branch delta in
+  Bytes.of_string (head ^ String.make (history_bytes - String.length head) '.')
+
+let paths = ("/tpcb/account", "/tpcb/teller", "/tpcb/branch", "/tpcb/history")
+
+let open_db (vfs : Vfs.t) ~scale =
+  let pa, pt, pb, ph = paths in
+  {
+    scale;
+    acct = vfs.Vfs.open_file pa;
+    tell = vfs.Vfs.open_file pt;
+    br = vfs.Vfs.open_file pb;
+    hist = vfs.Vfs.open_file ph;
+  }
+
+let build clock stats cfg (vfs : Vfs.t) ~rng ~scale =
+  ignore rng;
+  let pa, pt, pb, ph = paths in
+  vfs.Vfs.mkdir "/tpcb";
+  List.iter (fun p -> ignore (vfs.Vfs.create p)) [ pa; pt; pb; ph ];
+  let db = open_db vfs ~scale in
+  let load fd n =
+    let bt = Btree.attach clock stats cfg.Config.cpu (Pager.plain vfs fd) in
+    for id = 0 to n - 1 do
+      Btree.insert bt (key10 id) (balance_value 0)
+    done
+  in
+  load db.acct scale.accounts;
+  load db.tell scale.tellers;
+  load db.br scale.branches;
+  ignore
+    (Recno.attach clock stats cfg.Config.cpu (Pager.plain vfs db.hist)
+       ~reclen:history_bytes);
+  vfs.Vfs.sync ();
+  db
+
+let protect_all db ktxn =
+  ignore db;
+  let pa, pt, pb, ph = paths in
+  List.iter (fun p -> Ktxn.protect ktxn p) [ pa; pt; pb; ph ]
+
+type result = {
+  txns : int;
+  elapsed_s : float;
+  tps : float;
+  max_latency_s : float;
+  latencies_s : float array;
+}
+
+(* One TPC-B transaction: update account, teller and branch balances and
+   append a history record, all under one transaction. *)
+let execute clock stats cfg db backend ~account ~teller ~branch ~delta =
+  let cpu = cfg.Config.cpu in
+  let adjust bt key =
+    let balance =
+      match Btree.find bt key with
+      | Some v -> parse_balance v
+      | None -> failwith ("TPC-B: missing record " ^ key)
+    in
+    Btree.insert bt key (balance_value (balance + delta))
+  in
+  match backend with
+  | User env ->
+    let txn = Libtp.begin_txn env in
+    let bt fd = Btree.attach clock stats cpu (Pager.wal env txn fd) in
+    adjust (bt db.acct) (key10 account);
+    adjust (bt db.tell) (key10 teller);
+    adjust (bt db.br) (key10 branch);
+    let hist =
+      Recno.attach clock stats cpu (Pager.wal env txn db.hist)
+        ~reclen:history_bytes
+    in
+    ignore (Recno.append hist (history_record ~account ~teller ~branch ~delta));
+    Libtp.commit env txn
+  | Kernel k ->
+    let txn = Ktxn.txn_begin k in
+    let bt fd = Btree.attach clock stats cpu (Ktxn.pager k txn ~inum:fd) in
+    adjust (bt db.acct) (key10 account);
+    adjust (bt db.tell) (key10 teller);
+    adjust (bt db.br) (key10 branch);
+    let hist =
+      Recno.attach clock stats cpu (Ktxn.pager k txn ~inum:db.hist)
+        ~reclen:history_bytes
+    in
+    ignore (Recno.append hist (history_record ~account ~teller ~branch ~delta));
+    Ktxn.txn_commit k txn
+
+let run clock stats cfg db backend ~rng ~n =
+  let latencies = Array.make n 0.0 in
+  let t0 = Clock.now clock in
+  for i = 0 to n - 1 do
+    let start = Clock.now clock in
+    let account = Rng.int rng db.scale.accounts in
+    let teller = Rng.int rng db.scale.tellers in
+    let branch = teller * db.scale.branches / db.scale.tellers in
+    let delta = Rng.int rng 1_999_999 - 999_999 in
+    execute clock stats cfg db backend ~account ~teller ~branch ~delta;
+    latencies.(i) <- Clock.now clock -. start
+  done;
+  (* Any deferred group commit belongs to the measured run. *)
+  (match backend with Kernel k -> Ktxn.flush_commits k | User _ -> ());
+  let elapsed = Clock.now clock -. t0 in
+  {
+    txns = n;
+    elapsed_s = elapsed;
+    tps = (if elapsed > 0.0 then float_of_int n /. elapsed else 0.0);
+    max_latency_s = Array.fold_left Float.max 0.0 latencies;
+    latencies_s = latencies;
+  }
+
+(* Non-transactional inspection ------------------------------------------- *)
+
+let sum_balances clock stats cfg vfs fd =
+  let bt = Btree.attach clock stats cfg.Config.cpu (Pager.plain vfs fd) in
+  let total = ref 0 in
+  Btree.iter bt (fun _ v ->
+      total := !total + parse_balance v;
+      true);
+  !total
+
+let account_balance clock stats cfg db vfs id =
+  let bt = Btree.attach clock stats cfg.Config.cpu (Pager.plain vfs db.acct) in
+  match Btree.find bt (key10 id) with
+  | Some v -> parse_balance v
+  | None -> failwith "TPC-B: no such account"
+
+let history_count clock stats cfg db vfs =
+  Recno.count
+    (Recno.attach clock stats cfg.Config.cpu (Pager.plain vfs db.hist)
+       ~reclen:history_bytes)
+
+let check_consistency clock stats cfg db vfs =
+  let a = sum_balances clock stats cfg vfs db.acct in
+  let t = sum_balances clock stats cfg vfs db.tell in
+  let b = sum_balances clock stats cfg vfs db.br in
+  if a <> t || t <> b then
+    failwith
+      (Printf.sprintf "TPC-B inconsistent: accounts %d, tellers %d, branches %d"
+         a t b);
+  (* Every committed transaction moved one delta into each relation and
+     appended one history record; replaying history must reproduce the
+     balance sums. *)
+  let hist =
+    Recno.attach clock stats cfg.Config.cpu (Pager.plain vfs db.hist)
+      ~reclen:history_bytes
+  in
+  let from_history = ref 0 in
+  Recno.iter hist (fun _ data ->
+      from_history := !from_history + int_of_string (Bytes.sub_string data 20 15);
+      true);
+  if !from_history <> a then
+    failwith
+      (Printf.sprintf "TPC-B history sum %d disagrees with balances %d"
+         !from_history a)
+
+let account_fd db = db.acct
+
+(* Multi-user driver ------------------------------------------------------- *)
+
+type multi_result = {
+  base : result;
+  conflicts : int;
+  deadlocks : int;
+  restarts : int;
+}
+
+type handle = Hu of Libtp.txn | Hk of Ktxn.txn
+
+type step = Sacct | Steller | Sbranch | Shist | Scommit
+
+type proc = {
+  pid : int;
+  mutable handle : handle option;
+  mutable steps : step list;
+  mutable account : int;
+  mutable teller : int;
+  mutable branch : int;
+  mutable delta : int;
+  mutable blocked : bool;
+}
+
+let run_multi clock stats cfg db backend ~rng ~n ~mpl =
+  if mpl <= 0 then invalid_arg "Tpcb.run_multi: mpl must be positive";
+  let cpu = cfg.Config.cpu in
+  let conflicts = ref 0 and deadlocks = ref 0 and restarts = ref 0 in
+  let committed = ref 0 in
+  let new_params p =
+    p.account <- Rng.int rng db.scale.accounts;
+    p.teller <- Rng.int rng db.scale.tellers;
+    p.branch <- p.teller * db.scale.branches / db.scale.tellers;
+    p.delta <- Rng.int rng 1_999_999 - 999_999;
+    p.steps <- [ Sacct; Steller; Sbranch; Shist; Scommit ]
+  in
+  let procs =
+    Array.init mpl (fun pid ->
+        let p =
+          {
+            pid;
+            handle = None;
+            steps = [];
+            account = 0;
+            teller = 0;
+            branch = 0;
+            delta = 0;
+            blocked = false;
+          }
+        in
+        new_params p;
+        p)
+  in
+  let begin_txn () =
+    match backend with
+    | User env -> Hu (Libtp.begin_txn env)
+    | Kernel k -> Hk (Ktxn.txn_begin k)
+  in
+  let adjust h fd key =
+    let bt =
+      match (backend, h) with
+      | User env, Hu txn -> Btree.attach clock stats cpu (Pager.wal env txn fd)
+      | Kernel k, Hk txn -> Btree.attach clock stats cpu (Ktxn.pager k txn ~inum:fd)
+      | _ -> assert false
+    in
+    let balance =
+      match Btree.find bt key with
+      | Some v -> parse_balance v
+      | None -> failwith ("TPC-B: missing record " ^ key)
+    in
+    fun delta -> Btree.insert bt key (balance_value (balance + delta))
+  in
+  let append_hist h p =
+    let rn =
+      match (backend, h) with
+      | User env, Hu txn ->
+        Recno.attach clock stats cpu (Pager.wal env txn db.hist)
+          ~reclen:history_bytes
+      | Kernel k, Hk txn ->
+        Recno.attach clock stats cpu (Ktxn.pager k txn ~inum:db.hist)
+          ~reclen:history_bytes
+      | _ -> assert false
+    in
+    ignore
+      (Recno.append rn
+         (history_record ~account:p.account ~teller:p.teller ~branch:p.branch
+            ~delta:p.delta))
+  in
+  let commit h =
+    match (backend, h) with
+    | User env, Hu txn -> Libtp.commit env txn
+    | Kernel k, Hk txn -> Ktxn.txn_commit k txn
+    | _ -> assert false
+  in
+  (* Run one step of process [p]; returns whether any lock was released
+     (a commit, or a deadlock abort), which unblocks waiters. *)
+  let step p =
+    let h =
+      match p.handle with
+      | Some h -> h
+      | None ->
+        let h = begin_txn () in
+        p.handle <- Some h;
+        h
+    in
+    match p.steps with
+    | [] -> false
+    | s :: rest -> (
+      match
+        (match s with
+        | Sacct -> (adjust h db.acct (key10 p.account)) p.delta
+        | Steller -> (adjust h db.tell (key10 p.teller)) p.delta
+        | Sbranch -> (adjust h db.br (key10 p.branch)) p.delta
+        | Shist -> append_hist h p
+        | Scommit -> commit h)
+      with
+      | () ->
+        p.steps <- rest;
+        p.blocked <- false;
+        if s = Scommit then begin
+          incr committed;
+          p.handle <- None;
+          new_params p;
+          true
+        end
+        else false
+      | exception (Libtp.Conflict _ | Ktxn.Conflict _) ->
+        incr conflicts;
+        p.blocked <- true;
+        Cpu.charge clock stats cpu Cpu.Context_switch;
+        false
+      | exception (Libtp.Deadlock_abort _ | Ktxn.Deadlock_abort _) ->
+        incr deadlocks;
+        incr restarts;
+        p.handle <- None;
+        new_params p;
+        p.blocked <- false;
+        true)
+  in
+  let t0 = Clock.now clock in
+  let stuck_rounds = ref 0 in
+  while !committed < n do
+    let progressed = ref false in
+    let released = ref false in
+    Array.iter
+      (fun p ->
+        if (not p.blocked) || !released then begin
+          if p.blocked then p.blocked <- false;
+          if step p then released := true;
+          progressed := true
+        end)
+      procs;
+    if not !progressed then begin
+      (* Everyone is blocked: wake all and retry (the holder's commit will
+         have released by now, or a deadlock will fire on retry). *)
+      Array.iter (fun p -> p.blocked <- false) procs;
+      incr stuck_rounds;
+      if !stuck_rounds > 1000 then failwith "Tpcb.run_multi: no progress"
+    end
+    else stuck_rounds := 0
+  done;
+  (* Quiesce: abort the transactions still in flight so the run leaves
+     only committed state behind. *)
+  Array.iter
+    (fun p ->
+      match (p.handle, backend) with
+      | Some (Hu txn), User env ->
+        Libtp.abort env txn;
+        p.handle <- None
+      | Some (Hk txn), Kernel k ->
+        Ktxn.txn_abort k txn;
+        p.handle <- None
+      | Some _, _ -> assert false
+      | None, _ -> ())
+    procs;
+  (match backend with Kernel k -> Ktxn.flush_commits k | User _ -> ());
+  let elapsed = Clock.now clock -. t0 in
+  {
+    base =
+      {
+        txns = !committed;
+        elapsed_s = elapsed;
+        tps = (if elapsed > 0.0 then float_of_int !committed /. elapsed else 0.0);
+        max_latency_s = 0.0;
+        latencies_s = [||];
+      };
+    conflicts = !conflicts;
+    deadlocks = !deadlocks;
+    restarts = !restarts;
+  }

@@ -1,0 +1,1 @@
+lib/vfs/dirfmt.ml: Bytes Enc List String Vfs

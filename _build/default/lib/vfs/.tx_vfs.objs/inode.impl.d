@@ -1,0 +1,1 @@
+lib/vfs/inode.ml: Array Bytes Enc Hashtbl Int64 List Vfs

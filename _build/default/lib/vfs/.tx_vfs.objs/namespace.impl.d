@@ -1,0 +1,1 @@
+lib/vfs/namespace.ml: Bytes Dirfmt List String Vfs

@@ -1,0 +1,1 @@
+lib/vfs/namespace.mli: Vfs

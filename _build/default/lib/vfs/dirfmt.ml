@@ -1,0 +1,44 @@
+
+type entry = { name : string; inum : int; kind : Vfs.file_kind }
+
+let max_name = 255
+
+let kind_code = function Vfs.File -> 0 | Vfs.Dir -> 1
+
+let kind_of_code = function
+  | 0 -> Vfs.File
+  | 1 -> Vfs.Dir
+  | c -> Vfs.error Invalid "directory entry: bad kind code %d" c
+
+let entry_size e = 2 + 4 + 1 + String.length e.name
+
+let encode entries =
+  let total = List.fold_left (fun acc e -> acc + entry_size e) 0 entries in
+  let b = Bytes.create total in
+  let off = ref 0 in
+  let put e =
+    Enc.set_u16 b !off (String.length e.name);
+    Enc.set_u32 b (!off + 2) e.inum;
+    Enc.set_u8 b (!off + 6) (kind_code e.kind);
+    Enc.set_string b (!off + 7) e.name;
+    off := !off + entry_size e
+  in
+  List.iter put entries;
+  b
+
+let decode b =
+  let len = Bytes.length b in
+  let rec go off acc =
+    if off = len then List.rev acc
+    else if off + 7 > len then Vfs.error Invalid "directory: truncated entry"
+    else
+      let nlen = Enc.get_u16 b off in
+      if nlen = 0 || nlen > max_name || off + 7 + nlen > len then
+        Vfs.error Invalid "directory: bad name length %d" nlen
+      else
+        let inum = Enc.get_u32 b (off + 2) in
+        let kind = kind_of_code (Enc.get_u8 b (off + 6)) in
+        let name = Enc.get_string b (off + 7) ~len:nlen in
+        go (off + 7 + nlen) ({ name; inum; kind } :: acc)
+  in
+  go 0 []

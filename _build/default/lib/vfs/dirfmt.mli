@@ -1,0 +1,17 @@
+(** On-disk directory encoding, shared by both file systems.
+
+    A directory's data fork is a flat sequence of entries:
+    [u16 name length | u32 inode number | u8 kind | name bytes].
+    Directories in the paper's workloads are small (TPC-B uses four files;
+    the Andrew tree has a few dozen entries per directory), so the codecs
+    work on the whole fork at once. *)
+
+type entry = { name : string; inum : int; kind : Vfs.file_kind }
+
+val encode : entry list -> bytes
+
+val decode : bytes -> entry list
+(** @raise Vfs.Error with [Invalid] on a corrupt encoding. *)
+
+val max_name : int
+(** Longest permitted entry name (255, as in FFS). *)

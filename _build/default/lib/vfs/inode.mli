@@ -1,0 +1,72 @@
+(** LFS inodes: the index structure of Section 2.
+
+    On disk an inode is a fixed 256-byte record holding file attributes
+    (including the transaction-protected bit of Section 4.1), 12 direct
+    block addresses, one single-indirect address and one double-indirect
+    address. In memory we additionally materialize the full
+    logical-block → disk-address map so that reads, the cleaner's
+    liveness test and the segment writer are all array lookups; indirect
+    blocks are (re)generated from the map when the inode is written into
+    a segment, and only the dirty ones are rewritten. *)
+
+type t = {
+  inum : int;
+  mutable kind : Vfs.file_kind;
+  mutable protected_ : bool;
+  mutable size : int;  (** bytes *)
+  mutable mtime : float;
+  mutable version : int;  (** bumped on truncation/removal *)
+  mutable map : int array;  (** logical block -> disk address; 0 = hole *)
+  mutable nmap : int;  (** used prefix of [map] *)
+  mutable ind_addrs : int array;  (** disk address of each indirect block *)
+  mutable dbl_addr : int;
+  mutable dirty : bool;  (** the 256-byte inode record needs rewriting *)
+  dirty_ind : (int, unit) Hashtbl.t;
+      (** indexes of indirect blocks needing rewriting *)
+  mutable dbl_dirty : bool;
+}
+
+val ndirect : int
+(** Direct addresses per inode (12, as in the paper's description). *)
+
+val per_indirect : block_size:int -> int
+(** Addresses per indirect block. *)
+
+val create : inum:int -> kind:Vfs.file_kind -> t
+
+val nblocks : t -> int
+(** Logical blocks mapped (the used prefix; trailing entries may be 0). *)
+
+val get_addr : t -> int -> int
+(** Disk address of logical block [lblock]; 0 for holes/out of range. *)
+
+val set_addr : t -> block_size:int -> int -> int -> unit
+(** [set_addr t ~block_size lblock addr] updates the map, growing it as
+    needed, and marks the inode and the covering indirect block dirty. *)
+
+val truncate_map : t -> block_size:int -> int -> unit
+(** Shrink the map to [n] logical blocks, marking affected metadata
+    dirty. *)
+
+val indirect_count : t -> block_size:int -> int
+(** Number of indirect blocks the current map requires. *)
+
+val encode : t -> bytes
+(** The 256-byte on-disk record. *)
+
+val decode : bytes -> int -> t option
+(** [decode block off] reads a record at byte offset [off]; [None] if the
+    slot is unallocated. The map is sized but unfilled beyond direct
+    blocks — the mount code fills it from the indirect blocks. *)
+
+val encode_indirect : t -> block_size:int -> int -> bytes
+(** Materialize the [idx]-th indirect block from the in-memory map. *)
+
+val decode_indirect : t -> block_size:int -> int -> bytes -> unit
+(** Fill the map range covered by indirect block [idx] from disk bytes. *)
+
+val encode_double : t -> block_size:int -> bytes
+(** Materialize the double-indirect block (addresses of indirect blocks
+    1..n-1; indirect block 0's address lives in the inode itself). *)
+
+val decode_double : t -> block_size:int -> bytes -> unit

@@ -1,0 +1,86 @@
+module type STORE = sig
+  type t
+
+  val root : t -> int
+  val read : t -> int -> off:int -> len:int -> bytes
+  val write : t -> int -> off:int -> bytes -> unit
+  val truncate : t -> int -> len:int -> unit
+  val size : t -> int -> int
+  val alloc_inode : t -> kind:Vfs.file_kind -> int
+  val free_inode : t -> int -> unit
+end
+
+module Make (S : STORE) = struct
+  let split path =
+    let n = String.length path in
+    if n = 0 || path.[0] <> '/' then
+      Vfs.error Invalid "path %S must be absolute" path;
+    String.split_on_char '/' path
+    |> List.filter_map (fun c ->
+           if c = "" then None
+           else if String.length c > Dirfmt.max_name then
+             Vfs.error Invalid "path component %S too long" c
+           else Some c)
+
+  let entries t dinum =
+    Dirfmt.decode (S.read t dinum ~off:0 ~len:(S.size t dinum))
+
+  let write_entries t dinum es =
+    let b = Dirfmt.encode es in
+    S.truncate t dinum ~len:(Bytes.length b);
+    if Bytes.length b > 0 then S.write t dinum ~off:0 b
+
+  let lookup t path =
+    let rec walk dinum = function
+      | [] -> Some (dinum, Vfs.Dir)
+      | [ last ] -> (
+        match List.find_opt (fun e -> e.Dirfmt.name = last) (entries t dinum) with
+        | Some e -> Some (e.inum, e.kind)
+        | None -> None)
+      | comp :: rest -> (
+        match List.find_opt (fun e -> e.Dirfmt.name = comp) (entries t dinum) with
+        | Some { kind = Vfs.Dir; inum; _ } -> walk inum rest
+        | Some _ | None -> None)
+    in
+    walk (S.root t) (split path)
+
+  (* Resolve the parent directory of [path]; returns (parent inum, leaf name). *)
+  let parent_of t path =
+    match List.rev (split path) with
+    | [] -> Vfs.error Invalid "cannot operate on the root directory"
+    | leaf :: rev_parents -> (
+      let parent_path =
+        "/" ^ String.concat "/" (List.rev rev_parents)
+      in
+      match lookup t parent_path with
+      | Some (dinum, Vfs.Dir) -> (dinum, leaf)
+      | Some (_, Vfs.File) -> Vfs.error Not_dir "%s" parent_path
+      | None -> Vfs.error Not_found "%s" parent_path)
+
+  let create t path ~kind =
+    let dinum, leaf = parent_of t path in
+    let es = entries t dinum in
+    if List.exists (fun e -> e.Dirfmt.name = leaf) es then
+      Vfs.error Exists "%s" path;
+    let inum = S.alloc_inode t ~kind in
+    write_entries t dinum (es @ [ { Dirfmt.name = leaf; inum; kind } ]);
+    inum
+
+  let remove t path =
+    let dinum, leaf = parent_of t path in
+    let es = entries t dinum in
+    match List.find_opt (fun e -> e.Dirfmt.name = leaf) es with
+    | None -> Vfs.error Not_found "%s" path
+    | Some e ->
+      (if e.kind = Vfs.Dir && S.size t e.inum > 0 then
+         Vfs.error Invalid "directory %s not empty" path);
+      write_entries t dinum (List.filter (fun x -> x.Dirfmt.name <> leaf) es);
+      S.free_inode t e.inum
+
+  let readdir t path =
+    match lookup t path with
+    | Some (dinum, Vfs.Dir) ->
+      List.map (fun e -> (e.Dirfmt.name, e.kind)) (entries t dinum)
+    | Some (_, Vfs.File) -> Vfs.error Not_dir "%s" path
+    | None -> Vfs.error Not_found "%s" path
+end

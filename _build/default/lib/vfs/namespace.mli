@@ -1,0 +1,47 @@
+(** Hierarchical namespace implemented once over any inode store.
+
+    Both file systems differ in {e where} bytes land on disk, not in how
+    paths map to inodes, so path walking, entry insertion/removal and
+    directory listing live here, as a functor over the minimal per-file
+    byte store each file system already provides. *)
+
+module type STORE = sig
+  type t
+
+  val root : t -> int
+  (** Inode number of the root directory (which always exists). *)
+
+  val read : t -> int -> off:int -> len:int -> bytes
+  val write : t -> int -> off:int -> bytes -> unit
+  val truncate : t -> int -> len:int -> unit
+  val size : t -> int -> int
+
+  val alloc_inode : t -> kind:Vfs.file_kind -> int
+  (** Allocate a fresh, empty inode of the given kind. *)
+
+  val free_inode : t -> int -> unit
+  (** Release an inode and all its data blocks. *)
+end
+
+module Make (S : STORE) : sig
+  val split : string -> string list
+  (** Path components of an absolute path.
+      @raise Vfs.Error with [Invalid] on empty or relative paths. *)
+
+  val lookup : S.t -> string -> (int * Vfs.file_kind) option
+  (** Resolve a path to (inode, kind); [None] if any component is
+      missing. The root resolves to [(S.root, Dir)]. *)
+
+  val create : S.t -> string -> kind:Vfs.file_kind -> int
+  (** Create the final component (file or directory).
+      @raise Vfs.Error [Exists] if the path already exists, [Not_found]
+      if the parent is missing, [Not_dir] if the parent is a file. *)
+
+  val remove : S.t -> string -> unit
+  (** Remove a file, or an {e empty} directory.
+      @raise Vfs.Error [Invalid] when removing a non-empty directory or
+      the root. *)
+
+  val readdir : S.t -> string -> (string * Vfs.file_kind) list
+  (** Entries of a directory, in insertion order. *)
+end

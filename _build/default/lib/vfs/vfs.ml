@@ -1,0 +1,53 @@
+type fd = int
+
+type file_kind = File | Dir
+
+type stat = { inum : int; size : int; kind : file_kind; protected_ : bool }
+
+type error_code =
+  | Not_found
+  | Exists
+  | Not_dir
+  | Is_dir
+  | No_space
+  | Not_supported
+  | Invalid
+
+exception Error of error_code * string
+
+let string_of_error_code = function
+  | Not_found -> "not found"
+  | Exists -> "already exists"
+  | Not_dir -> "not a directory"
+  | Is_dir -> "is a directory"
+  | No_space -> "no space left on device"
+  | Not_supported -> "operation not supported"
+  | Invalid -> "invalid argument"
+
+let error code fmt =
+  Format.kasprintf (fun msg -> raise (Error (code, msg))) fmt
+
+type t = {
+  name : string;
+  block_size : int;
+  create : string -> fd;
+  open_file : string -> fd;
+  read : fd -> off:int -> len:int -> bytes;
+  write : fd -> off:int -> bytes -> unit;
+  truncate : fd -> int -> unit;
+  size : fd -> int;
+  fsync : fd -> unit;
+  sync : unit -> unit;
+  remove : string -> unit;
+  mkdir : string -> unit;
+  readdir : string -> (string * file_kind) list;
+  exists : string -> bool;
+  stat : string -> stat;
+  set_protected : string -> bool -> unit;
+}
+
+let () =
+  Printexc.register_printer (function
+    | Error (code, msg) ->
+      Some (Printf.sprintf "Vfs.Error (%s: %s)" (string_of_error_code code) msg)
+    | _ -> None)

@@ -1,0 +1,56 @@
+(** File-system interface shared by the log-structured and read-optimized
+    file systems.
+
+    The paper's point of comparison is that the {e same} applications (the
+    user-level transaction system, TPC-B, the Andrew and Bigfile
+    benchmarks) run unchanged on either file system; this record of
+    operations is that common system-call surface. A file descriptor is
+    simply the file's inode number — the simulation has no per-process
+    descriptor table.
+
+    Transaction protection is a file attribute (Section 4): it is set with
+    {!field-set_protected} and has an effect only on a file system with an
+    embedded transaction manager; others raise [Error (Not_supported, _)]. *)
+
+type fd = int
+
+type file_kind = File | Dir
+
+type stat = { inum : int; size : int; kind : file_kind; protected_ : bool }
+
+type error_code =
+  | Not_found
+  | Exists
+  | Not_dir
+  | Is_dir
+  | No_space
+  | Not_supported
+  | Invalid
+
+exception Error of error_code * string
+
+val error : error_code -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [error code fmt ...] raises {!Error} with a formatted message. *)
+
+val string_of_error_code : error_code -> string
+
+type t = {
+  name : string;  (** "lfs" or "ffs", for reports *)
+  block_size : int;
+  create : string -> fd;  (** create a regular file; parent must exist *)
+  open_file : string -> fd;
+  read : fd -> off:int -> len:int -> bytes;
+      (** short reads at end-of-file return fewer bytes *)
+  write : fd -> off:int -> bytes -> unit;
+      (** extends the file if the range ends past the current size *)
+  truncate : fd -> int -> unit;
+  size : fd -> int;
+  fsync : fd -> unit;  (** force the file's dirty blocks to disk *)
+  sync : unit -> unit;  (** force all dirty state, including metadata *)
+  remove : string -> unit;
+  mkdir : string -> unit;
+  readdir : string -> (string * file_kind) list;
+  exists : string -> bool;
+  stat : string -> stat;
+  set_protected : string -> bool -> unit;
+}

@@ -1,0 +1,1 @@
+lib/wal/bufpool.ml: Bytes Cache Clock Config Cpu Hashtbl List Logmgr Logrec Option Stats Vfs

@@ -1,0 +1,1 @@
+lib/wal/bufpool.mli: Clock Config Logmgr Logrec Stats Vfs

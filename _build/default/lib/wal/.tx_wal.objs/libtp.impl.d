@@ -1,0 +1,1 @@
+lib/wal/libtp.ml: Bufpool Bytes Clock Config Cpu Hashtbl List Lockmgr Logmgr Logrec Stats Vfs

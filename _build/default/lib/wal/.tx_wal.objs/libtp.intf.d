@@ -1,0 +1,1 @@
+lib/wal/libtp.mli: Bufpool Clock Config Lockmgr Logmgr Stats Vfs

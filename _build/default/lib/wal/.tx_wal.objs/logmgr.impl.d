@@ -1,0 +1,1 @@
+lib/wal/logmgr.ml: Buffer Bytes Clock Config Cpu Logrec Seq Stats Vfs

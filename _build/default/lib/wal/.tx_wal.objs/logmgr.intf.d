@@ -1,0 +1,1 @@
+lib/wal/logmgr.mli: Clock Config Logrec Seq Stats Vfs

@@ -1,0 +1,1 @@
+lib/wal/logrec.ml: Bytes Char Enc Int64 List Option

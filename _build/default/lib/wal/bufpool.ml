@@ -1,0 +1,78 @@
+type t = {
+  clock : Clock.t;
+  stats : Stats.t;
+  cfg : Config.t;
+  vfs : Vfs.t;
+  log : Logmgr.t;
+  cache : Cache.t;
+  lsns : (int * int, Logrec.lsn) Hashtbl.t; (* (file,page) -> last update LSN *)
+  ps : int;
+}
+
+let page_size t = t.ps
+
+let write_back t (f : Cache.frame) =
+  (* WAL rule: the log must cover the page's last update before the page
+     itself reaches disk. *)
+  (match Hashtbl.find_opt t.lsns (f.Cache.file, f.Cache.lblock) with
+  | Some lsn -> Logmgr.force t.log ~upto:lsn
+  | None -> ());
+  t.vfs.Vfs.write f.Cache.file ~off:(f.Cache.lblock * t.ps) f.Cache.data;
+  Stats.incr t.stats "pool.writebacks"
+
+let create clock stats (cfg : Config.t) vfs log ~pages =
+  let ps = vfs.Vfs.block_size in
+  let cache = Cache.create clock stats cfg.cpu ~capacity:pages in
+  let t = { clock; stats; cfg; vfs; log; cache; lsns = Hashtbl.create 256; ps } in
+  Cache.set_writeback cache (fun f -> write_back t f);
+  t
+
+let latch t = Cpu.charge t.clock t.stats t.cfg.Config.cpu Cpu.User_mutex
+
+let get t ~file ~page =
+  latch t;
+  match Cache.lookup t.cache ~file ~lblock:page with
+  | Some f -> f.Cache.data
+  | None ->
+    let data = Bytes.make t.ps '\000' in
+    let size = t.vfs.Vfs.size file in
+    if page * t.ps < size then begin
+      let chunk = t.vfs.Vfs.read file ~off:(page * t.ps) ~len:t.ps in
+      Bytes.blit chunk 0 data 0 (Bytes.length chunk)
+    end;
+    (Cache.insert t.cache ~file ~lblock:page data).Cache.data
+
+let apply_update t ~file ~page ~off data lsn =
+  latch t;
+  let f =
+    match Cache.lookup t.cache ~file ~lblock:page with
+    | Some f -> f
+    | None ->
+      (* Bring the page in before patching it. *)
+      ignore (get t ~file ~page);
+      Option.get (Cache.lookup t.cache ~file ~lblock:page)
+  in
+  Bytes.blit data 0 f.Cache.data off (Bytes.length data);
+  Cache.mark_dirty t.cache f;
+  Hashtbl.replace t.lsns (file, page) lsn
+
+let flush_all t =
+  let frames = Cache.dirty_frames t.cache () in
+  (match frames with [] -> () | _ -> Logmgr.force t.log ~upto:(Logmgr.next_lsn t.log - 1));
+  let files = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      write_back t f;
+      Cache.mark_clean t.cache f;
+      Hashtbl.replace files f.Cache.file ())
+    frames;
+  Hashtbl.iter (fun fd () -> t.vfs.Vfs.fsync fd) files
+
+let drop t =
+  Cache.iter t.cache (fun f -> Cache.mark_clean t.cache f);
+  let frames = ref [] in
+  Cache.iter t.cache (fun f -> frames := f :: !frames);
+  List.iter (Cache.invalidate t.cache) !frames;
+  Hashtbl.reset t.lsns
+
+let dirty_pages t = List.length (Cache.dirty_frames t.cache ())

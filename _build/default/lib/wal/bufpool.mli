@@ -1,0 +1,32 @@
+(** User-level buffer pool (the LRU cache of database pages that LIBTP
+    keeps in shared memory, Section 3).
+
+    STEAL / NO-FORCE: dirty pages may be evicted before commit (after
+    forcing the log up to the page's last update — the WAL rule) and are
+    not forced at commit. Note that pages read here travel through the
+    kernel's buffer cache too; that double caching is inherent to the
+    user-level architecture the paper compares against. *)
+
+type t
+
+val create : Clock.t -> Stats.t -> Config.t -> Vfs.t -> Logmgr.t -> pages:int -> t
+
+val page_size : t -> int
+
+val get : t -> file:int -> page:int -> bytes
+(** The cached page contents (loaded from the file system on a miss,
+    zero-filled past end of file). The returned bytes are the pool's
+    buffer: callers must treat them as read-only and go through
+    {!apply_update} for changes. Charges a pool latch (user mutex). *)
+
+val apply_update : t -> file:int -> page:int -> off:int -> bytes -> Logrec.lsn -> unit
+(** Overwrite a byte range of the cached page, marking it dirty and
+    recording the LSN of the log record describing the change. *)
+
+val flush_all : t -> unit
+(** Write every dirty page back (checkpoint); forces the log first. *)
+
+val drop : t -> unit
+(** Forget all cached pages (crash simulation at the user level). *)
+
+val dirty_pages : t -> int

@@ -1,0 +1,252 @@
+type txn = {
+  id : int;
+  mutable last_lsn : Logrec.lsn;
+  mutable undo : (int * int * int * bytes) list; (* file, page, off, before *)
+  mutable live : bool;
+}
+
+type t = {
+  clock : Clock.t;
+  stats : Stats.t;
+  cfg : Config.t;
+  vfs : Vfs.t;
+  log : Logmgr.t;
+  pool : Bufpool.t;
+  locks : Lockmgr.t;
+  mutable next_txn_id : int;
+  active : (int, txn) Hashtbl.t;
+  mutable committed_since_cp : int;
+  checkpoint_every : int;
+  mutable losers : int;
+}
+
+exception Conflict of int list
+exception Deadlock_abort of int
+
+let txn_id txn = txn.id
+let active_txns t = Hashtbl.length t.active
+let pool t = t.pool
+let log t = t.log
+let locks t = t.locks
+let page_size t = Bufpool.page_size t.pool
+let recovered_losers t = t.losers
+
+let mutex t = Cpu.charge t.clock t.stats t.cfg.Config.cpu Cpu.User_mutex
+
+(* Apply one image (before or after) straight through the pool. *)
+let apply_image t ~file ~page ~off data lsn =
+  Bufpool.apply_update t.pool ~file ~page ~off data lsn
+
+let release t txn =
+  mutex t;
+  Lockmgr.release_all t.locks ~txn:txn.id;
+  Hashtbl.remove t.active txn.id;
+  txn.live <- false
+
+(* Undo with compensation logging: each restore is itself logged as an
+   update, so recovery replays aborts forward (redo-only) and never
+   re-applies a stale before-image over a later committed write. *)
+let do_abort t txn =
+  List.iter
+    (fun (file, page, off, before) ->
+      let current =
+        Bytes.sub (Bufpool.get t.pool ~file ~page) off (Bytes.length before)
+      in
+      let lsn =
+        Logmgr.append t.log
+          {
+            Logrec.txn = txn.id;
+            prev = txn.last_lsn;
+            body =
+              Logrec.Update { file; page; off; before = current; after = before };
+          }
+      in
+      txn.last_lsn <- lsn;
+      apply_image t ~file ~page ~off before lsn)
+    txn.undo;
+  let lsn =
+    Logmgr.append t.log { Logrec.txn = txn.id; prev = txn.last_lsn; body = Logrec.Abort }
+  in
+  txn.last_lsn <- lsn;
+  Stats.incr t.stats "txn.aborts";
+  release t txn
+
+let lock t txn obj mode =
+  mutex t;
+  match Lockmgr.acquire t.locks ~txn:txn.id obj mode with
+  | `Granted -> ()
+  | `Would_block blockers -> raise (Conflict blockers)
+  | `Deadlock ->
+    do_abort t txn;
+    raise (Deadlock_abort txn.id)
+
+let begin_txn t =
+  mutex t;
+  let id = t.next_txn_id in
+  t.next_txn_id <- id + 1;
+  let txn = { id; last_lsn = Logrec.null_lsn; undo = []; live = true } in
+  Hashtbl.replace t.active id txn;
+  txn.last_lsn <-
+    Logmgr.append t.log { Logrec.txn = id; prev = Logrec.null_lsn; body = Logrec.Begin };
+  Stats.incr t.stats "txn.begins";
+  txn
+
+let check_live txn =
+  if not txn.live then invalid_arg "Libtp: transaction already finished"
+
+let read_page t txn ~file ~page =
+  check_live txn;
+  lock t txn (file, page) Lockmgr.Shared;
+  Bufpool.get t.pool ~file ~page
+
+(* Smallest byte range where [a] and [b] differ; None if equal. *)
+let diff_range a b =
+  let n = Bytes.length a in
+  assert (n = Bytes.length b);
+  let lo = ref 0 in
+  while !lo < n && Bytes.get a !lo = Bytes.get b !lo do
+    incr lo
+  done;
+  if !lo = n then None
+  else begin
+    let hi = ref (n - 1) in
+    while Bytes.get a !hi = Bytes.get b !hi do
+      decr hi
+    done;
+    Some (!lo, !hi - !lo + 1)
+  end
+
+let write_page t txn ~file ~page data =
+  check_live txn;
+  if Bytes.length data <> page_size t then
+    invalid_arg "Libtp.write_page: data must be exactly one page";
+  lock t txn (file, page) Lockmgr.Exclusive;
+  let current = Bufpool.get t.pool ~file ~page in
+  match diff_range current data with
+  | None -> ()
+  | Some (off, len) ->
+    let before = Bytes.sub current off len in
+    let after = Bytes.sub data off len in
+    let lsn =
+      Logmgr.append t.log
+        {
+          Logrec.txn = txn.id;
+          prev = txn.last_lsn;
+          body = Logrec.Update { file; page; off; before; after };
+        }
+    in
+    txn.last_lsn <- lsn;
+    txn.undo <- (file, page, off, before) :: txn.undo;
+    apply_image t ~file ~page ~off after lsn
+
+let checkpoint t =
+  if Hashtbl.length t.active = 0 then begin
+    Bufpool.flush_all t.pool;
+    Logmgr.force t.log ~upto:(Logmgr.next_lsn t.log - 1);
+    Logmgr.truncate t.log;
+    let lsn =
+      Logmgr.append t.log
+        { Logrec.txn = 0; prev = Logrec.null_lsn; body = Logrec.Checkpoint { active = [] } }
+    in
+    Logmgr.force t.log ~upto:lsn;
+    t.committed_since_cp <- 0;
+    Stats.incr t.stats "txn.checkpoints"
+  end
+
+let commit t txn =
+  check_live txn;
+  mutex t;
+  let lsn =
+    Logmgr.append t.log { Logrec.txn = txn.id; prev = txn.last_lsn; body = Logrec.Commit }
+  in
+  Logmgr.force_commit t.log ~upto:lsn;
+  release t txn;
+  Stats.incr t.stats "txn.commits";
+  t.committed_since_cp <- t.committed_since_cp + 1;
+  if t.committed_since_cp >= t.checkpoint_every then checkpoint t
+
+let abort t txn =
+  check_live txn;
+  mutex t;
+  do_abort t txn
+
+(* Crash recovery: redo history from the last checkpoint, then undo
+   losers. After-images are absolute bytes, so redo is idempotent. *)
+let recover t =
+  let records = List.of_seq (Logmgr.read_from t.log 0) in
+  let cp_start =
+    List.fold_left
+      (fun acc (lsn, r) ->
+        match r.Logrec.body with Logrec.Checkpoint _ -> lsn | _ -> acc)
+      0 records
+  in
+  let tail = List.filter (fun (lsn, _) -> lsn >= cp_start) records in
+  let winners = Hashtbl.create 16 in
+  List.iter
+    (fun (_, r) ->
+      match r.Logrec.body with
+      | Logrec.Commit | Logrec.Abort ->
+        (* Aborted transactions logged their undo as compensation
+           updates, so like committed ones they replay forward. *)
+        Hashtbl.replace winners r.Logrec.txn ()
+      | _ -> ())
+    tail;
+  (* Redo phase. *)
+  List.iter
+    (fun (lsn, r) ->
+      match r.Logrec.body with
+      | Logrec.Update { file; page; off; after; _ } ->
+        apply_image t ~file ~page ~off after lsn
+      | _ -> ())
+    tail;
+  (* Undo phase: losers' updates, newest first. *)
+  let losers = Hashtbl.create 8 in
+  List.iter
+    (fun (_, r) ->
+      match r.Logrec.body with
+      | Logrec.Begin when not (Hashtbl.mem winners r.Logrec.txn) ->
+        Hashtbl.replace losers r.Logrec.txn ()
+      | _ -> ())
+    tail;
+  let undo_list =
+    List.filter
+      (fun (_, r) ->
+        Hashtbl.mem losers r.Logrec.txn
+        && match r.Logrec.body with Logrec.Update _ -> true | _ -> false)
+      tail
+  in
+  List.iter
+    (fun (lsn, r) ->
+      match r.Logrec.body with
+      | Logrec.Update { file; page; off; before; _ } ->
+        apply_image t ~file ~page ~off before lsn
+      | _ -> ())
+    (List.rev undo_list);
+  t.losers <- Hashtbl.length losers;
+  Stats.add t.stats "txn.recovered_losers" t.losers;
+  (* Make the recovered state durable and reset the log. *)
+  checkpoint t
+
+let open_env clock stats (cfg : Config.t) vfs ?(pool_pages = 1024)
+    ?(checkpoint_every = 500) ~log_path () =
+  let log = Logmgr.open_log clock stats cfg vfs ~path:log_path in
+  let pool = Bufpool.create clock stats cfg vfs log ~pages:pool_pages in
+  let locks = Lockmgr.create clock stats cfg.cpu in
+  let t =
+    {
+      clock;
+      stats;
+      cfg;
+      vfs;
+      log;
+      pool;
+      locks;
+      next_txn_id = 1;
+      active = Hashtbl.create 16;
+      committed_since_cp = 0;
+      checkpoint_every;
+      losers = 0;
+    }
+  in
+  if Logmgr.flushed_lsn log > 0 then recover t else checkpoint t;
+  t

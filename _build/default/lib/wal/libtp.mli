@@ -1,0 +1,76 @@
+(** LIBTP — the user-level transaction system of Section 3.
+
+    Combines the log manager, user-level buffer pool, lock manager and
+    transaction management into the conventional architecture of
+    Figure 2: two-phase page-level locking, before/after-image logging
+    with redo/undo recovery, STEAL/NO-FORCE buffering, and (optional)
+    group commit. Everything lives in user space and synchronizes with
+    user-level mutexes — two system calls each on hardware without
+    test-and-set, which is the paper's explanation for the user/kernel
+    performance difference.
+
+    The environment runs on any {!Vfs.t}, which is how the same code is
+    measured on both the log-structured and the read-optimized file
+    systems. *)
+
+type t
+
+type txn
+
+exception Conflict of int list
+(** A lock request would block; the blockers' transaction ids are
+    reported. With a multiprogramming level above 1 the driver decides
+    how long the blocked process sleeps. *)
+
+exception Deadlock_abort of int
+(** The request would deadlock; the transaction has been aborted (locks
+    released, updates undone) before the exception is raised. *)
+
+val open_env :
+  Clock.t ->
+  Stats.t ->
+  Config.t ->
+  Vfs.t ->
+  ?pool_pages:int ->
+  ?checkpoint_every:int ->
+  log_path:string ->
+  unit ->
+  t
+(** Open a transaction environment. If the log file already contains
+    records (an unclean shutdown), crash recovery runs first: redo all
+    durable updates, undo loser transactions, checkpoint.
+    [checkpoint_every] (default 500) is the number of committed
+    transactions between sharp checkpoints. *)
+
+val begin_txn : t -> txn
+val txn_id : txn -> int
+
+val read_page : t -> txn -> file:int -> page:int -> bytes
+(** Shared-lock the page and return the pooled copy (read-only). *)
+
+val write_page : t -> txn -> file:int -> page:int -> bytes -> unit
+(** Exclusive-lock the page, log the changed byte range (before and
+    after images), and apply it to the pool. A no-op if [bytes] equals
+    the current contents. *)
+
+val commit : t -> txn -> unit
+(** Force the log through this transaction's commit record (honouring
+    group commit) and release its locks. *)
+
+val abort : t -> txn -> unit
+(** Undo the transaction's updates from its in-memory undo chain,
+    log the abort, and release its locks. *)
+
+val checkpoint : t -> unit
+(** Sharp checkpoint: flush all dirty pages, truncate the log, and seed
+    it with a fresh checkpoint record. Skipped if transactions are
+    active. *)
+
+val active_txns : t -> int
+val pool : t -> Bufpool.t
+val log : t -> Logmgr.t
+val locks : t -> Lockmgr.t
+val page_size : t -> int
+
+val recovered_losers : t -> int
+(** Number of loser transactions undone by recovery at [open_env]. *)

@@ -1,0 +1,102 @@
+type t = {
+  clock : Clock.t;
+  stats : Stats.t;
+  cfg : Config.t;
+  vfs : Vfs.t;
+  fd : Vfs.fd;
+  buf : Buffer.t; (* records appended since [flushed] *)
+  mutable flushed : int; (* bytes durable on disk *)
+  mutable pending_commits : int;
+}
+
+let scan_end vfs fd =
+  let size = vfs.Vfs.size fd in
+  let data = vfs.Vfs.read fd ~off:0 ~len:size in
+  let rec go off =
+    match Logrec.decode data off with
+    | Some (_, next) -> go next
+    | None -> off
+  in
+  go 0
+
+let open_log clock stats cfg vfs ~path =
+  let fd =
+    if vfs.Vfs.exists path then vfs.Vfs.open_file path
+    else begin
+      let fd = vfs.Vfs.create path in
+      (* Creating the environment is a utility operation: make the log's
+         directory entry durable so recovery can find it after a crash —
+         fsync alone covers the file, not its name. *)
+      vfs.Vfs.sync ();
+      fd
+    end
+  in
+  let tail = scan_end vfs fd in
+  (* Drop any torn tail so new records append at a clean boundary. *)
+  if tail < vfs.Vfs.size fd then vfs.Vfs.truncate fd tail;
+  {
+    clock;
+    stats;
+    cfg;
+    vfs;
+    fd;
+    buf = Buffer.create 4096;
+    flushed = tail;
+    pending_commits = 0;
+  }
+
+let flushed_lsn t = t.flushed
+let next_lsn t = t.flushed + Buffer.length t.buf
+
+let append t rec_ =
+  Cpu.charge t.clock t.stats t.cfg.Config.cpu Cpu.Log_record;
+  let lsn = next_lsn t in
+  Buffer.add_bytes t.buf (Logrec.encode rec_);
+  Stats.incr t.stats "log.appends";
+  lsn
+
+let do_force t =
+  if Buffer.length t.buf > 0 then begin
+    let data = Buffer.to_bytes t.buf in
+    t.vfs.Vfs.write t.fd ~off:t.flushed data;
+    t.vfs.Vfs.fsync t.fd;
+    t.flushed <- t.flushed + Bytes.length data;
+    Buffer.clear t.buf;
+    t.pending_commits <- 0;
+    Stats.incr t.stats "log.forces"
+  end
+
+let force t ~upto = if upto >= t.flushed then do_force t
+
+let force_commit t ~upto =
+  if upto >= t.flushed then begin
+    t.pending_commits <- t.pending_commits + 1;
+    let timeout = t.cfg.Config.fs.group_commit_timeout_s in
+    if timeout <= 0.0 || t.pending_commits >= t.cfg.Config.fs.group_commit_size
+    then do_force t
+    else begin
+      (* Wait for company; at MPL 1 nobody arrives and the timeout
+         expires (Section 4.4). *)
+      Clock.advance t.clock timeout;
+      Stats.add_time t.stats "log.group_commit_wait" timeout;
+      do_force t
+    end
+  end
+
+let read_from t lsn =
+  let size = t.vfs.Vfs.size t.fd in
+  let data = t.vfs.Vfs.read t.fd ~off:0 ~len:size in
+  let rec seq off () =
+    match Logrec.decode data off with
+    | Some (rec_, next) -> Seq.Cons ((off, rec_), seq next)
+    | None -> Seq.Nil
+  in
+  seq (max 0 lsn)
+
+let truncate t =
+  if Buffer.length t.buf > 0 then
+    invalid_arg "Logmgr.truncate: unflushed records";
+  t.vfs.Vfs.truncate t.fd 0;
+  t.vfs.Vfs.fsync t.fd;
+  t.flushed <- 0;
+  Stats.incr t.stats "log.truncations"

@@ -1,0 +1,109 @@
+type lsn = int
+
+let null_lsn = -1
+
+type body =
+  | Begin
+  | Update of {
+      file : int;
+      page : int;
+      off : int;
+      before : bytes;
+      after : bytes;
+    }
+  | Commit
+  | Abort
+  | Checkpoint of { active : int list }
+
+type t = { txn : int; prev : lsn; body : body }
+
+let body_size = function
+  | Begin | Commit | Abort -> 0
+  | Update { before; after; _ } -> 12 + 2 + Bytes.length before + 2 + Bytes.length after
+  | Checkpoint { active } -> 2 + (4 * List.length active)
+
+(* Header: u32 total size | u8 kind | u32 txn | i64 prev | u32 checksum. *)
+let header_size = 21
+
+let size t = header_size + body_size t.body
+
+let kind_code = function
+  | Begin -> 0
+  | Update _ -> 1
+  | Commit -> 2
+  | Abort -> 3
+  | Checkpoint _ -> 4
+
+let checksum b off len =
+  let acc = ref 0 in
+  for i = off to off + len - 1 do
+    acc :=
+      (!acc + (Char.code (Bytes.unsafe_get b i) * (1 + ((i - off) land 0xff))))
+      land 0x3fffffff
+  done;
+  !acc
+
+let encode t =
+  let total = size t in
+  let b = Bytes.make total '\000' in
+  Enc.set_u32 b 0 total;
+  Enc.set_u8 b 4 (kind_code t.body);
+  Enc.set_u32 b 5 t.txn;
+  Enc.set_i64 b 9 (Int64.of_int t.prev);
+  (match t.body with
+  | Begin | Commit | Abort -> ()
+  | Update { file; page; off; before; after } ->
+    Enc.set_u32 b 21 file;
+    Enc.set_u32 b 25 page;
+    Enc.set_u32 b 29 off;
+    Enc.set_u16 b 33 (Bytes.length before);
+    Bytes.blit before 0 b 35 (Bytes.length before);
+    let apos = 35 + Bytes.length before in
+    Enc.set_u16 b apos (Bytes.length after);
+    Bytes.blit after 0 b (apos + 2) (Bytes.length after)
+  | Checkpoint { active } ->
+    Enc.set_u16 b 21 (List.length active);
+    List.iteri (fun i txn -> Enc.set_u32 b (23 + (4 * i)) txn) active);
+  Enc.set_u32 b 17 ((checksum b header_size (total - header_size) lxor (total * 2654435761)) land 0xffffffff);
+  b
+
+let decode buf off =
+  let len = Bytes.length buf in
+  if off + header_size > len then None
+  else
+    let total = Enc.get_u32 buf off in
+    if total < header_size || off + total > len then None
+    else
+      let stored = Enc.get_u32 buf (off + 17) in
+      let body_len = total - header_size in
+      (* Checksum over the body, relative to the record. *)
+      let sub = Bytes.sub buf off total in
+      let computed =
+        (checksum sub header_size body_len lxor (total * 2654435761)) land 0xffffffff
+      in
+      if stored land 0xffffffff <> computed land 0xffffffff then None
+      else
+        let txn = Enc.get_u32 buf (off + 5) in
+        let prev = Int64.to_int (Enc.get_i64 buf (off + 9)) in
+        let body =
+          match Enc.get_u8 buf (off + 4) with
+          | 0 -> Some Begin
+          | 2 -> Some Commit
+          | 3 -> Some Abort
+          | 1 ->
+            let file = Enc.get_u32 buf (off + 21) in
+            let page = Enc.get_u32 buf (off + 25) in
+            let boff = Enc.get_u32 buf (off + 29) in
+            let blen = Enc.get_u16 buf (off + 33) in
+            let before = Bytes.sub buf (off + 35) blen in
+            let apos = off + 35 + blen in
+            let alen = Enc.get_u16 buf apos in
+            let after = Bytes.sub buf (apos + 2) alen in
+            Some (Update { file; page; off = boff; before; after })
+          | 4 ->
+            let n = Enc.get_u16 buf (off + 21) in
+            let active = List.init n (fun i -> Enc.get_u32 buf (off + 23 + (4 * i))) in
+            Some (Checkpoint { active })
+          | _ -> None
+        in
+        Option.map (fun body -> ({ txn; prev; body }, off + total)) body

@@ -1,0 +1,40 @@
+(** Write-ahead-log record format for the user-level transaction system.
+
+    Records carry before- and after-images of the changed byte range
+    (Section 3: "before-image and after-image logging to support both redo
+    and undo recovery"), a per-transaction back-chain for undo, and a
+    checksum so a torn tail write is detected as the end of the log. *)
+
+type lsn = int
+(** Byte offset of the record in the log file. *)
+
+val null_lsn : lsn
+
+type body =
+  | Begin
+  | Update of {
+      file : int;  (** inode number of the database file *)
+      page : int;
+      off : int;  (** byte offset of the change within the page *)
+      before : bytes;
+      after : bytes;  (** same length as [before] *)
+    }
+  | Commit
+  | Abort
+  | Checkpoint of { active : int list }
+
+type t = {
+  txn : int;
+  prev : lsn;  (** previous record of the same transaction, or [null_lsn] *)
+  body : body;
+}
+
+val encode : t -> bytes
+
+val decode : bytes -> int -> (t * int) option
+(** [decode buf off] parses the record at [off], returning it and the
+    offset just past it; [None] on a truncated, torn or corrupt record
+    (which recovery treats as end of log). *)
+
+val size : t -> int
+(** Encoded size in bytes. *)

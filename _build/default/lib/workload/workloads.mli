@@ -1,0 +1,33 @@
+(** The non-transaction benchmarks of Section 5.2 and the sequential-read
+    test of Section 5.3. All run against a {!Vfs.t}, so the same code
+    measures both file systems and both kernels. *)
+
+(** Parameters of the Andrew-like engineering-workstation benchmark:
+    copy a tree of small files, traverse it with stats, read every file,
+    and "compile" (CPU burn + object-file writes). *)
+type andrew_params = {
+  dirs : int;  (** directories in the tree *)
+  files_per_dir : int;
+  file_bytes : int;  (** size of each small source file *)
+}
+
+val default_andrew : andrew_params
+
+type phase_times = (string * float) list
+(** (phase name, simulated seconds) in execution order. *)
+
+val andrew : Clock.t -> Stats.t -> Config.t -> Vfs.t -> Rng.t -> andrew_params -> phase_times
+(** Runs under ["/andrew"]; returns per-phase elapsed times. The total is
+    the Figure 5 number. *)
+
+type bigfile_params = { sizes_bytes : int list }
+(** File sizes to create, copy and remove; the paper uses 1, 5 and 10 MB
+    on a 300 MB file system. *)
+
+val default_bigfile : bigfile_params
+
+val bigfile : Clock.t -> Stats.t -> Config.t -> Vfs.t -> Rng.t -> bigfile_params -> phase_times
+
+val scan : Clock.t -> Stats.t -> Config.t -> Vfs.t -> Tpcb.db -> float
+(** The SCAN test: read the TPC-B account relation in key order through a
+    B-tree cursor (Section 5.3) and return the simulated elapsed time. *)

@@ -1,0 +1,1 @@
+test/test_buf.ml: Alcotest Bytes Cache Clock Config List QCheck2 Stats Tutil

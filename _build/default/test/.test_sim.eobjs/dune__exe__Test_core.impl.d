@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Btree Bytes Char Clock Config Core Hashtbl Ktxn Lfs List Lockmgr Printf QCheck2 Stats Tutil Vfs

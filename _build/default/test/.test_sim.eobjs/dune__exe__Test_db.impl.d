@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Array Btree Bytes Config Db Enc Fun Hashdb Hashtbl Lfs Libtp List Logmgr Pager Printf QCheck2 Recno Rng Stats String Tutil Vfs

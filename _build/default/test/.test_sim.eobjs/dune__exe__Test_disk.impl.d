@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Bytes Clock Config Disk List Printf QCheck2 Sched Tutil

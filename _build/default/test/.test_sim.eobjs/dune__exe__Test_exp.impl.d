@@ -1,0 +1,1 @@
+test/test_exp.ml: Ablation Alcotest Config Expcommon Fig4 Fig5 Fig6 Fig7 Float List Printf Tpcb

@@ -1,0 +1,1 @@
+test/test_ffs.ml: Alcotest Bytes Clock Config Conformance Ffs Hashtbl List Option Printf QCheck2 Stats Tutil Vfs

@@ -1,0 +1,1 @@
+test/test_inode.ml: Alcotest Array Bytes Hashtbl Inode List QCheck2 Tutil Vfs

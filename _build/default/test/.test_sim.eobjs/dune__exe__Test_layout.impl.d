@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Bytes Int64 Layout QCheck2 Tutil Vfs

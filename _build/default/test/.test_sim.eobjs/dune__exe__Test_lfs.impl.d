@@ -1,0 +1,1 @@
+test/test_lfs.ml: Alcotest Array Bytes Config Conformance Hashtbl Lfs List Option Policy Printf QCheck2 Rng Stats Tutil Vfs

@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Clock Config List Lockmgr QCheck2 Stats Tutil

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Bytes Clock Config Cpu Enc Float Fun List QCheck2 Rng Stats Tutil

@@ -1,0 +1,1 @@
+test/test_tpcb.ml: Alcotest Btree Bytes Config Ffs Ktxn Lfs Libtp List Pager Printf Rng Stats Tpcb Tutil Vfs Workloads

@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Bytes Dirfmt Hashtbl List Namespace Printf QCheck2 Tutil Vfs

@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Buffer Bufpool Bytes Char Clock Config Hashtbl Lfs Libtp List Logmgr Logrec Printf QCheck2 Stats String Tutil Vfs

@@ -1,0 +1,170 @@
+(* Tests for the buffer cache: lookup/insert, LRU eviction, dirty
+   writeback, pinning, and transaction-owned frames. *)
+
+let mk ?(capacity = 4) () =
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  let cache = Cache.create clock stats Config.default.Config.cpu ~capacity in
+  (clock, stats, cache)
+
+let block c = Bytes.make 16 c
+
+let test_insert_lookup () =
+  let _, _, c = mk () in
+  Cache.set_writeback c (fun _ -> ());
+  let f = Cache.insert c ~file:1 ~lblock:0 (block 'a') in
+  Alcotest.(check bool) "same frame on lookup" true
+    (match Cache.lookup c ~file:1 ~lblock:0 with
+    | Some f' -> f' == f
+    | None -> false);
+  Alcotest.(check bool) "miss on other key" true
+    (Cache.lookup c ~file:1 ~lblock:1 = None)
+
+let test_lru_eviction_order () =
+  let _, _, c = mk ~capacity:2 () in
+  let evicted = ref [] in
+  Cache.set_writeback c (fun f -> evicted := (f.Cache.file, f.Cache.lblock) :: !evicted);
+  ignore (Cache.insert c ~file:1 ~lblock:0 (block 'a'));
+  ignore (Cache.insert c ~file:1 ~lblock:1 (block 'b'));
+  (* Touch (1,0) so (1,1) becomes LRU. *)
+  ignore (Cache.lookup c ~file:1 ~lblock:0);
+  ignore (Cache.insert c ~file:1 ~lblock:2 (block 'c'));
+  Alcotest.(check bool) "LRU victim gone" true
+    (Cache.lookup c ~file:1 ~lblock:1 = None);
+  Alcotest.(check bool) "recently used survives" true
+    (Cache.lookup c ~file:1 ~lblock:0 <> None);
+  Alcotest.(check (list (pair int int))) "clean eviction: no writeback" []
+    !evicted
+
+let test_dirty_eviction_writes_back () =
+  let _, _, c = mk ~capacity:1 () in
+  let written = ref [] in
+  Cache.set_writeback c (fun f ->
+      written := Bytes.to_string f.Cache.data :: !written);
+  let f = Cache.insert c ~file:1 ~lblock:0 (block 'a') in
+  Cache.mark_dirty c f;
+  ignore (Cache.insert c ~file:1 ~lblock:1 (block 'b'));
+  Alcotest.(check (list string)) "dirty victim written back"
+    [ Bytes.to_string (block 'a') ]
+    !written
+
+let test_pinned_not_evicted () =
+  let _, _, c = mk ~capacity:2 () in
+  Cache.set_writeback c (fun _ -> ());
+  let f = Cache.insert c ~file:1 ~lblock:0 (block 'a') in
+  Cache.pin f;
+  ignore (Cache.insert c ~file:1 ~lblock:1 (block 'b'));
+  ignore (Cache.insert c ~file:1 ~lblock:2 (block 'c'));
+  Alcotest.(check bool) "pinned frame survives" true
+    (Cache.lookup c ~file:1 ~lblock:0 <> None);
+  Cache.unpin f;
+  (* The survival check above touched the frame, so push two more blocks
+     through to evict it. *)
+  ignore (Cache.insert c ~file:1 ~lblock:3 (block 'd'));
+  ignore (Cache.insert c ~file:1 ~lblock:4 (block 'e'));
+  Alcotest.(check bool) "unpinned frame evictable" true
+    (Cache.lookup c ~file:1 ~lblock:0 = None)
+
+let test_txn_frames_protected () =
+  let _, _, c = mk ~capacity:2 () in
+  Cache.set_writeback c (fun _ -> ());
+  let f = Cache.insert c ~file:1 ~lblock:0 (block 'a') in
+  Cache.mark_dirty c f;
+  Cache.set_txn c f 7;
+  ignore (Cache.insert c ~file:1 ~lblock:1 (block 'b'));
+  ignore (Cache.insert c ~file:1 ~lblock:2 (block 'c'));
+  Alcotest.(check bool) "txn frame survives eviction pressure" true
+    (Cache.lookup c ~file:1 ~lblock:0 <> None);
+  Alcotest.(check bool) "txn frame not in dirty list" true
+    (Cache.dirty_frames c () = []);
+  Alcotest.(check int) "txn_frames finds it" 1 (List.length (Cache.txn_frames c 7));
+  Cache.set_txn c f (-1);
+  Alcotest.(check int) "released to dirty list" 1
+    (List.length (Cache.dirty_frames c ()))
+
+let test_cache_full () =
+  let _, _, c = mk ~capacity:1 () in
+  Cache.set_writeback c (fun _ -> ());
+  let f = Cache.insert c ~file:1 ~lblock:0 (block 'a') in
+  Cache.pin f;
+  Alcotest.(check bool) "all pinned -> Cache_full" true
+    (match Cache.insert c ~file:1 ~lblock:1 (block 'b') with
+    | exception Cache.Cache_full -> true
+    | _ -> false)
+
+let test_dirty_frames_order () =
+  let clock, _, c =
+    let clock = Clock.create () in
+    let stats = Stats.create () in
+    (clock, stats, Cache.create clock stats Config.default.Config.cpu ~capacity:8)
+  in
+  Cache.set_writeback c (fun _ -> ());
+  let f1 = Cache.insert c ~file:1 ~lblock:0 (block 'a') in
+  let f2 = Cache.insert c ~file:1 ~lblock:1 (block 'b') in
+  Clock.advance clock 1.0;
+  Cache.mark_dirty c f2;
+  Clock.advance clock 1.0;
+  Cache.mark_dirty c f1;
+  Alcotest.(check (list int)) "oldest dirtied first" [ 1; 0 ]
+    (List.map (fun f -> f.Cache.lblock) (Cache.dirty_frames c ()))
+
+let test_invalidate () =
+  let _, _, c = mk () in
+  Cache.set_writeback c (fun _ -> Alcotest.fail "invalidate must not write");
+  let f = Cache.insert c ~file:1 ~lblock:0 (block 'a') in
+  Cache.mark_dirty c f;
+  Cache.invalidate c f;
+  Alcotest.(check bool) "gone" true (Cache.lookup c ~file:1 ~lblock:0 = None);
+  Alcotest.(check int) "resident count" 0 (Cache.resident c)
+
+let test_file_frames () =
+  let _, _, c = mk ~capacity:8 () in
+  Cache.set_writeback c (fun _ -> ());
+  ignore (Cache.insert c ~file:1 ~lblock:0 (block 'a'));
+  ignore (Cache.insert c ~file:2 ~lblock:0 (block 'b'));
+  ignore (Cache.insert c ~file:1 ~lblock:1 (block 'c'));
+  Alcotest.(check int) "frames of file 1" 2 (List.length (Cache.file_frames c 1));
+  Alcotest.(check int) "frames of file 2" 1 (List.length (Cache.file_frames c 2))
+
+let test_modseq_monotone () =
+  let _, _, c = mk () in
+  Cache.set_writeback c (fun _ -> ());
+  let f = Cache.insert c ~file:1 ~lblock:0 (block 'a') in
+  let s0 = Cache.modseq c in
+  Cache.mark_dirty c f;
+  let s1 = Cache.modseq c in
+  Cache.mark_dirty c f;
+  let s2 = Cache.modseq c in
+  Alcotest.(check bool) "monotone" true (s0 < s1 && s1 < s2);
+  Alcotest.(check int) "frame carries latest" s2 f.Cache.modseq
+
+let prop_never_exceeds_capacity =
+  Tutil.qtest "resident <= capacity"
+    QCheck2.Gen.(list (pair (int_bound 3) (int_bound 10)))
+    (fun keys ->
+      let _, _, c = mk ~capacity:4 () in
+      Cache.set_writeback c (fun _ -> ());
+      List.iter
+        (fun (file, lblock) -> ignore (Cache.insert c ~file ~lblock (block 'x')))
+        keys;
+      Cache.resident c <= 4)
+
+let () =
+  Alcotest.run "tx_buf"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "insert/lookup" `Quick test_insert_lookup;
+          Alcotest.test_case "LRU order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "dirty writeback" `Quick
+            test_dirty_eviction_writes_back;
+          Alcotest.test_case "pinning" `Quick test_pinned_not_evicted;
+          Alcotest.test_case "txn frames" `Quick test_txn_frames_protected;
+          Alcotest.test_case "cache full" `Quick test_cache_full;
+          Alcotest.test_case "dirty order" `Quick test_dirty_frames_order;
+          Alcotest.test_case "invalidate" `Quick test_invalidate;
+          Alcotest.test_case "file frames" `Quick test_file_frames;
+          Alcotest.test_case "modseq" `Quick test_modseq_monotone;
+          prop_never_exceeds_capacity;
+        ] );
+    ]

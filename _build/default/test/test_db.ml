@@ -1,0 +1,502 @@
+(* Tests for the access methods: B+tree, recno, and hash, over both the
+   plain pager and the transactional (WAL) pager. *)
+
+let mk_plain () =
+  let m, fs = Tutil.fresh_lfs () in
+  let v = Lfs.vfs fs in
+  let fd = v.Vfs.create "/db" in
+  (m, fs, v, Pager.plain v fd)
+
+let attach_btree (m : Tutil.machine) pager =
+  Btree.attach m.Tutil.clock m.Tutil.stats m.Tutil.cfg.Config.cpu pager
+
+let key i = Printf.sprintf "key%06d" i
+let value i = Printf.sprintf "value-%d-%s" i (String.make (i mod 40) 'x')
+
+(* B+tree ------------------------------------------------------------------ *)
+
+let test_btree_basic () =
+  let m, _, _, pager = mk_plain () in
+  let bt = attach_btree m pager in
+  Alcotest.(check (option string)) "empty" None (Btree.find bt "a");
+  Btree.insert bt "a" "1";
+  Btree.insert bt "b" "2";
+  Btree.insert bt "a" "updated";
+  Alcotest.(check (option string)) "find a" (Some "updated") (Btree.find bt "a");
+  Alcotest.(check (option string)) "find b" (Some "2") (Btree.find bt "b");
+  Alcotest.(check int) "count" 2 (Btree.count bt);
+  Alcotest.(check bool) "delete" true (Btree.delete bt "a");
+  Alcotest.(check bool) "delete again" false (Btree.delete bt "a");
+  Alcotest.(check (option string)) "gone" None (Btree.find bt "a");
+  Btree.check bt
+
+let test_btree_splits_and_height () =
+  let m, _, _, pager = mk_plain () in
+  let bt = attach_btree m pager in
+  Alcotest.(check int) "height 1" 1 (Btree.height bt);
+  for i = 0 to 4999 do
+    Btree.insert bt (key i) (value i)
+  done;
+  Alcotest.(check int) "all present" 5000 (Btree.count bt);
+  Alcotest.(check bool) "height grew" true (Btree.height bt >= 2);
+  Btree.check bt;
+  for i = 0 to 4999 do
+    if Btree.find bt (key i) <> Some (value i) then
+      Alcotest.failf "missing %s" (key i)
+  done
+
+let test_btree_random_order_inserts () =
+  let m, _, _, pager = mk_plain () in
+  let bt = attach_btree m pager in
+  let rng = Rng.create ~seed:99 in
+  let keys = Array.init 2000 key in
+  Rng.shuffle rng keys;
+  Array.iter (fun k -> Btree.insert bt k ("v" ^ k)) keys;
+  Btree.check bt;
+  (* Iteration is globally sorted. *)
+  let prev = ref "" in
+  let n = ref 0 in
+  Btree.iter bt (fun k _ ->
+      Alcotest.(check bool) "sorted" true (!prev < k);
+      prev := k;
+      incr n;
+      true);
+  Alcotest.(check int) "iterated all" 2000 !n
+
+let test_btree_iter_from () =
+  let m, _, _, pager = mk_plain () in
+  let bt = attach_btree m pager in
+  for i = 0 to 99 do
+    Btree.insert bt (key i) (string_of_int i)
+  done;
+  let seen = ref [] in
+  Btree.iter bt ~from:(key 90) (fun k _ ->
+      seen := k :: !seen;
+      true);
+  Alcotest.(check int) "ten from key 90" 10 (List.length !seen);
+  Alcotest.(check string) "first is key90" (key 90) (List.nth (List.rev !seen) 0);
+  (* Early stop. *)
+  let count = ref 0 in
+  Btree.iter bt (fun _ _ ->
+      incr count;
+      !count < 5);
+  Alcotest.(check int) "stopped early" 5 !count
+
+let test_btree_persistence () =
+  let m, fs, v, pager = mk_plain () in
+  let bt = attach_btree m pager in
+  for i = 0 to 499 do
+    Btree.insert bt (key i) (value i)
+  done;
+  Lfs.sync fs;
+  Lfs.crash fs;
+  let fs = Lfs.mount m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let v' = Lfs.vfs fs in
+  let fd = v'.Vfs.open_file "/db" in
+  ignore v;
+  let bt = attach_btree m (Pager.plain v' fd) in
+  Alcotest.(check int) "count preserved" 500 (Btree.count bt);
+  Btree.check bt;
+  for i = 0 to 499 do
+    if Btree.find bt (key i) <> Some (value i) then Alcotest.failf "lost %s" (key i)
+  done
+
+let test_btree_entry_too_large () =
+  let m, _, _, pager = mk_plain () in
+  let bt = attach_btree m pager in
+  Alcotest.check_raises "oversized rejected" Btree.Entry_too_large (fun () ->
+      Btree.insert bt "k" (String.make 4000 'x'))
+
+let prop_btree_model =
+  Tutil.qtest ~count:40 "btree matches a map model"
+    QCheck2.Gen.(
+      list_size (int_range 1 200)
+        (pair (int_bound 50) (option (string_size ~gen:(char_range 'a' 'z') (int_bound 20)))))
+    (fun ops ->
+      let m, _, _, pager = mk_plain () in
+      let bt = attach_btree m pager in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          let k = key k in
+          match v with
+          | Some v ->
+            Btree.insert bt k v;
+            Hashtbl.replace model k v
+          | None ->
+            let existed = Hashtbl.mem model k in
+            Hashtbl.remove model k;
+            let deleted = Btree.delete bt k in
+            if existed <> deleted then failwith "delete mismatch")
+        ops;
+      Btree.check bt;
+      Hashtbl.fold (fun k v ok -> ok && Btree.find bt k = Some v) model true
+      && Btree.count bt = Hashtbl.length model)
+
+let test_btree_iter_from_missing_key () =
+  let m, _, _, pager = mk_plain () in
+  let bt = attach_btree m pager in
+  Btree.insert bt "b" "1";
+  Btree.insert bt "d" "2";
+  Btree.insert bt "f" "3";
+  let from_c = ref [] in
+  Btree.iter bt ~from:"c" (fun k _ -> from_c := k :: !from_c; true);
+  Alcotest.(check (list string)) "starts at next key" [ "d"; "f" ]
+    (List.rev !from_c);
+  let from_z = ref 0 in
+  Btree.iter bt ~from:"z" (fun _ _ -> incr from_z; true);
+  Alcotest.(check int) "past the end: nothing" 0 !from_z
+
+let test_btree_sequential_load_fill () =
+  (* The rightmost-split optimization must keep sequentially-loaded
+     leaves nearly full: 2000 records of ~24 bytes fit ~160 to a page,
+     so the tree needs only a little over the minimum page count. *)
+  let m, _, _, pager = mk_plain () in
+  let bt = attach_btree m pager in
+  for i = 0 to 1999 do
+    Btree.insert bt (key i) "v"
+  done;
+  Btree.check bt;
+  let meta = pager.Pager.get 0 in
+  let npages = Enc.get_u32 meta 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "compact layout (%d pages)" npages)
+    true (npages < 30)
+
+let test_btree_delete_persists () =
+  let m, fs, _, pager = mk_plain () in
+  let bt = attach_btree m pager in
+  for i = 0 to 99 do
+    Btree.insert bt (key i) (value i)
+  done;
+  for i = 0 to 99 do
+    if i mod 2 = 0 then ignore (Btree.delete bt (key i))
+  done;
+  Lfs.sync fs;
+  Lfs.crash fs;
+  let fs = Lfs.mount m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let v = Lfs.vfs fs in
+  let bt = attach_btree m (Pager.plain v (v.Vfs.open_file "/db")) in
+  Alcotest.(check int) "half remain" 50 (Btree.count bt);
+  Alcotest.(check (option string)) "odd kept" (Some (value 51)) (Btree.find bt (key 51));
+  Alcotest.(check (option string)) "even gone" None (Btree.find bt (key 50))
+
+let test_hash_persistence () =
+  let m, fs, _, pager = mk_plain () in
+  let h = Hashdb.attach m.Tutil.clock m.Tutil.stats m.Tutil.cfg.Config.cpu pager ~buckets:4 in
+  for i = 0 to 199 do
+    Hashdb.insert h (key i) (value i)
+  done;
+  Lfs.sync fs;
+  Lfs.crash fs;
+  let fs = Lfs.mount m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let v = Lfs.vfs fs in
+  let h =
+    Hashdb.attach m.Tutil.clock m.Tutil.stats m.Tutil.cfg.Config.cpu
+      (Pager.plain v (v.Vfs.open_file "/db"))
+      ~buckets:999 (* ignored on reopen *)
+  in
+  Alcotest.(check int) "count preserved" 200 (Hashdb.count h);
+  for i = 0 to 199 do
+    if Hashdb.find h (key i) <> Some (value i) then Alcotest.failf "lost %s" (key i)
+  done
+
+(* Transactional B-tree over the WAL pager --------------------------------- *)
+
+let mk_wal () =
+  let m, fs = Tutil.fresh_lfs () in
+  let v = Lfs.vfs fs in
+  let fd = v.Vfs.create "/db" in
+  let env =
+    Libtp.open_env m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~pool_pages:64
+      ~log_path:"/wal.log" ()
+  in
+  (m, fs, v, fd, env)
+
+let test_btree_wal_commit_and_abort () =
+  let m, _, _, fd, env = mk_wal () in
+  (* Load under one committed transaction. *)
+  let txn = Libtp.begin_txn env in
+  let bt = attach_btree m (Pager.wal env txn fd) in
+  for i = 0 to 199 do
+    Btree.insert bt (key i) (value i)
+  done;
+  Libtp.commit env txn;
+  (* Abort a second transaction's inserts. *)
+  let txn2 = Libtp.begin_txn env in
+  let bt2 = attach_btree m (Pager.wal env txn2 fd) in
+  for i = 200 to 299 do
+    Btree.insert bt2 (key i) (value i)
+  done;
+  Alcotest.(check (option string)) "visible inside txn" (Some (value 250))
+    (Btree.find bt2 (key 250));
+  Libtp.abort env txn2;
+  (* A third transaction sees only the committed data. *)
+  let txn3 = Libtp.begin_txn env in
+  let bt3 = attach_btree m (Pager.wal env txn3 fd) in
+  Alcotest.(check int) "count back to 200" 200 (Btree.count bt3);
+  Alcotest.(check (option string)) "committed present" (Some (value 7))
+    (Btree.find bt3 (key 7));
+  Alcotest.(check (option string)) "aborted gone" None (Btree.find bt3 (key 250));
+  Btree.check bt3;
+  Libtp.commit env txn3
+
+let test_btree_wal_crash_recovery () =
+  let m, fs, _, fd, env = mk_wal () in
+  let txn = Libtp.begin_txn env in
+  let bt = attach_btree m (Pager.wal env txn fd) in
+  for i = 0 to 99 do
+    Btree.insert bt (key i) (value i)
+  done;
+  Libtp.commit env txn;
+  (* Uncommitted second transaction, then crash. *)
+  let txn2 = Libtp.begin_txn env in
+  let bt2 = attach_btree m (Pager.wal env txn2 fd) in
+  for i = 100 to 150 do
+    Btree.insert bt2 (key i) (value i)
+  done;
+  Logmgr.force (Libtp.log env) ~upto:(Logmgr.next_lsn (Libtp.log env) - 1);
+  Lfs.crash fs;
+  let fs = Lfs.mount m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let v = Lfs.vfs fs in
+  let env =
+    Libtp.open_env m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~pool_pages:64
+      ~log_path:"/wal.log" ()
+  in
+  let fd = v.Vfs.open_file "/db" in
+  let txn = Libtp.begin_txn env in
+  let bt = attach_btree m (Pager.wal env txn fd) in
+  Alcotest.(check int) "exactly committed records" 100 (Btree.count bt);
+  Btree.check bt;
+  Alcotest.(check (option string)) "committed survives" (Some (value 42))
+    (Btree.find bt (key 42));
+  Alcotest.(check (option string)) "loser undone" None (Btree.find bt (key 120));
+  Libtp.commit env txn
+
+(* Recno -------------------------------------------------------------------- *)
+
+let mk_recno ?(reclen = 50) () =
+  let m, _, _, pager = mk_plain () in
+  (m, Recno.attach m.Tutil.clock m.Tutil.stats m.Tutil.cfg.Config.cpu pager ~reclen)
+
+let record i reclen =
+  let b = Bytes.make reclen ' ' in
+  let s = Printf.sprintf "record-%d" i in
+  Bytes.blit_string s 0 b 0 (String.length s);
+  b
+
+let test_recno_exact_page_fill () =
+  (* 4096/64 = 64 records per page exactly: the boundary record must land
+     on a fresh page with no straddling. *)
+  let _, r = mk_recno ~reclen:64 () in
+  for i = 0 to 129 do
+    ignore (Recno.append r (record i 64))
+  done;
+  Tutil.check_bytes "record 63 (end of page 1)" (record 63 64) (Recno.get r 63);
+  Tutil.check_bytes "record 64 (start of page 2)" (record 64 64) (Recno.get r 64);
+  Tutil.check_bytes "record 129" (record 129 64) (Recno.get r 129)
+
+let test_recno_oversized_rejected () =
+  let m, _, _, pager = mk_plain () in
+  Alcotest.(check bool) "reclen > page rejected" true
+    (match
+       Recno.attach m.Tutil.clock m.Tutil.stats m.Tutil.cfg.Config.cpu pager
+         ~reclen:5000
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_recno_append_get () =
+  let _, r = mk_recno () in
+  let ids = List.init 500 (fun i -> Recno.append r (record i 50)) in
+  Alcotest.(check (list int)) "sequential recnos" (List.init 500 Fun.id) ids;
+  Alcotest.(check int) "count" 500 (Recno.count r);
+  Tutil.check_bytes "get 250" (record 250 50) (Recno.get r 250);
+  Alcotest.(check bool) "out of range" true
+    (match Recno.get r 500 with exception Not_found -> true | _ -> false)
+
+let test_recno_set_and_iter () =
+  let _, r = mk_recno () in
+  for i = 0 to 99 do
+    ignore (Recno.append r (record i 50))
+  done;
+  Recno.set r 50 (record 9999 50);
+  Tutil.check_bytes "updated" (record 9999 50) (Recno.get r 50);
+  let n = ref 0 in
+  Recno.iter r (fun recno data ->
+      if recno = 50 then Tutil.check_bytes "iter sees update" (record 9999 50) data;
+      incr n;
+      true);
+  Alcotest.(check int) "iterated all" 100 !n
+
+let test_recno_reclen_mismatch () =
+  let m, _, _, pager = mk_plain () in
+  let _ = Recno.attach m.Tutil.clock m.Tutil.stats m.Tutil.cfg.Config.cpu pager ~reclen:50 in
+  Alcotest.(check bool) "mismatch rejected" true
+    (match
+       Recno.attach m.Tutil.clock m.Tutil.stats m.Tutil.cfg.Config.cpu pager ~reclen:64
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* Hash --------------------------------------------------------------------- *)
+
+let mk_hash ?(buckets = 8) () =
+  let m, _, _, pager = mk_plain () in
+  (m, Hashdb.attach m.Tutil.clock m.Tutil.stats m.Tutil.cfg.Config.cpu pager ~buckets)
+
+let test_hash_basic () =
+  let _, h = mk_hash () in
+  Hashdb.insert h "alpha" "1";
+  Hashdb.insert h "beta" "2";
+  Hashdb.insert h "alpha" "one";
+  Alcotest.(check (option string)) "replace" (Some "one") (Hashdb.find h "alpha");
+  Alcotest.(check int) "count" 2 (Hashdb.count h);
+  Alcotest.(check bool) "delete" true (Hashdb.delete h "beta");
+  Alcotest.(check (option string)) "gone" None (Hashdb.find h "beta")
+
+let test_hash_overflow_chains () =
+  let m, h = mk_hash ~buckets:2 () in
+  (* Two buckets force long chains. *)
+  for i = 0 to 999 do
+    Hashdb.insert h (key i) (value i)
+  done;
+  Alcotest.(check int) "all inserted" 1000 (Hashdb.count h);
+  Alcotest.(check bool) "overflow pages created" true
+    (Stats.count m.Tutil.stats "hash.overflow_pages" > 0);
+  for i = 0 to 999 do
+    if Hashdb.find h (key i) <> Some (value i) then Alcotest.failf "lost %s" (key i)
+  done;
+  let n = ref 0 in
+  Hashdb.iter h (fun _ _ ->
+      incr n;
+      true);
+  Alcotest.(check int) "iter sees all" 1000 !n
+
+let prop_hash_model =
+  Tutil.qtest ~count:40 "hash matches a map model"
+    QCheck2.Gen.(
+      list_size (int_range 1 150)
+        (pair (int_bound 40) (option (string_size ~gen:(char_range 'a' 'z') (int_bound 15)))))
+    (fun ops ->
+      let _, h = mk_hash ~buckets:4 () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          let k = key k in
+          match v with
+          | Some v ->
+            Hashdb.insert h k v;
+            Hashtbl.replace model k v
+          | None ->
+            let existed = Hashtbl.mem model k in
+            Hashtbl.remove model k;
+            if Hashdb.delete h k <> existed then failwith "delete mismatch")
+        ops;
+      Hashtbl.fold (fun k v ok -> ok && Hashdb.find h k = Some v) model true
+      && Hashdb.count h = Hashtbl.length model)
+
+
+(* db(3)-style unified facade ---------------------------------------------- *)
+
+let mk_db kind =
+  let m, _, _, pager = mk_plain () in
+  (m, Db.opendb m.Tutil.clock m.Tutil.stats m.Tutil.cfg.Config.cpu pager kind)
+
+let test_db_facade_btree () =
+  let _, db = mk_db Db.Btree_db in
+  Db.put db "beta" "2";
+  Db.put db "alpha" "1";
+  Alcotest.(check (option string)) "get" (Some "1") (Db.get db "alpha");
+  Alcotest.(check int) "count" 2 (Db.count db);
+  let keys = ref [] in
+  Db.seq db (fun k _ -> keys := k :: !keys; true);
+  Alcotest.(check (list string)) "sorted scan" [ "alpha"; "beta" ] (List.rev !keys);
+  Alcotest.(check bool) "del" true (Db.del db "alpha");
+  Alcotest.(check (option string)) "gone" None (Db.get db "alpha")
+
+let test_db_facade_hash () =
+  let _, db = mk_db (Db.Hash_db 4) in
+  for i = 0 to 49 do
+    Db.put db (key i) (value i)
+  done;
+  Alcotest.(check int) "count" 50 (Db.count db);
+  Alcotest.(check (option string)) "get" (Some (value 7)) (Db.get db (key 7));
+  let n = ref 0 in
+  Db.seq db (fun _ _ -> incr n; true);
+  Alcotest.(check int) "scan sees all" 50 !n
+
+let test_db_facade_recno () =
+  let _, db = mk_db (Db.Recno_db 32) in
+  let rec32 s = s ^ String.make (32 - String.length s) ' ' in
+  Db.put db "0" (rec32 "first");
+  Db.put db "1" (rec32 "second");
+  Db.put db "0" (rec32 "FIRST");
+  Alcotest.(check (option string)) "overwrite" (Some (rec32 "FIRST")) (Db.get db "0");
+  Alcotest.(check (option string)) "missing" None (Db.get db "9");
+  Alcotest.(check bool) "bad key rejected" true
+    (match Db.get db "not-a-number" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "del unsupported" true
+    (match Db.del db "0" with exception Invalid_argument _ -> true | _ -> false);
+  let seen = ref [] in
+  Db.seq db (fun k v -> seen := (k, v) :: !seen; true);
+  Alcotest.(check int) "scan" 2 (List.length !seen)
+
+let test_db_facade_kind_mismatch () =
+  let m, _, v, pager = mk_plain () in
+  let _ = Db.opendb m.Tutil.clock m.Tutil.stats m.Tutil.cfg.Config.cpu pager Db.Btree_db in
+  ignore v;
+  Alcotest.(check bool) "hash over btree rejected" true
+    (match
+       Db.opendb m.Tutil.clock m.Tutil.stats m.Tutil.cfg.Config.cpu pager (Db.Hash_db 2)
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "tx_db"
+    [
+      ( "btree",
+        [
+          Alcotest.test_case "basic" `Quick test_btree_basic;
+          Alcotest.test_case "splits/height" `Quick test_btree_splits_and_height;
+          Alcotest.test_case "random order" `Quick test_btree_random_order_inserts;
+          Alcotest.test_case "iter from" `Quick test_btree_iter_from;
+          Alcotest.test_case "persistence" `Quick test_btree_persistence;
+          Alcotest.test_case "entry too large" `Quick test_btree_entry_too_large;
+          Alcotest.test_case "iter from missing key" `Quick
+            test_btree_iter_from_missing_key;
+          Alcotest.test_case "sequential fill" `Quick test_btree_sequential_load_fill;
+          Alcotest.test_case "delete persists" `Quick test_btree_delete_persists;
+          prop_btree_model;
+        ] );
+      ( "btree-wal",
+        [
+          Alcotest.test_case "commit/abort" `Quick test_btree_wal_commit_and_abort;
+          Alcotest.test_case "crash recovery" `Quick test_btree_wal_crash_recovery;
+        ] );
+      ( "recno",
+        [
+          Alcotest.test_case "append/get" `Quick test_recno_append_get;
+          Alcotest.test_case "set/iter" `Quick test_recno_set_and_iter;
+          Alcotest.test_case "reclen mismatch" `Quick test_recno_reclen_mismatch;
+          Alcotest.test_case "exact page fill" `Quick test_recno_exact_page_fill;
+          Alcotest.test_case "oversized reclen" `Quick test_recno_oversized_rejected;
+        ] );
+      ( "db-facade",
+        [
+          Alcotest.test_case "btree" `Quick test_db_facade_btree;
+          Alcotest.test_case "hash" `Quick test_db_facade_hash;
+          Alcotest.test_case "recno" `Quick test_db_facade_recno;
+          Alcotest.test_case "kind mismatch" `Quick test_db_facade_kind_mismatch;
+        ] );
+      ( "hash",
+        [
+          Alcotest.test_case "basic" `Quick test_hash_basic;
+          Alcotest.test_case "overflow chains" `Quick test_hash_overflow_chains;
+          Alcotest.test_case "persistence" `Quick test_hash_persistence;
+          prop_hash_model;
+        ] );
+    ]

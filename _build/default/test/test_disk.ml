@@ -1,0 +1,140 @@
+(* Tests for the disk service-time model and the request scheduler. *)
+
+let mk () =
+  let m = Tutil.machine () in
+  (m.Tutil.clock, m.Tutil.disk)
+
+let test_rw_roundtrip () =
+  let _, d = mk () in
+  let b = Tutil.payload 1 (Disk.block_size d) in
+  Disk.write d 17 b;
+  Tutil.check_bytes "read back" b (Disk.read d 17)
+
+let test_run_roundtrip () =
+  let _, d = mk () in
+  let bs = Disk.block_size d in
+  let data = Tutil.payload 2 (5 * bs) in
+  Disk.write_run d 100 data;
+  Tutil.check_bytes "run read back" data (Disk.read_run d 100 5);
+  Tutil.check_bytes "single block within run"
+    (Bytes.sub data (2 * bs) bs)
+    (Disk.read d 102)
+
+let test_time_charged () =
+  let c, d = mk () in
+  let b = Bytes.make (Disk.block_size d) 'x' in
+  let t0 = Clock.now c in
+  Disk.write d 0 b;
+  Alcotest.(check bool) "I/O takes time" true (Clock.now c > t0)
+
+let test_sequential_cheaper_than_random () =
+  let cfg = Tutil.small_config () in
+  let seq =
+    let m = Tutil.machine ~cfg () in
+    let bs = cfg.Config.disk.block_size in
+    Disk.write_run m.Tutil.disk 0 (Bytes.make (64 * bs) 'a');
+    Clock.now m.Tutil.clock
+  in
+  let rand =
+    let m = Tutil.machine ~cfg () in
+    let bs = cfg.Config.disk.block_size in
+    let b = Bytes.make bs 'a' in
+    for i = 0 to 63 do
+      Disk.write m.Tutil.disk (((i * 37) mod 64) * 64) b
+    done;
+    Clock.now m.Tutil.clock
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "sequential (%.4fs) beats random (%.4fs) by 5x" seq rand)
+    true
+    (seq *. 5.0 < rand)
+
+let test_zero_seek_continuation () =
+  let _, d = mk () in
+  let bs = Disk.block_size d in
+  Disk.write d 10 (Bytes.make bs 'x');
+  (* Head now at block 11; continuing there needs no seek or rotation. *)
+  let t = Disk.service_time d 11 ~nblocks:1 in
+  let expect = float_of_int bs /. Config.default.Config.disk.transfer_bytes_per_s in
+  Alcotest.(check (float 1e-9)) "pure transfer" expect t
+
+let test_service_time_monotone_in_distance () =
+  let _, d = mk () in
+  let near = Disk.service_time d 64 ~nblocks:1 in
+  let far = Disk.service_time d 4000 ~nblocks:1 in
+  Alcotest.(check bool) "longer seeks cost more" true (far > near)
+
+let test_out_of_range () =
+  let _, d = mk () in
+  Alcotest.(check bool) "read out of range rejected" true
+    (match Disk.read d (Disk.nblocks d) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "negative rejected" true
+    (match Disk.read d (-1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_peek_poke_free () =
+  let c, d = mk () in
+  let b = Tutil.payload 3 (Disk.block_size d) in
+  let t0 = Clock.now c in
+  Disk.poke d 5 b;
+  Tutil.check_bytes "poke/peek" b (Disk.peek d 5);
+  Alcotest.(check (float 0.0)) "no time charged" t0 (Clock.now c)
+
+let test_elevator_order () =
+  let reqs = [ (50, "a"); (10, "b"); (90, "c"); (30, "d") ] in
+  let ordered = Sched.order Sched.Elevator ~head:40 reqs in
+  Alcotest.(check (list int)) "ascending from head, then wrap"
+    [ 50; 90; 10; 30 ]
+    (List.map fst ordered);
+  let fcfs = Sched.order Sched.Fcfs ~head:40 reqs in
+  Alcotest.(check (list int)) "fcfs keeps arrival order" [ 50; 10; 90; 30 ]
+    (List.map fst fcfs)
+
+let prop_elevator_is_permutation =
+  Tutil.qtest "elevator preserves requests"
+    QCheck2.Gen.(pair (int_bound 1000) (list (int_bound 1000)))
+    (fun (head, blocks) ->
+      let reqs = List.map (fun b -> (b, ())) blocks in
+      let out = Sched.order Sched.Elevator ~head reqs in
+      List.sort compare (List.map fst out) = List.sort compare blocks)
+
+let prop_elevator_single_sweep =
+  Tutil.qtest "elevator does at most one wrap"
+    QCheck2.Gen.(pair (int_bound 1000) (list (int_bound 1000)))
+    (fun (head, blocks) ->
+      let reqs = List.map (fun b -> (b, ())) blocks in
+      let out = List.map fst (Sched.order Sched.Elevator ~head reqs) in
+      (* Direction changes downward at most once. *)
+      let rec descents prev = function
+        | [] -> 0
+        | x :: rest -> (if x < prev then 1 else 0) + descents x rest
+      in
+      match out with [] -> true | x :: rest -> descents x rest <= 1)
+
+let () =
+  Alcotest.run "tx_disk"
+    [
+      ( "disk",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_rw_roundtrip;
+          Alcotest.test_case "run roundtrip" `Quick test_run_roundtrip;
+          Alcotest.test_case "time charged" `Quick test_time_charged;
+          Alcotest.test_case "seq vs random" `Quick
+            test_sequential_cheaper_than_random;
+          Alcotest.test_case "zero-seek continuation" `Quick
+            test_zero_seek_continuation;
+          Alcotest.test_case "seek monotone" `Quick
+            test_service_time_monotone_in_distance;
+          Alcotest.test_case "range checks" `Quick test_out_of_range;
+          Alcotest.test_case "peek/poke" `Quick test_peek_poke_free;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "elevator order" `Quick test_elevator_order;
+          prop_elevator_is_permutation;
+          prop_elevator_single_sweep;
+        ] );
+    ]

@@ -1,0 +1,241 @@
+(* Tests for the read-optimized file system: the shared conformance suite
+   plus FFS-specific behaviour — stable block addresses, contiguous layout,
+   the elevator syncer, and fsck. *)
+
+let make_harness () =
+  let m = Tutil.machine () in
+  let fs = ref (Ffs.format m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg) in
+  {
+    Conformance.vfs = (fun () -> Ffs.vfs !fs);
+    sync_remount =
+      (fun () ->
+        Ffs.sync !fs;
+        Ffs.crash !fs;
+        fs := Ffs.mount m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg);
+  }
+
+let fresh () =
+  let m = Tutil.machine () in
+  (m, Ffs.format m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg)
+
+let test_sequential_layout_is_contiguous () =
+  let _, fs = fresh () in
+  let v = Ffs.vfs fs in
+  let bs = v.Vfs.block_size in
+  let fd = v.Vfs.create "/seq" in
+  for i = 0 to 63 do
+    v.Vfs.write fd ~off:(i * bs) (Tutil.payload i bs)
+  done;
+  Ffs.sync fs;
+  Alcotest.(check (float 0.01)) "fully contiguous" 1.0 (Ffs.contiguity fs "/seq")
+
+let test_update_in_place_preserves_layout () =
+  let m, fs = fresh () in
+  let v = Ffs.vfs fs in
+  let bs = v.Vfs.block_size in
+  let fd = v.Vfs.create "/db" in
+  for i = 0 to 63 do
+    v.Vfs.write fd ~off:(i * bs) (Tutil.payload i bs)
+  done;
+  Ffs.sync fs;
+  let writes_before = Stats.count m.Tutil.stats "ffs.blocks_allocated" in
+  (* Random in-place updates. *)
+  for r = 0 to 199 do
+    let i = r * 37 mod 64 in
+    v.Vfs.write fd ~off:(i * bs) (Tutil.payload (1000 + r) bs)
+  done;
+  Ffs.sync fs;
+  Alcotest.(check int) "no new allocations for overwrites" writes_before
+    (Stats.count m.Tutil.stats "ffs.blocks_allocated");
+  Alcotest.(check (float 0.01)) "layout unchanged" 1.0 (Ffs.contiguity fs "/db")
+
+let test_syncer_flushes_delayed_writes () =
+  let m, fs = fresh () in
+  let v = Ffs.vfs fs in
+  let fd = v.Vfs.create "/delayed" in
+  v.Vfs.write fd ~off:0 (Tutil.payload 3 8192);
+  let before = Stats.count m.Tutil.stats "ffs.inplace_writes" in
+  (* Push simulated time past the syncer interval; the next operation
+     triggers the flush. *)
+  Clock.advance m.Tutil.clock 31.0;
+  ignore (v.Vfs.exists "/delayed");
+  ignore (v.Vfs.open_file "/delayed");
+  Alcotest.(check bool) "syncer wrote the dirty pages" true
+    (Stats.count m.Tutil.stats "ffs.inplace_writes" > before)
+
+let test_fsck_clean () =
+  let _, fs = fresh () in
+  let v = Ffs.vfs fs in
+  let fd = v.Vfs.create "/a" in
+  v.Vfs.write fd ~off:0 (Tutil.payload 1 20000);
+  Ffs.sync fs;
+  let r = Ffs.fsck fs in
+  Alcotest.(check int) "no leaks" 0 r.Ffs.leaked_blocks;
+  Alcotest.(check int) "no cross allocation" 0 r.Ffs.cross_allocated
+
+let test_fsck_fixes_bitmap_after_crash () =
+  let m, fs = fresh () in
+  let v = Ffs.vfs fs in
+  (* Namespace durable first. *)
+  let fd = v.Vfs.create "/a" in
+  Ffs.sync fs;
+  (* fsync writes the file's data blocks and inode (with fresh block
+     pointers) but not the allocation bitmap; a crash here leaves blocks
+     referenced by an inode yet marked free on disk. *)
+  v.Vfs.write fd ~off:0 (Tutil.payload 1 40960);
+  v.Vfs.fsync fd;
+  Ffs.crash fs;
+  let fs = Ffs.mount m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let r = Ffs.fsck fs in
+  Alcotest.(check bool) "bitmap repaired" true r.Ffs.fixed;
+  Alcotest.(check int) "no cross allocation" 0 r.Ffs.cross_allocated;
+  (* After the repair, the image is clean and the data is intact. *)
+  let r2 = Ffs.fsck fs in
+  Alcotest.(check bool) "second pass clean" false r2.Ffs.fixed;
+  let v = Ffs.vfs fs in
+  let fd = v.Vfs.open_file "/a" in
+  Tutil.check_bytes "data intact" (Tutil.payload 1 40960)
+    (v.Vfs.read fd ~off:0 ~len:40960)
+
+let test_free_blocks_accounting () =
+  let _, fs = fresh () in
+  let v = Ffs.vfs fs in
+  let before = Ffs.free_blocks fs in
+  let fd = v.Vfs.create "/x" in
+  v.Vfs.write fd ~off:0 (Tutil.payload 1 (10 * v.Vfs.block_size));
+  Ffs.sync fs;
+  let after = Ffs.free_blocks fs in
+  Alcotest.(check bool) "10+ blocks consumed" true (before - after >= 10);
+  v.Vfs.remove "/x";
+  Ffs.sync fs;
+  Alcotest.(check bool) "blocks released" true (Ffs.free_blocks fs > after)
+
+let test_protection_unsupported () =
+  let _, fs = fresh () in
+  let v = Ffs.vfs fs in
+  ignore (v.Vfs.create "/f");
+  Alcotest.(check bool) "set_protected rejected" true
+    (match v.Vfs.set_protected "/f" true with
+    | exception Vfs.Error (Vfs.Not_supported, _) -> true
+    | _ -> false)
+
+let test_no_space () =
+  let cfg = Tutil.small_config () in
+  let cfg = { cfg with Config.disk = { cfg.Config.disk with nblocks = 768 } } in
+  let m = Tutil.machine ~cfg () in
+  let fs = Ffs.format m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let v = Ffs.vfs fs in
+  let fd = v.Vfs.create "/big" in
+  Alcotest.(check bool) "fills up" true
+    (match
+       for i = 0 to 2000 do
+         v.Vfs.write fd ~off:(i * v.Vfs.block_size) (Tutil.payload i v.Vfs.block_size);
+         if i mod 16 = 0 then Ffs.sync fs
+       done
+     with
+    | exception Vfs.Error (Vfs.No_space, _) -> true
+    | () -> false)
+
+(* Model-based property test mirroring the LFS one: random
+   create/write/truncate/remove/sync/remount sequences vs an in-memory
+   map. Only synced state survives a remount. *)
+let prop_model =
+  let op_gen =
+    QCheck2.Gen.(
+      frequency
+        [
+          (6, map2 (fun f (off, len) -> `Write (f, off, len))
+                (int_bound 4) (pair (int_bound 3000) (int_range 1 2000)));
+          (2, map (fun f -> `Remove f) (int_bound 4));
+          (2, map (fun f -> `Truncate f) (int_bound 4));
+          (1, return `Sync);
+          (1, return `Remount);
+        ])
+  in
+  Tutil.qtest ~count:25 "model equivalence" QCheck2.Gen.(list_size (int_range 1 40) op_gen)
+    (fun ops ->
+      let m = Tutil.machine () in
+      let fs = ref (Ffs.format m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg) in
+      let model : (string, bytes) Hashtbl.t = Hashtbl.create 8 in
+      let synced = ref [] in
+      let path i = Printf.sprintf "/file%d" i in
+      let counter = ref 0 in
+      List.iter
+        (fun op ->
+          let v = Ffs.vfs !fs in
+          incr counter;
+          match op with
+          | `Write (i, off, len) ->
+            let p = path i in
+            let data = Tutil.payload !counter len in
+            let fd = if v.Vfs.exists p then v.Vfs.open_file p else v.Vfs.create p in
+            v.Vfs.write fd ~off data;
+            let old = Option.value (Hashtbl.find_opt model p) ~default:Bytes.empty in
+            let size = max (Bytes.length old) (off + len) in
+            let b = Bytes.make size '\000' in
+            Bytes.blit old 0 b 0 (Bytes.length old);
+            Bytes.blit data 0 b off len;
+            Hashtbl.replace model p b
+          | `Remove i ->
+            let p = path i in
+            if v.Vfs.exists p then begin
+              v.Vfs.remove p;
+              Hashtbl.remove model p
+            end
+          | `Truncate i ->
+            let p = path i in
+            if v.Vfs.exists p then begin
+              let n = v.Vfs.size (v.Vfs.open_file p) / 2 in
+              v.Vfs.truncate (v.Vfs.open_file p) n;
+              let old = Hashtbl.find model p in
+              Hashtbl.replace model p (Bytes.sub old 0 (min n (Bytes.length old)))
+            end
+          | `Sync ->
+            v.Vfs.sync ();
+            synced := Hashtbl.fold (fun k d acc -> (k, Bytes.copy d) :: acc) model []
+          | `Remount ->
+            Ffs.crash !fs;
+            fs := Ffs.mount m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg;
+            ignore (Ffs.fsck !fs);
+            Hashtbl.reset model;
+            List.iter (fun (k, d) -> Hashtbl.replace model k d) !synced)
+        ops;
+      let v = Ffs.vfs !fs in
+      Hashtbl.fold
+        (fun p data ok ->
+          ok
+          && v.Vfs.exists p
+          &&
+          let fd = v.Vfs.open_file p in
+          v.Vfs.size fd = Bytes.length data
+          && Bytes.equal (v.Vfs.read fd ~off:0 ~len:(Bytes.length data)) data)
+        model true)
+
+let () =
+  Alcotest.run "tx_ffs"
+    [
+      ("conformance", Conformance.cases make_harness);
+      ( "layout",
+        [
+          Alcotest.test_case "sequential contiguity" `Quick
+            test_sequential_layout_is_contiguous;
+          Alcotest.test_case "update in place" `Quick
+            test_update_in_place_preserves_layout;
+          Alcotest.test_case "free block accounting" `Quick
+            test_free_blocks_accounting;
+        ] );
+      ( "syncer",
+        [ Alcotest.test_case "delayed writes" `Quick test_syncer_flushes_delayed_writes ] );
+      ( "fsck",
+        [
+          Alcotest.test_case "clean image" `Quick test_fsck_clean;
+          Alcotest.test_case "repairs bitmap" `Quick test_fsck_fixes_bitmap_after_crash;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "protection unsupported" `Quick
+            test_protection_unsupported;
+          Alcotest.test_case "no space" `Quick test_no_space;
+        ] );
+      ("model", [ prop_model ]);
+    ]

@@ -1,0 +1,153 @@
+(* Tests for the lock manager: compatibility matrix, upgrades, chains,
+   deadlock detection, and a property test that the table is empty after
+   all transactions release. *)
+
+let mk () =
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  (stats, Lockmgr.create clock stats Config.default.Config.cpu)
+
+let obj f p = (f, p)
+
+let test_compatibility_matrix () =
+  let _, lm = mk () in
+  let o = obj 1 0 in
+  (* S + S compatible *)
+  Alcotest.(check bool) "S grant" true (Lockmgr.acquire lm ~txn:1 o Shared = `Granted);
+  Alcotest.(check bool) "S+S" true (Lockmgr.acquire lm ~txn:2 o Shared = `Granted);
+  (* S + X conflicts *)
+  (match Lockmgr.acquire lm ~txn:3 o Exclusive with
+  | `Would_block blockers ->
+    Alcotest.(check (list int)) "blockers" [ 1; 2 ] (List.sort compare blockers)
+  | _ -> Alcotest.fail "X over S should block");
+  Lockmgr.release_all lm ~txn:1;
+  Lockmgr.release_all lm ~txn:2;
+  Lockmgr.cancel_wait lm ~txn:3;
+  (* X + anything conflicts *)
+  Alcotest.(check bool) "X grant" true
+    (Lockmgr.acquire lm ~txn:3 o Exclusive = `Granted);
+  Alcotest.(check bool) "S over X blocks" true
+    (match Lockmgr.acquire lm ~txn:4 o Shared with
+    | `Would_block _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "X over X blocks" true
+    (match Lockmgr.acquire lm ~txn:5 o Exclusive with
+    | `Would_block _ -> true
+    | _ -> false)
+
+let test_reentrant_and_upgrade () =
+  let _, lm = mk () in
+  let o = obj 1 1 in
+  Alcotest.(check bool) "S" true (Lockmgr.acquire lm ~txn:1 o Shared = `Granted);
+  Alcotest.(check bool) "S again" true (Lockmgr.acquire lm ~txn:1 o Shared = `Granted);
+  Alcotest.(check bool) "upgrade to X (sole holder)" true
+    (Lockmgr.acquire lm ~txn:1 o Exclusive = `Granted);
+  Alcotest.(check bool) "X then S is no-op" true
+    (Lockmgr.acquire lm ~txn:1 o Shared = `Granted);
+  Alcotest.(check bool) "held at X" true (Lockmgr.holds lm ~txn:1 o = Some Exclusive);
+  (* Upgrade blocked when another reader exists. *)
+  let o2 = obj 1 2 in
+  ignore (Lockmgr.acquire lm ~txn:1 o2 Shared);
+  ignore (Lockmgr.acquire lm ~txn:2 o2 Shared);
+  Alcotest.(check bool) "upgrade blocks with two readers" true
+    (match Lockmgr.acquire lm ~txn:1 o2 Exclusive with
+    | `Would_block [ 2 ] -> true
+    | _ -> false)
+
+let test_chain_traversal () =
+  let _, lm = mk () in
+  ignore (Lockmgr.acquire lm ~txn:7 (obj 1 0) Shared);
+  ignore (Lockmgr.acquire lm ~txn:7 (obj 1 1) Exclusive);
+  ignore (Lockmgr.acquire lm ~txn:7 (obj 2 5) Shared);
+  Alcotest.(check int) "chain length" 3 (List.length (Lockmgr.chain lm ~txn:7));
+  Alcotest.(check int) "three objects locked" 3 (Lockmgr.locked_objects lm);
+  Lockmgr.release_all lm ~txn:7;
+  Alcotest.(check int) "chain empty" 0 (List.length (Lockmgr.chain lm ~txn:7));
+  Alcotest.(check int) "table empty" 0 (Lockmgr.locked_objects lm)
+
+let test_deadlock_detection () =
+  let stats, lm = mk () in
+  let a = obj 1 0 and b = obj 1 1 in
+  ignore (Lockmgr.acquire lm ~txn:1 a Exclusive);
+  ignore (Lockmgr.acquire lm ~txn:2 b Exclusive);
+  (* 1 waits for b (held by 2)... *)
+  Alcotest.(check bool) "1 blocks on b" true
+    (match Lockmgr.acquire lm ~txn:1 b Exclusive with
+    | `Would_block _ -> true
+    | _ -> false);
+  (* ...and 2 requesting a would close the cycle. *)
+  Alcotest.(check bool) "2 on a deadlocks" true
+    (Lockmgr.acquire lm ~txn:2 a Exclusive = `Deadlock);
+  Alcotest.(check int) "counted" 1 (Stats.count stats "lock.deadlocks");
+  (* Victim aborts; the survivor can proceed. *)
+  Lockmgr.release_all lm ~txn:2;
+  Alcotest.(check bool) "1 retries and wins" true
+    (Lockmgr.acquire lm ~txn:1 b Exclusive = `Granted)
+
+let test_three_party_deadlock () =
+  let _, lm = mk () in
+  let a = obj 1 0 and b = obj 1 1 and c = obj 1 2 in
+  ignore (Lockmgr.acquire lm ~txn:1 a Exclusive);
+  ignore (Lockmgr.acquire lm ~txn:2 b Exclusive);
+  ignore (Lockmgr.acquire lm ~txn:3 c Exclusive);
+  ignore (Lockmgr.acquire lm ~txn:1 b Exclusive);
+  ignore (Lockmgr.acquire lm ~txn:2 c Exclusive);
+  Alcotest.(check bool) "closing the 3-cycle detected" true
+    (Lockmgr.acquire lm ~txn:3 a Exclusive = `Deadlock)
+
+let test_early_release () =
+  let _, lm = mk () in
+  let o = obj 9 9 in
+  ignore (Lockmgr.acquire lm ~txn:1 o Exclusive);
+  Lockmgr.release lm ~txn:1 o;
+  Alcotest.(check bool) "free for others" true
+    (Lockmgr.acquire lm ~txn:2 o Exclusive = `Granted)
+
+let test_wait_cleared_on_grant () =
+  let _, lm = mk () in
+  let o = obj 1 0 in
+  ignore (Lockmgr.acquire lm ~txn:1 o Exclusive);
+  ignore (Lockmgr.acquire lm ~txn:2 o Exclusive);
+  Alcotest.(check bool) "2 waiting" true (Lockmgr.waiting lm ~txn:2);
+  Lockmgr.release_all lm ~txn:1;
+  Alcotest.(check bool) "retry wins" true (Lockmgr.acquire lm ~txn:2 o Exclusive = `Granted);
+  Alcotest.(check bool) "no longer waiting" false (Lockmgr.waiting lm ~txn:2)
+
+let prop_release_all_empties =
+  Tutil.qtest "release_all leaves no residue"
+    QCheck2.Gen.(list (tup3 (int_range 1 4) (int_bound 8) bool))
+    (fun reqs ->
+      let _, lm = mk () in
+      List.iter
+        (fun (txn, page, excl) ->
+          let mode = if excl then Lockmgr.Exclusive else Lockmgr.Shared in
+          ignore (Lockmgr.acquire lm ~txn (0, page) mode))
+        reqs;
+      List.iter (fun txn -> Lockmgr.release_all lm ~txn) [ 1; 2; 3; 4 ];
+      Lockmgr.locked_objects lm = 0)
+
+let prop_shared_never_conflicts =
+  Tutil.qtest "readers never conflict"
+    QCheck2.Gen.(list (pair (int_range 1 6) (int_bound 10)))
+    (fun reqs ->
+      let _, lm = mk () in
+      List.for_all
+        (fun (txn, page) -> Lockmgr.acquire lm ~txn (0, page) Shared = `Granted)
+        reqs)
+
+let () =
+  Alcotest.run "tx_lock"
+    [
+      ( "locks",
+        [
+          Alcotest.test_case "compatibility" `Quick test_compatibility_matrix;
+          Alcotest.test_case "reentrancy/upgrade" `Quick test_reentrant_and_upgrade;
+          Alcotest.test_case "chains" `Quick test_chain_traversal;
+          Alcotest.test_case "deadlock" `Quick test_deadlock_detection;
+          Alcotest.test_case "3-party deadlock" `Quick test_three_party_deadlock;
+          Alcotest.test_case "early release" `Quick test_early_release;
+          Alcotest.test_case "wait cleared" `Quick test_wait_cleared_on_grant;
+          prop_release_all_empties;
+          prop_shared_never_conflicts;
+        ] );
+    ]

@@ -1,0 +1,146 @@
+(* Unit and property tests for the simulation core: clock, stats, cost
+   model, RNG and binary encoding. *)
+
+let test_clock_basics () =
+  let c = Clock.create () in
+  Alcotest.(check (float 0.0)) "starts at zero" 0.0 (Clock.now c);
+  Clock.advance c 1.5;
+  Clock.advance c 0.25;
+  Alcotest.(check (float 1e-9)) "accumulates" 1.75 (Clock.now c);
+  Clock.sleep_until c 1.0;
+  Alcotest.(check (float 1e-9)) "sleep into the past is a no-op" 1.75
+    (Clock.now c);
+  Clock.sleep_until c 3.0;
+  Alcotest.(check (float 1e-9)) "sleep into the future" 3.0 (Clock.now c)
+
+let test_clock_rejects_bad_delta () =
+  let c = Clock.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Clock.advance: bad delta -1")
+    (fun () -> Clock.advance c (-1.0));
+  (match Clock.advance c Float.nan with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "nan delta accepted")
+
+let test_stats () =
+  let s = Stats.create () in
+  Stats.incr s "a";
+  Stats.add s "a" 4;
+  Stats.add_time s "t" 0.5;
+  Stats.add_time s "t" 0.25;
+  Alcotest.(check int) "count" 5 (Stats.count s "a");
+  Alcotest.(check (float 1e-9)) "time" 0.75 (Stats.time s "t");
+  Alcotest.(check int) "missing count is 0" 0 (Stats.count s "nope");
+  Stats.record_max s "m" 2.0;
+  Stats.record_max s "m" 1.0;
+  Alcotest.(check (float 1e-9)) "max keeps larger" 2.0 (Stats.time s "m");
+  Stats.reset s;
+  Alcotest.(check int) "reset" 0 (Stats.count s "a")
+
+let test_cpu_charges () =
+  let cfg = Config.default.Config.cpu in
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  Cpu.charge clock stats cfg Cpu.Syscall;
+  Alcotest.(check (float 1e-12)) "syscall advances clock" cfg.Config.syscall_s
+    (Clock.now clock);
+  Alcotest.(check int) "recorded" 1 (Stats.count stats "cpu.syscall.n")
+
+let test_user_mutex_cost () =
+  let cpu = Config.default.Config.cpu in
+  let without = Cpu.cost cpu Cpu.User_mutex in
+  let with_tas = Cpu.cost { cpu with Config.has_test_and_set = true } Cpu.User_mutex in
+  Alcotest.(check (float 1e-12)) "no TAS: two syscalls"
+    (2.0 *. cpu.Config.syscall_s) without;
+  Alcotest.(check bool) "TAS much cheaper" true (with_tas < without /. 10.0)
+
+let test_config_scaled () =
+  let c = Config.scaled ~factor:0.5 Config.default in
+  Alcotest.(check int) "disk halved" (Config.default.Config.disk.nblocks / 2)
+    c.Config.disk.nblocks;
+  Alcotest.(check int) "cache halved" (Config.default.Config.fs.cache_blocks / 2)
+    c.Config.fs.cache_blocks;
+  Alcotest.check_raises "bad factor"
+    (Invalid_argument "Config.scaled: factor must be in (0, 1]") (fun () ->
+      ignore (Config.scaled ~factor:0.0 Config.default))
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  let xs = List.init 100 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 100 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys;
+  let c = Rng.create ~seed:43 in
+  let zs = List.init 100 (fun _ -> Rng.int c 1000) in
+  Alcotest.(check bool) "different seed differs" true (xs <> zs)
+
+let test_rng_shuffle_is_permutation () =
+  let r = Rng.create ~seed:7 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_enc_fixed_width () =
+  let b = Bytes.make 64 '\000' in
+  Enc.set_u8 b 0 0xab;
+  Enc.set_u16 b 1 0xbeef;
+  Enc.set_u32 b 3 0xdeadbeef;
+  Enc.set_i64 b 7 (-123456789L);
+  Enc.set_f64 b 15 3.14159;
+  Alcotest.(check int) "u8" 0xab (Enc.get_u8 b 0);
+  Alcotest.(check int) "u16" 0xbeef (Enc.get_u16 b 1);
+  Alcotest.(check int) "u32" 0xdeadbeef (Enc.get_u32 b 3);
+  Alcotest.(check int64) "i64" (-123456789L) (Enc.get_i64 b 7);
+  Alcotest.(check (float 0.0)) "f64" 3.14159 (Enc.get_f64 b 15)
+
+let test_enc_u32_range () =
+  let b = Bytes.make 8 '\000' in
+  Alcotest.(check bool) "max u32 fits" true
+    (Enc.set_u32 b 0 0xffffffff;
+     Enc.get_u32 b 0 = 0xffffffff);
+  (match Enc.set_u32 b 0 (-1) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative accepted")
+
+let prop_lstring_roundtrip =
+  Tutil.qtest "lstring round-trip" QCheck2.Gen.(string_size (int_bound 300))
+    (fun s ->
+      let b = Bytes.make (Enc.lstring_size s + 8) '\000' in
+      let stop = Enc.set_lstring b 4 s in
+      let s', stop' = Enc.get_lstring b 4 in
+      s = s' && stop = stop')
+
+let prop_u32_roundtrip =
+  Tutil.qtest "u32 round-trip" QCheck2.Gen.(int_bound 0xffffffff) (fun v ->
+      let b = Bytes.make 4 '\000' in
+      Enc.set_u32 b 0 v;
+      Enc.get_u32 b 0 = v)
+
+let () =
+  Alcotest.run "tx_sim"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "basics" `Quick test_clock_basics;
+          Alcotest.test_case "bad delta" `Quick test_clock_rejects_bad_delta;
+        ] );
+      ("stats", [ Alcotest.test_case "counters" `Quick test_stats ]);
+      ( "cpu",
+        [
+          Alcotest.test_case "charges" `Quick test_cpu_charges;
+          Alcotest.test_case "user mutex" `Quick test_user_mutex_cost;
+        ] );
+      ("config", [ Alcotest.test_case "scaled" `Quick test_config_scaled ]);
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_is_permutation;
+        ] );
+      ( "enc",
+        [
+          Alcotest.test_case "fixed width" `Quick test_enc_fixed_width;
+          Alcotest.test_case "u32 range" `Quick test_enc_u32_range;
+          prop_lstring_roundtrip;
+          prop_u32_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,175 @@
+(* Tests for the VFS layer: directory encoding and the generic namespace,
+   exercised over a toy in-memory inode store. *)
+
+let entry name inum kind = { Dirfmt.name; inum; kind }
+
+let test_dirfmt_roundtrip () =
+  let es =
+    [ entry "a" 2 Vfs.File; entry "subdir" 3 Vfs.Dir; entry "b.txt" 9 Vfs.File ]
+  in
+  let decoded = Dirfmt.decode (Dirfmt.encode es) in
+  Alcotest.(check int) "count" 3 (List.length decoded);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "name" a.Dirfmt.name b.Dirfmt.name;
+      Alcotest.(check int) "inum" a.Dirfmt.inum b.Dirfmt.inum;
+      Alcotest.(check bool) "kind" true (a.Dirfmt.kind = b.Dirfmt.kind))
+    es decoded
+
+let test_dirfmt_empty () =
+  Alcotest.(check int) "empty" 0 (List.length (Dirfmt.decode (Dirfmt.encode [])))
+
+let test_dirfmt_corrupt () =
+  Alcotest.(check bool) "truncated rejected" true
+    (match Dirfmt.decode (Bytes.make 3 '\255') with
+    | exception Vfs.Error (Vfs.Invalid, _) -> true
+    | _ -> false)
+
+let prop_dirfmt_roundtrip =
+  let name_gen =
+    QCheck2.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 20))
+  in
+  Tutil.qtest "dirfmt round-trip"
+    QCheck2.Gen.(list (pair name_gen (int_bound 100000)))
+    (fun pairs ->
+      let es = List.map (fun (n, i) -> entry n i Vfs.File) pairs in
+      let decoded = Dirfmt.decode (Dirfmt.encode es) in
+      List.map (fun e -> (e.Dirfmt.name, e.Dirfmt.inum)) decoded = pairs)
+
+(* A trivial in-memory store to exercise the namespace functor. *)
+module Memstore = struct
+  type file = { mutable data : bytes; kind : Vfs.file_kind }
+
+  type t = {
+    files : (int, file) Hashtbl.t;
+    mutable next : int;
+  }
+
+  let make () =
+    let t = { files = Hashtbl.create 8; next = 2 } in
+    Hashtbl.add t.files 1 { data = Bytes.empty; kind = Vfs.Dir };
+    t
+
+  let root _ = 1
+
+  let find t inum =
+    match Hashtbl.find_opt t.files inum with
+    | Some f -> f
+    | None -> Vfs.error Not_found "inode %d" inum
+
+  let read t inum ~off ~len =
+    let f = find t inum in
+    let len = max 0 (min len (Bytes.length f.data - off)) in
+    Bytes.sub f.data off len
+
+  let write t inum ~off data =
+    let f = find t inum in
+    let need = off + Bytes.length data in
+    if need > Bytes.length f.data then begin
+      let b = Bytes.make need '\000' in
+      Bytes.blit f.data 0 b 0 (Bytes.length f.data);
+      f.data <- b
+    end;
+    Bytes.blit data 0 f.data off (Bytes.length data)
+
+  let truncate t inum ~len =
+    let f = find t inum in
+    let b = Bytes.make len '\000' in
+    Bytes.blit f.data 0 b 0 (min len (Bytes.length f.data));
+    f.data <- b
+
+  let size t inum = Bytes.length (find t inum).data
+
+  let alloc_inode t ~kind =
+    let inum = t.next in
+    t.next <- inum + 1;
+    Hashtbl.add t.files inum { data = Bytes.empty; kind };
+    inum
+
+  let free_inode t inum = Hashtbl.remove t.files inum
+end
+
+module Ns = Namespace.Make (Memstore)
+
+let test_ns_create_lookup () =
+  let t = Memstore.make () in
+  let inum = Ns.create t "/hello" ~kind:Vfs.File in
+  Alcotest.(check bool) "lookup finds it" true
+    (Ns.lookup t "/hello" = Some (inum, Vfs.File));
+  Alcotest.(check bool) "root resolves" true (Ns.lookup t "/" = Some (1, Vfs.Dir));
+  Alcotest.(check bool) "missing" true (Ns.lookup t "/nope" = None)
+
+let test_ns_nested () =
+  let t = Memstore.make () in
+  let d = Ns.create t "/a" ~kind:Vfs.Dir in
+  let _ = Ns.create t "/a/b" ~kind:Vfs.Dir in
+  let f = Ns.create t "/a/b/c" ~kind:Vfs.File in
+  Alcotest.(check bool) "deep lookup" true
+    (Ns.lookup t "/a/b/c" = Some (f, Vfs.File));
+  Alcotest.(check bool) "intermediate" true (Ns.lookup t "/a" = Some (d, Vfs.Dir));
+  Alcotest.(check (list string)) "readdir /a" [ "b" ]
+    (List.map fst (Ns.readdir t "/a"))
+
+let test_ns_errors () =
+  let t = Memstore.make () in
+  let _ = Ns.create t "/f" ~kind:Vfs.File in
+  let expect_error code thunk =
+    match thunk () with
+    | exception Vfs.Error (c, _) -> c = code
+    | _ -> false
+  in
+  Alcotest.(check bool) "duplicate" true
+    (expect_error Vfs.Exists (fun () -> Ns.create t "/f" ~kind:Vfs.File));
+  Alcotest.(check bool) "missing parent" true
+    (expect_error Vfs.Not_found (fun () -> Ns.create t "/no/x" ~kind:Vfs.File));
+  Alcotest.(check bool) "file as parent" true
+    (expect_error Vfs.Not_dir (fun () -> Ns.create t "/f/x" ~kind:Vfs.File));
+  Alcotest.(check bool) "remove missing" true
+    (expect_error Vfs.Not_found (fun () -> Ns.remove t "/ghost"));
+  Alcotest.(check bool) "relative path" true
+    (expect_error Vfs.Invalid (fun () -> ignore (Ns.lookup t "rel/path")));
+  Alcotest.(check bool) "readdir on file" true
+    (expect_error Vfs.Not_dir (fun () -> ignore (Ns.readdir t "/f")))
+
+let test_ns_remove () =
+  let t = Memstore.make () in
+  let _ = Ns.create t "/d" ~kind:Vfs.Dir in
+  let _ = Ns.create t "/d/f" ~kind:Vfs.File in
+  Alcotest.(check bool) "non-empty dir protected" true
+    (match Ns.remove t "/d" with
+    | exception Vfs.Error (Vfs.Invalid, _) -> true
+    | _ -> false);
+  Ns.remove t "/d/f";
+  Ns.remove t "/d";
+  Alcotest.(check bool) "gone" true (Ns.lookup t "/d" = None)
+
+let test_ns_many_entries () =
+  let t = Memstore.make () in
+  for i = 0 to 99 do
+    ignore (Ns.create t (Printf.sprintf "/file%03d" i) ~kind:Vfs.File)
+  done;
+  Alcotest.(check int) "100 entries" 100 (List.length (Ns.readdir t "/"));
+  for i = 0 to 99 do
+    Alcotest.(check bool) "each resolvable" true
+      (Ns.lookup t (Printf.sprintf "/file%03d" i) <> None)
+  done
+
+let () =
+  Alcotest.run "tx_vfs"
+    [
+      ( "dirfmt",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_dirfmt_roundtrip;
+          Alcotest.test_case "empty" `Quick test_dirfmt_empty;
+          Alcotest.test_case "corrupt" `Quick test_dirfmt_corrupt;
+          prop_dirfmt_roundtrip;
+        ] );
+      ( "namespace",
+        [
+          Alcotest.test_case "create/lookup" `Quick test_ns_create_lookup;
+          Alcotest.test_case "nested" `Quick test_ns_nested;
+          Alcotest.test_case "errors" `Quick test_ns_errors;
+          Alcotest.test_case "remove" `Quick test_ns_remove;
+          Alcotest.test_case "many entries" `Quick test_ns_many_entries;
+        ] );
+    ]

@@ -1,0 +1,474 @@
+(* Tests for the user-level transaction system: log record codecs, the log
+   manager, the buffer pool's WAL rule, transaction semantics
+   (commit/abort/isolation), and crash recovery on a real LFS substrate. *)
+
+let mk_env ?(cfg = Tutil.small_config ()) () =
+  let m = Tutil.machine ~cfg () in
+  let fs = Lfs.format m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let v = Lfs.vfs fs in
+  let env =
+    Libtp.open_env m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~pool_pages:32
+      ~checkpoint_every:1000 ~log_path:"/wal.log" ()
+  in
+  (m, fs, v, env)
+
+(* Crash the machine and bring the environment back up, running recovery. *)
+let crash_recover (m : Tutil.machine) fs =
+  Lfs.crash fs;
+  let fs = Lfs.mount m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let v = Lfs.vfs fs in
+  let env =
+    Libtp.open_env m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~pool_pages:32
+      ~checkpoint_every:1000 ~log_path:"/wal.log" ()
+  in
+  (fs, v, env)
+
+let page_with v byte = Bytes.make v.Vfs.block_size byte
+
+(* Logrec codec ----------------------------------------------------------- *)
+
+let test_logrec_roundtrip () =
+  let recs =
+    [
+      { Logrec.txn = 1; prev = Logrec.null_lsn; body = Logrec.Begin };
+      {
+        Logrec.txn = 1;
+        prev = 0;
+        body =
+          Logrec.Update
+            {
+              file = 42;
+              page = 7;
+              off = 123;
+              before = Bytes.of_string "old!";
+              after = Bytes.of_string "new!";
+            };
+      };
+      { Logrec.txn = 1; prev = 30; body = Logrec.Commit };
+      { Logrec.txn = 2; prev = 99; body = Logrec.Abort };
+      { Logrec.txn = 0; prev = Logrec.null_lsn; body = Logrec.Checkpoint { active = [ 3; 4 ] } };
+    ]
+  in
+  let buf = Buffer.create 256 in
+  List.iter (fun r -> Buffer.add_bytes buf (Logrec.encode r)) recs;
+  let data = Buffer.to_bytes buf in
+  let rec decode_all off acc =
+    match Logrec.decode data off with
+    | Some (r, next) -> decode_all next (r :: acc)
+    | None -> List.rev acc
+  in
+  let out = decode_all 0 [] in
+  Alcotest.(check int) "all decoded" (List.length recs) (List.length out);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check int) "txn" a.Logrec.txn b.Logrec.txn;
+      Alcotest.(check int) "prev" a.Logrec.prev b.Logrec.prev;
+      Alcotest.(check bool) "body" true (a.Logrec.body = b.Logrec.body))
+    recs out
+
+let test_logrec_rejects_torn () =
+  let r =
+    {
+      Logrec.txn = 1;
+      prev = 0;
+      body =
+        Logrec.Update
+          { file = 1; page = 1; off = 0; before = Bytes.make 50 'a'; after = Bytes.make 50 'b' };
+    }
+  in
+  let enc = Logrec.encode r in
+  (* Truncated *)
+  Alcotest.(check bool) "truncated" true
+    (Logrec.decode (Bytes.sub enc 0 (Bytes.length enc - 5)) 0 = None);
+  (* Flipped byte in the body *)
+  let bad = Bytes.copy enc in
+  Bytes.set bad (Bytes.length bad - 1) 'x';
+  Alcotest.(check bool) "corrupt" true (Logrec.decode bad 0 = None)
+
+let prop_logrec_roundtrip =
+  Tutil.qtest "logrec round-trip"
+    QCheck2.Gen.(
+      tup4 (int_bound 10000) (int_bound 100) (int_bound 4000)
+        (string_size (int_range 1 80)))
+    (fun (txn, page, off, s) ->
+      let body =
+        Logrec.Update
+          {
+            file = 3;
+            page;
+            off;
+            before = Bytes.of_string s;
+            after = Bytes.of_string (String.uppercase_ascii s);
+          }
+      in
+      let r = { Logrec.txn; prev = 17; body } in
+      match Logrec.decode (Logrec.encode r) 0 with
+      | Some (r', _) -> r' = r
+      | None -> false)
+
+(* Log manager ------------------------------------------------------------ *)
+
+let test_logmgr_force_and_scan () =
+  let m, _fs, v, _env = mk_env () in
+  let log = Logmgr.open_log m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~path:"/log2" in
+  let l1 = Logmgr.append log { Logrec.txn = 1; prev = -1; body = Logrec.Begin } in
+  let l2 = Logmgr.append log { Logrec.txn = 1; prev = l1; body = Logrec.Commit } in
+  Alcotest.(check bool) "nothing flushed yet" true (Logmgr.flushed_lsn log = 0);
+  Logmgr.force log ~upto:l2;
+  Alcotest.(check bool) "flushed" true (Logmgr.flushed_lsn log > l2);
+  let records = List.of_seq (Logmgr.read_from log 0) in
+  Alcotest.(check int) "scan finds both" 2 (List.length records)
+
+let test_logmgr_reopen_positions_at_end () =
+  let m, _fs, v, _env = mk_env () in
+  let log = Logmgr.open_log m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~path:"/log3" in
+  let l1 = Logmgr.append log { Logrec.txn = 5; prev = -1; body = Logrec.Begin } in
+  Logmgr.force log ~upto:l1;
+  let end1 = Logmgr.next_lsn log in
+  let log' = Logmgr.open_log m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~path:"/log3" in
+  Alcotest.(check int) "reopen at end" end1 (Logmgr.next_lsn log')
+
+(* Transactions ----------------------------------------------------------- *)
+
+let test_commit_visible () =
+  let _m, _fs, v, env = mk_env () in
+  let fd = v.Vfs.create "/db" in
+  let txn = Libtp.begin_txn env in
+  Libtp.write_page env txn ~file:fd ~page:0 (page_with v 'A');
+  Libtp.commit env txn;
+  let txn2 = Libtp.begin_txn env in
+  let got = Libtp.read_page env txn2 ~file:fd ~page:0 in
+  Alcotest.(check char) "committed data visible" 'A' (Bytes.get got 0);
+  Libtp.commit env txn2
+
+let test_abort_undoes () =
+  let _m, _fs, v, env = mk_env () in
+  let fd = v.Vfs.create "/db" in
+  let t1 = Libtp.begin_txn env in
+  Libtp.write_page env t1 ~file:fd ~page:0 (page_with v 'A');
+  Libtp.commit env t1;
+  let t2 = Libtp.begin_txn env in
+  Libtp.write_page env t2 ~file:fd ~page:0 (page_with v 'B');
+  Libtp.write_page env t2 ~file:fd ~page:1 (page_with v 'C');
+  Libtp.abort env t2;
+  let t3 = Libtp.begin_txn env in
+  Alcotest.(check char) "page 0 restored" 'A'
+    (Bytes.get (Libtp.read_page env t3 ~file:fd ~page:0) 0);
+  Alcotest.(check char) "page 1 restored" '\000'
+    (Bytes.get (Libtp.read_page env t3 ~file:fd ~page:1) 0);
+  Libtp.commit env t3
+
+let test_two_phase_locking_conflict () =
+  let _m, _fs, v, env = mk_env () in
+  let fd = v.Vfs.create "/db" in
+  let t1 = Libtp.begin_txn env in
+  Libtp.write_page env t1 ~file:fd ~page:0 (page_with v 'A');
+  let t2 = Libtp.begin_txn env in
+  Alcotest.(check bool) "reader blocks on writer" true
+    (match Libtp.read_page env t2 ~file:fd ~page:0 with
+    | exception Libtp.Conflict [ blocker ] -> blocker = Libtp.txn_id t1
+    | _ -> false);
+  Libtp.commit env t1;
+  (* After commit the lock is free. *)
+  ignore (Libtp.read_page env t2 ~file:fd ~page:0);
+  Libtp.commit env t2
+
+let test_deadlock_aborts_requester () =
+  let _m, _fs, v, env = mk_env () in
+  let fd = v.Vfs.create "/db" in
+  let t1 = Libtp.begin_txn env in
+  let t2 = Libtp.begin_txn env in
+  Libtp.write_page env t1 ~file:fd ~page:0 (page_with v 'A');
+  Libtp.write_page env t2 ~file:fd ~page:1 (page_with v 'B');
+  (* t1 waits for page 1 *)
+  (try ignore (Libtp.read_page env t1 ~file:fd ~page:1) with Libtp.Conflict _ -> ());
+  (* t2 requesting page 0 closes the cycle: t2 is aborted. *)
+  Alcotest.(check bool) "deadlock abort" true
+    (match Libtp.read_page env t2 ~file:fd ~page:0 with
+    | exception Libtp.Deadlock_abort id -> id = Libtp.txn_id t2
+    | _ -> false);
+  (* t2's update is undone. *)
+  Libtp.commit env t1;
+  let t3 = Libtp.begin_txn env in
+  Alcotest.(check char) "t2 undone" '\000'
+    (Bytes.get (Libtp.read_page env t3 ~file:fd ~page:1) 0);
+  Libtp.commit env t3
+
+let test_no_op_write_logs_nothing () =
+  let m, _fs, v, env = mk_env () in
+  let fd = v.Vfs.create "/db" in
+  let t1 = Libtp.begin_txn env in
+  Libtp.write_page env t1 ~file:fd ~page:0 (page_with v 'A');
+  Libtp.commit env t1;
+  let appends = Stats.count m.Tutil.stats "log.appends" in
+  let t2 = Libtp.begin_txn env in
+  Libtp.write_page env t2 ~file:fd ~page:0 (page_with v 'A');
+  Libtp.commit env t2;
+  (* Only Begin and Commit were logged, no Update. *)
+  Alcotest.(check int) "no update record" (appends + 2)
+    (Stats.count m.Tutil.stats "log.appends")
+
+(* Random force points: whatever was forced must scan back identically
+   after reopening the log. *)
+let prop_logmgr_force_scan =
+  Tutil.qtest ~count:30 "forced records survive reopen"
+    QCheck2.Gen.(
+      list_size (int_range 1 25)
+        (tup3 (int_range 1 50) (string_size ~gen:(char_range 'a' 'z') (int_range 1 60)) bool))
+    (fun batches ->
+      let m, _fs, v, _env = mk_env () in
+      let log = Logmgr.open_log m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~path:"/plog" in
+      let durable = ref [] in
+      let pending = ref [] in
+      List.iter
+        (fun (txn, payload, force_now) ->
+          let r =
+            {
+              Logrec.txn;
+              prev = Logrec.null_lsn;
+              body =
+                Logrec.Update
+                  {
+                    file = 1;
+                    page = 0;
+                    off = 0;
+                    before = Bytes.of_string payload;
+                    after = Bytes.of_string (String.uppercase_ascii payload);
+                  };
+            }
+          in
+          let lsn = Logmgr.append log r in
+          pending := (lsn, r) :: !pending;
+          if force_now then begin
+            Logmgr.force log ~upto:lsn;
+            durable := !durable @ List.rev !pending;
+            pending := []
+          end)
+        batches;
+      (* Reopen: only the forced prefix is visible. *)
+      let log' = Logmgr.open_log m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~path:"/plog" in
+      let scanned = List.of_seq (Logmgr.read_from log' 0) in
+      List.length scanned = List.length !durable
+      && List.for_all2
+           (fun (lsn, r) (lsn', r') -> lsn = lsn' && r = r')
+           !durable scanned)
+
+(* Buffer pool / WAL rule --------------------------------------------------- *)
+
+let test_wal_rule_on_eviction () =
+  (* Evicting a dirty page must force the log that covers its update
+     first. Use a 2-page pool so the eviction is immediate. *)
+  let m = Tutil.machine () in
+  let fs = Lfs.format m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let v = Lfs.vfs fs in
+  let env =
+    Libtp.open_env m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~pool_pages:2
+      ~log_path:"/wal.log" ()
+  in
+  let fd = v.Vfs.create "/db" in
+  let txn = Libtp.begin_txn env in
+  Libtp.write_page env txn ~file:fd ~page:0 (page_with v 'W');
+  let flushed_before = Logmgr.flushed_lsn (Libtp.log env) in
+  (* Touch two other pages: page 0 gets evicted dirty. *)
+  ignore (Libtp.read_page env txn ~file:fd ~page:1);
+  ignore (Libtp.read_page env txn ~file:fd ~page:2);
+  Alcotest.(check bool) "log forced before page write" true
+    (Logmgr.flushed_lsn (Libtp.log env) > flushed_before);
+  (* The evicted page's content reached the file system. *)
+  Alcotest.(check char) "page on fs" 'W' (Bytes.get (v.Vfs.read fd ~off:0 ~len:1) 0);
+  Libtp.commit env txn
+
+let test_group_commit_timeout_adds_latency () =
+  let cfg =
+    let c = Tutil.small_config () in
+    { c with Config.fs = { c.Config.fs with group_commit_timeout_s = 0.02 } }
+  in
+  let m, _fs, v, _ = mk_env ~cfg () in
+  let env2 =
+    Libtp.open_env m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~pool_pages:16
+      ~log_path:"/gc.log" ()
+  in
+  let fd = v.Vfs.create "/gcdb" in
+  let t0 = Clock.now m.Tutil.clock in
+  let txn = Libtp.begin_txn env2 in
+  Libtp.write_page env2 txn ~file:fd ~page:0 (page_with v 'G');
+  Libtp.commit env2 txn;
+  Alcotest.(check bool) "waited out the group-commit timeout" true
+    (Clock.now m.Tutil.clock -. t0 >= 0.02);
+  Alcotest.(check bool) "recorded" true
+    (Stats.time m.Tutil.stats "log.group_commit_wait" >= 0.02)
+
+let test_group_commit_size_skips_wait () =
+  let cfg =
+    let c = Tutil.small_config () in
+    {
+      c with
+      Config.fs =
+        { c.Config.fs with group_commit_timeout_s = 10.0; group_commit_size = 1 };
+    }
+  in
+  let m, _fs, v, _ = mk_env ~cfg () in
+  let env2 =
+    Libtp.open_env m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~pool_pages:16
+      ~log_path:"/gc.log" ()
+  in
+  let fd = v.Vfs.create "/gcdb" in
+  let t0 = Clock.now m.Tutil.clock in
+  let txn = Libtp.begin_txn env2 in
+  Libtp.write_page env2 txn ~file:fd ~page:0 (page_with v 'G');
+  Libtp.commit env2 txn;
+  (* With the group size already reached, no 10-second wait happens. *)
+  Alcotest.(check bool) "no timeout wait" true (Clock.now m.Tutil.clock -. t0 < 5.0)
+
+let test_checkpoint_truncates_log () =
+  let m, _fs, v, env = mk_env () in
+  let fd = v.Vfs.create "/db" in
+  for i = 0 to 9 do
+    let txn = Libtp.begin_txn env in
+    Libtp.write_page env txn ~file:fd ~page:i (page_with v 'x');
+    Libtp.commit env txn
+  done;
+  let log_fd = v.Vfs.open_file "/wal.log" in
+  let before = v.Vfs.size log_fd in
+  Alcotest.(check bool) "log grew" true (before > 0);
+  Libtp.checkpoint env;
+  let after = v.Vfs.size log_fd in
+  Alcotest.(check bool)
+    (Printf.sprintf "log truncated (%d -> %d)" before after)
+    true
+    (after < before);
+  ignore m
+
+(* Crash recovery --------------------------------------------------------- *)
+
+let test_recovery_redo () =
+  let m, fs, v, env = mk_env () in
+  let fd = v.Vfs.create "/db" in
+  Lfs.sync fs;
+  let t1 = Libtp.begin_txn env in
+  Libtp.write_page env t1 ~file:fd ~page:3 (page_with v 'R');
+  Libtp.commit env t1;
+  (* Committed but the data page never left the user pool: the log has it. *)
+  let _fs, v, env = crash_recover m fs in
+  let fd = v.Vfs.open_file "/db" in
+  let t = Libtp.begin_txn env in
+  Alcotest.(check char) "redo recovered committed data" 'R'
+    (Bytes.get (Libtp.read_page env t ~file:fd ~page:3) 0);
+  Libtp.commit env t
+
+let test_recovery_undo_loser () =
+  let m, fs, v, env = mk_env () in
+  let fd = v.Vfs.create "/db" in
+  Lfs.sync fs;
+  let t1 = Libtp.begin_txn env in
+  Libtp.write_page env t1 ~file:fd ~page:0 (page_with v 'W');
+  Libtp.commit env t1;
+  (* A loser: updates logged and even flushed, but never committed. *)
+  let t2 = Libtp.begin_txn env in
+  Libtp.write_page env t2 ~file:fd ~page:0 (page_with v 'L');
+  Logmgr.force (Libtp.log env) ~upto:(Logmgr.next_lsn (Libtp.log env) - 1);
+  Bufpool.flush_all (Libtp.pool env);
+  let _fs, v, env = crash_recover m fs in
+  Alcotest.(check int) "one loser undone" 1 (Libtp.recovered_losers env);
+  let fd = v.Vfs.open_file "/db" in
+  let t = Libtp.begin_txn env in
+  Alcotest.(check char) "loser rolled back" 'W'
+    (Bytes.get (Libtp.read_page env t ~file:fd ~page:0) 0);
+  Libtp.commit env t
+
+let test_recovery_idempotent_after_clean_shutdown () =
+  let m, fs, v, env = mk_env () in
+  let fd = v.Vfs.create "/db" in
+  let t1 = Libtp.begin_txn env in
+  Libtp.write_page env t1 ~file:fd ~page:0 (page_with v 'Z');
+  Libtp.commit env t1;
+  Libtp.checkpoint env;
+  Lfs.sync fs;
+  let _fs, v, env = crash_recover m fs in
+  Alcotest.(check int) "no losers" 0 (Libtp.recovered_losers env);
+  let fd = v.Vfs.open_file "/db" in
+  let t = Libtp.begin_txn env in
+  Alcotest.(check char) "data intact" 'Z'
+    (Bytes.get (Libtp.read_page env t ~file:fd ~page:0) 0);
+  Libtp.commit env t
+
+(* Randomized recovery property: run committed and uncommitted transactions
+   over a small database, crash at a random point, recover, and check that
+   exactly the committed values survive. *)
+let prop_recovery_atomicity =
+  Tutil.qtest ~count:25 "recovery keeps exactly committed state"
+    QCheck2.Gen.(list_size (int_range 1 15) (pair (int_bound 4) (int_bound 255)))
+    (fun writes ->
+      let m, fs, v, env = mk_env () in
+      let fd = v.Vfs.create "/db" in
+      Lfs.sync fs;
+      let committed = Hashtbl.create 8 in
+      List.iteri
+        (fun i (page, value) ->
+          let txn = Libtp.begin_txn env in
+          let b = page_with v (Char.chr value) in
+          Libtp.write_page env txn ~file:fd ~page b;
+          if i mod 3 = 2 then Libtp.abort env txn
+          else begin
+            Libtp.commit env txn;
+            Hashtbl.replace committed page value
+          end)
+        writes;
+      (* Crash without any orderly shutdown. *)
+      let _fs, v, env = crash_recover m fs in
+      let fd = v.Vfs.open_file "/db" in
+      let txn = Libtp.begin_txn env in
+      let ok =
+        Hashtbl.fold
+          (fun page value ok ->
+            ok
+            && Char.code (Bytes.get (Libtp.read_page env txn ~file:fd ~page) 0)
+               = value)
+          committed true
+      in
+      Libtp.commit env txn;
+      ok)
+
+let () =
+  Alcotest.run "tx_wal"
+    [
+      ( "logrec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_logrec_roundtrip;
+          Alcotest.test_case "torn/corrupt" `Quick test_logrec_rejects_torn;
+          prop_logrec_roundtrip;
+        ] );
+      ( "logmgr",
+        [
+          Alcotest.test_case "force and scan" `Quick test_logmgr_force_and_scan;
+          Alcotest.test_case "reopen at end" `Quick
+            test_logmgr_reopen_positions_at_end;
+          prop_logmgr_force_scan;
+        ] );
+      ( "txn",
+        [
+          Alcotest.test_case "commit visible" `Quick test_commit_visible;
+          Alcotest.test_case "abort undoes" `Quick test_abort_undoes;
+          Alcotest.test_case "2PL conflict" `Quick test_two_phase_locking_conflict;
+          Alcotest.test_case "deadlock abort" `Quick test_deadlock_aborts_requester;
+          Alcotest.test_case "no-op write" `Quick test_no_op_write_logs_nothing;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "WAL rule on eviction" `Quick test_wal_rule_on_eviction;
+          Alcotest.test_case "group commit timeout" `Quick
+            test_group_commit_timeout_adds_latency;
+          Alcotest.test_case "group commit size" `Quick
+            test_group_commit_size_skips_wait;
+          Alcotest.test_case "checkpoint truncates log" `Quick
+            test_checkpoint_truncates_log;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "redo" `Quick test_recovery_redo;
+          Alcotest.test_case "undo loser" `Quick test_recovery_undo_loser;
+          Alcotest.test_case "clean shutdown" `Quick
+            test_recovery_idempotent_after_clean_shutdown;
+          prop_recovery_atomicity;
+        ] );
+    ]

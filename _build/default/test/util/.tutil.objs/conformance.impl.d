@@ -1,0 +1,1 @@
+test/util/conformance.ml: Alcotest Bytes List Printf Tutil Vfs

@@ -1,0 +1,1 @@
+test/util/tutil.ml: Alcotest Bytes Char Clock Config Disk Lfs QCheck2 QCheck_alcotest Stats

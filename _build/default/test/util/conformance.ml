@@ -1,0 +1,180 @@
+(* File-system conformance suite: behavioural cases every Vfs.t
+   implementation must satisfy, run against both the log-structured and the
+   read-optimized file systems. A harness supplies a fresh file system and
+   a sync-then-remount operation (crash + recover/mount). *)
+
+type harness = { vfs : unit -> Vfs.t; sync_remount : unit -> unit }
+
+let bs h = (h.vfs ()).Vfs.block_size
+
+let test_write_read h () =
+  let v = h.vfs () in
+  let fd = v.Vfs.create "/c/basic" in
+  let data = Tutil.payload 11 1000 in
+  v.Vfs.write fd ~off:0 data;
+  Tutil.check_bytes "roundtrip" data (v.Vfs.read fd ~off:0 ~len:1000)
+
+let test_overwrite h () =
+  let v = h.vfs () in
+  let n = 3 * bs h in
+  let fd = v.Vfs.create "/c/over" in
+  v.Vfs.write fd ~off:0 (Tutil.payload 1 n);
+  let newer = Tutil.payload 2 n in
+  v.Vfs.write fd ~off:0 newer;
+  Tutil.check_bytes "latest wins" newer (v.Vfs.read fd ~off:0 ~len:n);
+  Alcotest.(check int) "size unchanged" n (v.Vfs.size fd)
+
+let test_append_growth h () =
+  let v = h.vfs () in
+  let fd = v.Vfs.create "/c/log" in
+  let chunks = List.init 20 (fun i -> Tutil.payload i 300) in
+  List.iteri (fun i c -> v.Vfs.write fd ~off:(i * 300) c) chunks;
+  Alcotest.(check int) "size" 6000 (v.Vfs.size fd);
+  List.iteri
+    (fun i c -> Tutil.check_bytes "chunk" c (v.Vfs.read fd ~off:(i * 300) ~len:300))
+    chunks
+
+let test_deep_paths h () =
+  let v = h.vfs () in
+  v.Vfs.mkdir "/c/a";
+  v.Vfs.mkdir "/c/a/b";
+  v.Vfs.mkdir "/c/a/b/c";
+  let fd = v.Vfs.create "/c/a/b/c/leaf" in
+  v.Vfs.write fd ~off:0 (Bytes.of_string "x");
+  Alcotest.(check bool) "resolves" true (v.Vfs.exists "/c/a/b/c/leaf");
+  Alcotest.(check (list string)) "listing" [ "leaf" ]
+    (List.map fst (v.Vfs.readdir "/c/a/b/c"))
+
+let test_remove_then_recreate h () =
+  let v = h.vfs () in
+  let fd = v.Vfs.create "/c/tmp" in
+  v.Vfs.write fd ~off:0 (Tutil.payload 5 5000);
+  v.Vfs.remove "/c/tmp";
+  Alcotest.(check bool) "gone" false (v.Vfs.exists "/c/tmp");
+  let fd = v.Vfs.create "/c/tmp" in
+  Alcotest.(check int) "fresh file empty" 0 (v.Vfs.size fd);
+  Alcotest.(check string) "no stale bytes" ""
+    (Bytes.to_string (v.Vfs.read fd ~off:0 ~len:10))
+
+let test_durability h () =
+  let v = h.vfs () in
+  let data = Tutil.payload 21 (2 * bs h) in
+  let fd = v.Vfs.create "/c/durable" in
+  v.Vfs.write fd ~off:0 data;
+  h.sync_remount ();
+  let v = h.vfs () in
+  let fd = v.Vfs.open_file "/c/durable" in
+  Tutil.check_bytes "survives remount" data (v.Vfs.read fd ~off:0 ~len:(2 * bs h));
+  (* And the namespace survives too. *)
+  Alcotest.(check bool) "dir intact" true (v.Vfs.exists "/c")
+
+let test_many_files_durable h () =
+  let v = h.vfs () in
+  let files =
+    List.init 30 (fun i ->
+        let p = Printf.sprintf "/c/n%02d" i in
+        let d = Tutil.payload (100 + i) (137 * (i + 1)) in
+        let fd = v.Vfs.create p in
+        v.Vfs.write fd ~off:0 d;
+        (p, d))
+  in
+  h.sync_remount ();
+  let v = h.vfs () in
+  List.iter
+    (fun (p, d) ->
+      let fd = v.Vfs.open_file p in
+      Alcotest.(check int) (p ^ " size") (Bytes.length d) (v.Vfs.size fd);
+      Tutil.check_bytes p d (v.Vfs.read fd ~off:0 ~len:(Bytes.length d)))
+    files
+
+let test_error_paths h () =
+  let v = h.vfs () in
+  let expect code thunk =
+    match thunk () with
+    | exception Vfs.Error (c, _) -> c = code
+    | _ -> false
+  in
+  Alcotest.(check bool) "open missing" true
+    (expect Vfs.Not_found (fun () -> v.Vfs.open_file "/c/nothing"));
+  ignore (v.Vfs.create "/c/f1");
+  Alcotest.(check bool) "create duplicate" true
+    (expect Vfs.Exists (fun () -> v.Vfs.create "/c/f1"));
+  Alcotest.(check bool) "open dir as file" true
+    (expect Vfs.Is_dir (fun () -> v.Vfs.open_file "/c"));
+  v.Vfs.mkdir "/c/d1";
+  ignore (v.Vfs.create "/c/d1/inner");
+  Alcotest.(check bool) "remove non-empty dir" true
+    (expect Vfs.Invalid (fun () -> v.Vfs.remove "/c/d1"))
+
+let test_fsync_durability h () =
+  let v = h.vfs () in
+  let fd = v.Vfs.create "/c/fsynced" in
+  let data = Tutil.payload 31 (3 * bs h) in
+  v.Vfs.write fd ~off:0 data;
+  v.Vfs.fsync fd;
+  Tutil.check_bytes "readable after fsync" data (v.Vfs.read fd ~off:0 ~len:(3 * bs h))
+
+let test_stat_on_directory h () =
+  let v = h.vfs () in
+  v.Vfs.mkdir "/c/statdir";
+  let st = v.Vfs.stat "/c/statdir" in
+  Alcotest.(check bool) "kind is Dir" true (st.Vfs.kind = Vfs.Dir);
+  let st_root = v.Vfs.stat "/" in
+  Alcotest.(check bool) "root is Dir" true (st_root.Vfs.kind = Vfs.Dir)
+
+let test_readdir_kinds h () =
+  let v = h.vfs () in
+  v.Vfs.mkdir "/c/mixed";
+  v.Vfs.mkdir "/c/mixed/sub";
+  ignore (v.Vfs.create "/c/mixed/file");
+  let entries = List.sort compare (v.Vfs.readdir "/c/mixed") in
+  Alcotest.(check bool) "file and dir kinds reported" true
+    (entries = [ ("file", Vfs.File); ("sub", Vfs.Dir) ])
+
+let test_zero_length_file h () =
+  let v = h.vfs () in
+  let fd = v.Vfs.create "/c/empty" in
+  Alcotest.(check int) "size 0" 0 (v.Vfs.size fd);
+  Alcotest.(check string) "empty read" ""
+    (Bytes.to_string (v.Vfs.read fd ~off:0 ~len:100));
+  h.sync_remount ();
+  let v = h.vfs () in
+  Alcotest.(check bool) "survives remount" true (v.Vfs.exists "/c/empty");
+  Alcotest.(check int) "still size 0" 0 (v.Vfs.size (v.Vfs.open_file "/c/empty"))
+
+let test_truncate_to_zero_and_rewrite h () =
+  let v = h.vfs () in
+  let fd = v.Vfs.create "/c/reset" in
+  v.Vfs.write fd ~off:0 (Tutil.payload 77 (4 * bs h));
+  v.Vfs.truncate fd 0;
+  Alcotest.(check int) "emptied" 0 (v.Vfs.size fd);
+  let fresh = Tutil.payload 78 500 in
+  v.Vfs.write fd ~off:0 fresh;
+  Tutil.check_bytes "rewritten" fresh (v.Vfs.read fd ~off:0 ~len:500);
+  Alcotest.(check int) "new size" 500 (v.Vfs.size fd)
+
+let cases make =
+  let with_harness f () =
+    let h = make () in
+    let v = h.vfs () in
+    v.Vfs.mkdir "/c";
+    f h ()
+  in
+  [
+    Alcotest.test_case "write/read" `Quick (with_harness test_write_read);
+    Alcotest.test_case "overwrite" `Quick (with_harness test_overwrite);
+    Alcotest.test_case "append growth" `Quick (with_harness test_append_growth);
+    Alcotest.test_case "deep paths" `Quick (with_harness test_deep_paths);
+    Alcotest.test_case "remove/recreate" `Quick
+      (with_harness test_remove_then_recreate);
+    Alcotest.test_case "durability" `Quick (with_harness test_durability);
+    Alcotest.test_case "many files durable" `Quick
+      (with_harness test_many_files_durable);
+    Alcotest.test_case "error paths" `Quick (with_harness test_error_paths);
+    Alcotest.test_case "fsync durability" `Quick (with_harness test_fsync_durability);
+    Alcotest.test_case "stat on directory" `Quick (with_harness test_stat_on_directory);
+    Alcotest.test_case "readdir kinds" `Quick (with_harness test_readdir_kinds);
+    Alcotest.test_case "zero-length file" `Quick (with_harness test_zero_length_file);
+    Alcotest.test_case "truncate to zero" `Quick
+      (with_harness test_truncate_to_zero_and_rewrite);
+  ]

@@ -1,0 +1,53 @@
+(* Shared helpers for the test suites: a small machine configuration that
+   keeps tests fast while preserving every ratio that matters (cache smaller
+   than the data, several segments, room for the cleaner to work). *)
+
+let small_config () =
+  let d = Config.default in
+  {
+    d with
+    disk = { d.disk with nblocks = 4096 (* 16 MB *); blocks_per_cylinder = 16 };
+    fs =
+      {
+        d.fs with
+        segment_blocks = 32;
+        cache_blocks = 128;
+        cleaner_low_segments = 6;
+        cleaner_high_segments = 12;
+        checkpoint_segments = 4;
+      };
+  }
+
+type machine = {
+  clock : Clock.t;
+  stats : Stats.t;
+  disk : Disk.t;
+  cfg : Config.t;
+}
+
+let machine ?(cfg = small_config ()) () =
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  let disk = Disk.create clock stats cfg.Config.disk in
+  { clock; stats; disk; cfg }
+
+let fresh_lfs ?cfg () =
+  let m = machine ?cfg () in
+  let fs = Lfs.format m.disk m.clock m.stats m.cfg in
+  (m, fs)
+
+(* Deterministic pseudo-random payload of [len] bytes seeded by [tag]. *)
+let payload tag len =
+  let b = Bytes.create len in
+  let state = ref (tag * 2654435761) in
+  for i = 0 to len - 1 do
+    state := (!state * 1103515245) + 12345;
+    Bytes.set b i (Char.chr ((!state lsr 16) land 0xff))
+  done;
+  b
+
+let check_bytes msg expected actual =
+  Alcotest.(check string) msg (Bytes.to_string expected) (Bytes.to_string actual)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
