@@ -120,7 +120,14 @@ let micro_tests () =
     Test.make ~name:"segment summary encode+decode"
       (Staged.stage (fun () ->
            Layout.write_summary b
-             { Layout.seq = 9L; timestamp = 1.0; next_seg = 3; entries };
+             {
+               Layout.seq = 9L;
+               timestamp = 1.0;
+               next_seg = 3;
+               more = false;
+               payload_ck = 0;
+               entries;
+             };
            match Layout.read_summary b with
            | Some _ -> ()
            | None -> assert false))

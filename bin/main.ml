@@ -199,12 +199,79 @@ let snapshot_cmd =
        ~doc:"Demonstrate snapshots and undelete on the no-overwrite log")
     Term.(const run $ const ())
 
+(* Crash-point sweeps: exhaustive fault injection over a seeded
+   workload, or a single replay of one reported (seed, crash_point). *)
+let faultsim_cmd =
+  let backend_arg =
+    let doc = "Backend: lfs-kernel, lfs-user, or ffs-user." in
+    Arg.(value & opt string "lfs-kernel" & info [ "backend" ] ~docv:"B" ~doc)
+  in
+  let points_arg =
+    let doc = "Number of evenly spaced crash points (0 = every write)." in
+    Arg.(value & opt int 0 & info [ "points" ] ~docv:"N" ~doc)
+  in
+  let crash_point_arg =
+    let doc =
+      "Replay a single run that crashes after exactly $(docv) block writes \
+       (skips the sweep)."
+    in
+    Arg.(value & opt (some int) None & info [ "crash-point" ] ~docv:"N" ~doc)
+  in
+  let workload_arg =
+    let doc = "Workload: pages (random transactional page writes) or tpcb." in
+    Arg.(value & opt string "tpcb" & info [ "workload" ] ~docv:"W" ~doc)
+  in
+  let verbose_arg =
+    let doc = "Print every run's outcome, not just violations." in
+    Arg.(value & flag & info [ "verbose" ] ~doc)
+  in
+  let run backend workload txns seed points crash_point verbose =
+    let usage msg =
+      prerr_endline ("txnlfs faultsim: " ^ msg);
+      exit 2
+    in
+    let backend =
+      try Sweep.backend_of_string backend
+      with Invalid_argument _ ->
+        usage ("unknown backend " ^ backend ^ " (lfs-kernel, lfs-user, ffs-user)")
+    in
+    let one, swp =
+      match workload with
+      | "pages" -> (Sweep.run_one, Sweep.sweep)
+      | "tpcb" -> (Sweep.run_one_tpcb, Sweep.sweep_tpcb)
+      | w -> usage ("unknown workload " ^ w ^ " (pages, tpcb)")
+    in
+    match crash_point with
+    | Some p ->
+      let o = one backend ~seed ~txns ~crash_point:p () in
+      print_endline (Sweep.describe o);
+      if o.Sweep.violations <> [] then exit 1
+    | None ->
+      let progress o = if verbose then print_endline (Sweep.describe o) in
+      let r = swp ~progress backend ~seed ~txns ~points in
+      List.iter (fun o -> print_endline (Sweep.describe o)) r.Sweep.failures;
+      Printf.printf
+        "%s/%s seed=%d: swept %d of %d crash points, %d violation(s)\n"
+        (Sweep.backend_name backend)
+        workload seed r.Sweep.points_run r.Sweep.total_writes
+        (List.length r.Sweep.failures);
+      if r.Sweep.failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "faultsim"
+       ~doc:
+         "Crash after every k-th disk write, recover, and check the \
+          durability oracle")
+    Term.(
+      const run $ backend_arg $ workload_arg $ txns_arg 25 $ seed_arg
+      $ points_arg $ crash_point_arg $ verbose_arg)
+
 let main =
   Cmd.group
     (Cmd.info "txnlfs" ~version:"1.0.0"
        ~doc:
          "Reproduction of Seltzer's 'Transaction Support in a Log-Structured \
           File System' (ICDE 1993)")
-    [ fig4_cmd; fig5_cmd; fig6_cmd; fig7_cmd; ablation_cmd; tpcb_cmd; lfsdump_cmd; fsck_cmd; snapshot_cmd ]
+    [ fig4_cmd; fig5_cmd; fig6_cmd; fig7_cmd; ablation_cmd; tpcb_cmd; lfsdump_cmd; fsck_cmd; snapshot_cmd; faultsim_cmd ]
 
 let () = exit (Cmd.eval main)

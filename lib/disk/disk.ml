@@ -1,3 +1,9 @@
+exception Injected_crash
+
+type injector = {
+  on_write : blkno:int -> nblocks:int -> int;
+  on_read : blkno:int -> nblocks:int -> bool;
+}
 
 type t = {
   data : bytes;
@@ -5,6 +11,7 @@ type t = {
   clock : Clock.t;
   stats : Stats.t;
   mutable head : int;
+  mutable injector : injector option;
 }
 
 let create clock stats (cfg : Config.disk) =
@@ -16,7 +23,10 @@ let create clock stats (cfg : Config.disk) =
     clock;
     stats;
     head = 0;
+    injector = None;
   }
+
+let set_injector t inj = t.injector <- inj
 
 let nblocks t = t.cfg.nblocks
 let block_size t = t.cfg.block_size
@@ -72,13 +82,44 @@ let serve ?(queued = false) t blkno ~nblocks ~write =
     nblocks;
   t.head <- blkno + nblocks
 
+(* A transient read error costs a full revolution (the sector comes
+   around again) and a retry. The injector promises eventual success, so
+   the caller never sees the failure — only the clock and stats do. *)
+let retry_reads t blkno n =
+  match t.injector with
+  | None -> ()
+  | Some inj ->
+    while inj.on_read ~blkno ~nblocks:n do
+      Clock.advance t.clock (2.0 *. rotation_time t);
+      Stats.add_time t.stats "disk.busy" (2.0 *. rotation_time t);
+      Stats.incr t.stats "disk.read_retries"
+    done
+
 let read t blkno =
   serve t blkno ~nblocks:1 ~write:false;
+  retry_reads t blkno 1;
   Bytes.sub t.data (blkno * t.cfg.block_size) t.cfg.block_size
 
 let read_run t blkno n =
   serve t blkno ~nblocks:n ~write:false;
+  retry_reads t blkno n;
   Bytes.sub t.data (blkno * t.cfg.block_size) (n * t.cfg.block_size)
+
+(* Persist [data] at [blkno], honouring the injector: only the first
+   [keep] blocks reach the platter, and if the injector truncated or
+   ended the run it also kills the machine — the write never returns.
+   Power failure is modelled at sector granularity: individual blocks
+   are atomic, multi-block runs tear on a block boundary. *)
+let persist t blkno data =
+  let bs = t.cfg.block_size in
+  let n = Bytes.length data / bs in
+  match t.injector with
+  | None -> Bytes.blit data 0 t.data (blkno * bs) (Bytes.length data)
+  | Some inj ->
+    let keep = inj.on_write ~blkno ~nblocks:n in
+    let keep = max 0 (min keep n) in
+    Bytes.blit data 0 t.data (blkno * bs) (keep * bs);
+    if keep < n then raise Injected_crash
 
 let write_blocks t blkno data =
   let bs = t.cfg.block_size in
@@ -87,7 +128,7 @@ let write_blocks t blkno data =
     invalid_arg "Disk.write: data must be a positive whole number of blocks";
   let n = len / bs in
   serve t blkno ~nblocks:n ~write:true;
-  Bytes.blit data 0 t.data (blkno * bs) len
+  persist t blkno data
 
 let write t blkno data =
   if Bytes.length data <> t.cfg.block_size then
@@ -98,7 +139,7 @@ let write_queued t blkno data =
   if Bytes.length data <> t.cfg.block_size then
     invalid_arg "Disk.write_queued: data must be exactly one block";
   serve ~queued:true t blkno ~nblocks:1 ~write:true;
-  Bytes.blit data 0 t.data (blkno * t.cfg.block_size) (Bytes.length data)
+  persist t blkno data
 
 let write_run t blkno data = write_blocks t blkno data
 

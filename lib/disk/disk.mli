@@ -19,9 +19,33 @@
 
 type t
 
+exception Injected_crash
+(** Raised from inside a write when the armed {!injector} cuts the power:
+    the blocks the injector admitted are on the platter, the rest of the
+    request (and everything after it) is lost. *)
+
+type injector = {
+  on_write : blkno:int -> nblocks:int -> int;
+      (** Consulted once per write request, after service time is
+          charged. Returns how many leading blocks of the request
+          actually persist; anything less than [nblocks] tears the
+          request at that block boundary and raises
+          {!Injected_crash}. *)
+  on_read : blkno:int -> nblocks:int -> bool;
+      (** Consulted after each read; [true] injects one transient error:
+          the device retries (a full revolution of latency and a
+          ["disk.read_retries"] stat) and asks again. The injector must
+          eventually answer [false] for the same request. *)
+}
+
 val create : Clock.t -> Stats.t -> Config.disk -> t
 (** A zero-filled device with the head parked at block 0. [Clock] and
     [Stats] may be shared with other components of the same machine. *)
+
+val set_injector : t -> injector option -> unit
+(** Arm or disarm fault injection. [None] restores fault-free service.
+    {!peek}/{!poke} bypass the injector (they model inspection of the
+    platter, not I/O). *)
 
 val nblocks : t -> int
 val block_size : t -> int

@@ -1,0 +1,69 @@
+(* Deterministic fault injection over a simulated disk.
+
+   Arming installs a Disk injector that (a) kills the machine after
+   exactly the Nth block write since arming — a multi-block request
+   crossing the boundary tears there, persisting only its leading
+   blocks — and (b) fails reads transiently from a seeded Rng. Nothing
+   here draws on wall-clock state, so a (seed, crash_point) pair replays
+   the identical failure, block for block. *)
+
+type t = {
+  disk : Disk.t;
+  crash_after : int option;
+  read_error_rate : float;
+  rng : Rng.t option;
+  mutable writes : int;
+  mutable crashed : bool;
+  mutable last_read_failed : bool;
+}
+
+let writes t = t.writes
+let crashed t = t.crashed
+
+let on_write t ~blkno:_ ~nblocks =
+  let before = t.writes in
+  t.writes <- before + nblocks;
+  match t.crash_after with
+  | Some n when before + nblocks > n ->
+    t.crashed <- true;
+    max 0 (n - before)
+  | _ -> nblocks
+
+(* Never fail the same request twice in a row: the device's retry loop
+   must terminate, modelling an error that clears on the next
+   revolution. *)
+let on_read t ~blkno:_ ~nblocks:_ =
+  match t.rng with
+  | Some rng
+    when t.read_error_rate > 0.0
+         && (not t.last_read_failed)
+         && Rng.float rng 1.0 < t.read_error_rate ->
+    t.last_read_failed <- true;
+    true
+  | _ ->
+    t.last_read_failed <- false;
+    false
+
+let arm ?crash_after ?(read_error_rate = 0.0) ?rng disk =
+  if read_error_rate > 0.0 && rng = None then
+    invalid_arg "Faultsim.arm: read errors need an rng";
+  let t =
+    {
+      disk;
+      crash_after;
+      read_error_rate;
+      rng;
+      writes = 0;
+      crashed = false;
+      last_read_failed = false;
+    }
+  in
+  Disk.set_injector disk
+    (Some
+       {
+         Disk.on_write = (fun ~blkno ~nblocks -> on_write t ~blkno ~nblocks);
+         on_read = (fun ~blkno ~nblocks -> on_read t ~blkno ~nblocks);
+       });
+  t
+
+let disarm t = Disk.set_injector t.disk None

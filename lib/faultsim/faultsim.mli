@@ -1,0 +1,29 @@
+(** Deterministic fault injection over a simulated disk.
+
+    Arming wraps a {!Disk.t} with an injector that kills the machine
+    after exactly the Nth block write since arming (tearing a
+    multi-block request at that boundary, so only its leading blocks
+    persist) and injects seeded transient read errors. Every behaviour
+    is a pure function of the caller's seed and [crash_after], so a
+    [(seed, crash_point)] pair replays an identical failure. *)
+
+type t
+
+val arm : ?crash_after:int -> ?read_error_rate:float -> ?rng:Rng.t -> Disk.t -> t
+(** Install the injector. [crash_after n] raises {!Disk.Injected_crash}
+    out of the write that performs the [n+1]th block since arming; a
+    request straddling the boundary persists exactly its first
+    [n - writes_so_far] blocks. Omitting it never crashes (used to count
+    a run's writes). [read_error_rate] is the per-request probability of
+    one transient read error, drawn from [rng].
+    @raise Invalid_argument if a rate is given without an rng. *)
+
+val disarm : t -> unit
+(** Remove the injector; the disk serves fault-free again (recovery runs
+    on clean hardware). *)
+
+val writes : t -> int
+(** Block writes observed since arming. *)
+
+val crashed : t -> bool
+(** Whether the injector has cut the power. *)

@@ -1,0 +1,159 @@
+(* Durability oracle: an in-memory model of what a crash is allowed to
+   leave behind.
+
+   The workload driver records its logical operation trace — setup
+   writes, transaction begin/write/commit/abort, with commit and abort
+   split into a "start" (the call was issued) and a "done" (the call
+   returned, i.e. the outcome was acknowledged). After the crash and
+   recovery, [check] replays the trace into a page-image model and
+   compares it with what the recovered file system actually serves:
+
+   - every acknowledged commit must be fully visible;
+   - no write of an aborted or unfinished transaction may be visible;
+   - the at-most-one commit that was in flight when the power died may
+     land either way, but atomically — all of its pages or none;
+   - bytes past the modelled extent must be zero (a crash may leave a
+     file longer than its committed data, e.g. after an abort rolled
+     back an append, but never with uncommitted contents). *)
+
+type event =
+  | Setup_write of { file : string; page : int; data : bytes }
+  | Txn_begin of int
+  | Txn_write of { txn : int; file : string; page : int; data : bytes }
+  | Commit_start of int
+  | Commit_done of int
+  | Abort_start of int
+  | Abort_done of int
+
+type t = { page_size : int; mutable events : event list (* newest first *) }
+
+let create ~page_size = { page_size; events = [] }
+let record t e = t.events <- e :: t.events
+
+type violation = { file : string; page : int; detail : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s page %d: %s" v.file v.page v.detail
+
+let bytes_zero b =
+  let ok = ref true in
+  Bytes.iter (fun c -> if c <> '\000' then ok := false) b;
+  !ok
+
+let check t ~read_page ~size =
+  let events = List.rev t.events in
+  let committed_txns = Hashtbl.create 16 in
+  let commit_started = Hashtbl.create 16 in
+  let abort_started = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Commit_done id -> Hashtbl.replace committed_txns id ()
+      | Commit_start id -> Hashtbl.replace commit_started id ()
+      | Abort_start id -> Hashtbl.replace abort_started id ()
+      | _ -> ())
+    events;
+  (* The commit interrupted by the crash, if any. A sequential workload
+     has at most one: every earlier commit was acknowledged. *)
+  let inflight =
+    Hashtbl.fold
+      (fun id () acc ->
+        if Hashtbl.mem committed_txns id || Hashtbl.mem abort_started id then
+          acc
+        else
+          match acc with
+          | None -> Some id
+          | Some _ -> invalid_arg "Oracle.check: two in-flight commits"
+      )
+      commit_started None
+  in
+  (* Replay: committed page images in trace order, plus the in-flight
+     transaction's writes as an overlay. Writes of aborted or unfinished
+     transactions must simply never surface. *)
+  let committed = Hashtbl.create 64 in
+  let overlay = Hashtbl.create 16 in
+  let files = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Setup_write { file; page; data } ->
+        Hashtbl.replace files file ();
+        Hashtbl.replace committed (file, page) data
+      | Txn_write { txn; file; page; data } ->
+        Hashtbl.replace files file ();
+        if Hashtbl.mem committed_txns txn then
+          Hashtbl.replace committed (file, page) data
+        else if inflight = Some txn then Hashtbl.replace overlay (file, page) data
+      | _ -> ())
+    events;
+  let ps = t.page_size in
+  let violations = ref [] in
+  let violate file page fmt =
+    Format.kasprintf
+      (fun detail -> violations := { file; page; detail } :: !violations)
+      fmt
+  in
+  (* Atomicity vote: across every page (and file) the disk must show
+     either the pre-commit state (A) or the post-commit state (B) of the
+     in-flight transaction — never a mixture. *)
+  let vote = ref None in
+  let cast file page b =
+    match !vote with
+    | None -> vote := Some b
+    | Some prev ->
+      if prev <> b then
+        violate file page
+          "torn in-flight commit: some pages show the new state, others the old"
+  in
+  let keys =
+    Hashtbl.fold (fun k _ acc -> k :: acc) committed []
+    @ Hashtbl.fold
+        (fun k _ acc -> if Hashtbl.mem committed k then acc else k :: acc)
+        overlay []
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun ((file, page) as k) ->
+      let actual = read_page file page in
+      let zeros = Bytes.make ps '\000' in
+      let expect_a =
+        match Hashtbl.find_opt committed k with Some d -> d | None -> zeros
+      in
+      let expect_b =
+        match Hashtbl.find_opt overlay k with Some d -> d | None -> expect_a
+      in
+      if Bytes.equal expect_a expect_b then begin
+        if not (Bytes.equal actual expect_a) then
+          violate file page "committed data lost or corrupted"
+      end
+      else if Bytes.equal actual expect_a then cast file page false
+      else if Bytes.equal actual expect_b then cast file page true
+      else
+        violate file page
+          "contents match neither the committed state nor the in-flight commit")
+    keys;
+  (* Extent checks: committed data must fit inside the recovered size,
+     and anything past the modelled extent must read as zeros. *)
+  let extent tbl file =
+    Hashtbl.fold
+      (fun (f, p) _ acc -> if f = file then max acc ((p + 1) * ps) else acc)
+      tbl 0
+  in
+  Hashtbl.iter
+    (fun file () ->
+      let e_committed = extent committed file in
+      let e_model =
+        if !vote = Some true then max e_committed (extent overlay file)
+        else e_committed
+      in
+      let s = size file in
+      if s < e_committed then
+        violate file (e_committed / ps - 1)
+          "file shorter than its committed data (size %d < %d)" s e_committed;
+      let first = e_model / ps and last = (s + ps - 1) / ps - 1 in
+      for p = first to last do
+        if not (Hashtbl.mem committed (file, p) || Hashtbl.mem overlay (file, p))
+        then
+          if not (bytes_zero (read_page file p)) then
+            violate file p "junk past the modelled extent"
+      done)
+    files;
+  List.rev !violations

@@ -1,0 +1,35 @@
+(** Durability oracle for crash-point sweeps.
+
+    A workload driver records its logical operation trace; after the
+    injected crash and recovery, {!check} replays the trace into an
+    in-memory page model and asserts the durability invariant: every
+    acknowledged commit fully visible, no aborted or unfinished
+    transaction's write visible, the single in-flight commit all-or-
+    nothing, and nothing but zeros past the modelled extent. *)
+
+type event =
+  | Setup_write of { file : string; page : int; data : bytes }
+      (** non-transactional preparation, made durable before arming *)
+  | Txn_begin of int
+  | Txn_write of { txn : int; file : string; page : int; data : bytes }
+  | Commit_start of int  (** commit issued — may land either way *)
+  | Commit_done of int  (** commit acknowledged — must be durable *)
+  | Abort_start of int
+  | Abort_done of int
+
+type t
+
+val create : page_size:int -> t
+val record : t -> event -> unit
+
+type violation = { file : string; page : int; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check :
+  t -> read_page:(string -> int -> bytes) -> size:(string -> int) ->
+  violation list
+(** Compare the recovered state with the model. [read_page file page]
+    must return exactly one page, zero-padded past end of file; [size]
+    the recovered byte size. Returns all violations found ([] = the
+    invariant held). *)

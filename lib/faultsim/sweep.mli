@@ -1,0 +1,57 @@
+(** Exhaustive crash-point sweeps over transactional workloads.
+
+    A sweep first runs a seeded workload fault-free to count its block
+    writes, then repeats it once per chosen crash point: the injector
+    cuts the power after exactly that many writes, the file system and
+    transaction environment recover, and the oracle checks the
+    durability invariant. Everything is deterministic, so a reported
+    failure replays from its [(seed, crash_point)] pair alone. *)
+
+(** Which stack executes the workload: the embedded (kernel) transaction
+    manager on LFS, or LIBTP on either file system. *)
+type backend = Lfs_kernel | Lfs_user | Ffs_user
+
+val backend_name : backend -> string
+
+val backend_of_string : string -> backend
+(** Inverse of {!backend_name}. @raise Invalid_argument on others. *)
+
+type outcome = {
+  backend : backend;
+  seed : int;
+  crash_point : int option;
+  writes : int;  (** block writes observed while armed *)
+  crashed : bool;
+  violations : string list;  (** empty = the invariant held *)
+}
+
+val describe : outcome -> string
+(** One human-readable report; violations include the replay recipe. *)
+
+val run_one : backend -> seed:int -> txns:int -> ?crash_point:int -> unit -> outcome
+(** Run the page-level workload once: random page-sized transactional
+    writes mixed with live-verified reads and occasional aborts, crash
+    after [crash_point] block writes (never, if omitted), recover, and
+    check the oracle. Transient read errors are always injected. *)
+
+val run_one_tpcb :
+  backend -> seed:int -> txns:int -> ?crash_point:int -> unit -> outcome
+(** Same, driving [txns] TPC-B transactions on a small database; after
+    recovery the balance-consistency identity must hold and the history
+    count must lie in [acked, acked+1]. *)
+
+type sweep_result = {
+  total_writes : int;  (** crash points available in the run *)
+  points_run : int;
+  failures : outcome list;
+}
+
+val sweep :
+  ?progress:(outcome -> unit) ->
+  backend -> seed:int -> txns:int -> points:int -> sweep_result
+(** Sweep the page workload. [points <= 0] (or >= the write count) runs
+    every crash point; otherwise [points] evenly spaced ones. *)
+
+val sweep_tpcb :
+  ?progress:(outcome -> unit) ->
+  backend -> seed:int -> txns:int -> points:int -> sweep_result

@@ -78,6 +78,8 @@ type summary = {
   seq : int64;
   timestamp : float;
   next_seg : int;
+  more : bool;
+  payload_ck : int;
   entries : summary_entry list;
 }
 
@@ -99,6 +101,8 @@ let write_summary b s =
   Enc.set_f64 b 16 s.timestamp;
   Enc.set_u32 b 24 s.next_seg;
   Enc.set_u16 b 28 n;
+  Enc.set_u8 b 30 (if s.more then 1 else 0);
+  Enc.set_u32 b 32 s.payload_ck;
   let side = ref (sum_header + (n * entry_bytes)) in
   List.iteri
     (fun i e ->
@@ -159,6 +163,8 @@ let read_summary b =
         seq = Enc.get_i64 b 8;
         timestamp = Enc.get_f64 b 16;
         next_seg = Enc.get_u32 b 24;
+        more = Enc.get_u8 b 30 = 1;
+        payload_ck = Enc.get_u32 b 32;
         entries = List.init n entry;
       }
 

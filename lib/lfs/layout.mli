@@ -58,6 +58,14 @@ type summary = {
   seq : int64;  (** monotone partial-segment sequence number *)
   timestamp : float;
   next_seg : int;  (** where the log continues after this segment *)
+  more : bool;
+      (** this partial is not the last of an atomic batch: recovery must
+          not apply it unless the rest of the batch also made it to disk
+          (commit flushes larger than a segment span several partials) *)
+  payload_ck : int;
+      (** {!checksum} of the payload blocks following the summary — the
+          summary's own seal proves nothing about them, and a torn
+          multi-block write can persist the summary without its data *)
   entries : summary_entry list;  (** one per following block, in order *)
 }
 

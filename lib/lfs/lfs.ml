@@ -252,8 +252,8 @@ let close_segment t =
    recovery re-derives the block locations from the summary entries, and
    the (still-dirty) in-memory metadata reaches the log with the next
    syncer flush or checkpoint. *)
-let write_partial ?(defer_meta = false) t ~ditems ~inodes ~imap_chunks
-    ~usage_chunks =
+let write_partial ?(defer_meta = false) ?(more = false) t ~ditems ~inodes
+    ~imap_chunks ~usage_chunks =
   let bs = block_size t in
   let plans, n_meta =
     if defer_meta then ([], List.length ditems) else plan t ~ditems ~inodes
@@ -425,24 +425,30 @@ let write_partial ?(defer_meta = false) t ~ditems ~inodes ~imap_chunks
       dec_usage t old;
       t.usage_chunk_addr.(idx) <- addr)
     usage_chunks;
-  (* 6. Encode and write the whole partial as one sequential I/O. *)
+  (* 6. Encode and write the whole partial as one sequential I/O. The
+     payload is materialized first so the summary can carry its checksum:
+     a torn write may persist the summary block without the blocks it
+     describes, and recovery must be able to tell. *)
   let entries = List.rev !entries and fills = List.rev !fills in
   let nblocks = !pos - base in
   let buf = Bytes.make (nblocks * bs) '\000' in
+  List.iteri
+    (fun i fill ->
+      let b = fill () in
+      Bytes.blit b 0 buf ((i + 1) * bs) bs)
+    fills;
+  let payload_ck = Layout.checksum (Bytes.sub buf bs ((nblocks - 1) * bs)) in
   let summary_bytes = Bytes.make bs '\000' in
   Layout.write_summary summary_bytes
     {
       Layout.seq = t.write_seq;
       timestamp = Clock.now t.clock;
       next_seg = t.next_seg;
+      more;
+      payload_ck;
       entries;
     };
   Bytes.blit summary_bytes 0 buf 0 bs;
-  List.iteri
-    (fun i fill ->
-      let b = fill () in
-      Bytes.blit b 0 buf ((i + 1) * bs) bs)
-    fills;
   Disk.write_run t.disk base buf;
   Stats.incr t.stats "lfs.partials";
   Stats.add t.stats "lfs.blocks_logged" nblocks;
@@ -468,8 +474,11 @@ let dirty_ditems frames =
     frames
 
 (* Write an arbitrary amount of dirty data, chunked into partials that fit
-   in a segment. *)
-let log_write ?(defer_meta = false) t ~ditems ~inodes =
+   in a segment. With [atomic] the chunks form one all-or-nothing batch:
+   every partial but the last carries the [more] flag, and recovery
+   discards a batch whose final partial never reached disk — a commit
+   larger than a segment must not become durable by halves. *)
+let log_write ?(defer_meta = false) ?(atomic = false) t ~ditems ~inodes =
   (* Writing an inode whose file still has dirty cached data would put a
      size and block map on disk that describe bytes which are only in
      memory; pull every involved file's eligible dirty frames into the
@@ -521,8 +530,8 @@ let log_write ?(defer_meta = false) t ~ditems ~inodes =
         (* Attach the extra inodes to the last chunk so their final state
            is what lands on disk. *)
         let inodes = if i = last then inodes else [] in
-        write_partial ~defer_meta t ~ditems:g ~inodes ~imap_chunks:[]
-          ~usage_chunks:[])
+        write_partial ~defer_meta ~more:(atomic && i < last) t ~ditems:g
+          ~inodes ~imap_chunks:[] ~usage_chunks:[])
       groups
 
 let dirty_inodes t =
@@ -815,7 +824,8 @@ let force_frames t frames =
   tick t;
   let was = t.in_maintenance in
   t.in_maintenance <- true;
-  log_write ~defer_meta:true t ~ditems:(dirty_ditems frames) ~inodes:[];
+  log_write ~defer_meta:true ~atomic:true t ~ditems:(dirty_ditems frames)
+    ~inodes:[];
   t.in_maintenance <- was
 
 let fsync_inum t inum =
@@ -1072,12 +1082,67 @@ let load_checkpoint t =
   | Some cp, None | None, Some cp -> cp
   | Some a, Some b -> if a.Layout.cp_seq >= b.Layout.cp_seq then a else b
 
+(* Test-only hook: when set, roll-forward trusts a summary without
+   verifying the checksum of its payload blocks — reintroducing the
+   torn-commit bug the checksum exists to catch. The fault-injection
+   sweep must then report durability violations, which is how the test
+   suite proves the oracle is able to fail. *)
+let test_disable_payload_check = ref false
+
 let roll_forward t =
   (* Follow the chain of partial segments written after the checkpoint,
      applying inode locations; stop at the first gap in the sequence. *)
+  let apply blkno (s : Layout.summary) =
+    List.iteri
+      (fun i entry ->
+        let addr = blkno + 1 + i in
+        match entry with
+        | Layout.Inode_block { inums } ->
+          List.iteri
+            (fun slot inum ->
+              if inum > 0 && inum < max_inodes then begin
+                t.imap_addr.(inum) <- addr;
+                t.imap_slot.(inum) <- slot;
+                t.imap_alloc.(inum) <- true;
+                (* Any inode loaded earlier in this scan is stale now:
+                   the block written later in the log wins. *)
+                Hashtbl.remove t.inodes inum;
+                if inum >= t.next_inum then t.next_inum <- inum + 1
+              end)
+            inums
+        | Layout.Imap_block { index } -> t.imap_chunk_addr.(index) <- addr
+        | Layout.Usage_block { index } -> t.usage_chunk_addr.(index) <- addr
+        | Layout.Data { inum; lblock } -> (
+          (* Commit partials defer their metadata; the summary entry is
+             authoritative for the block's new location. *)
+          match iget_opt t inum with
+          | Some ino ->
+            Inode.set_addr ino ~block_size:(block_size t) lblock addr;
+            if (lblock + 1) * block_size t > ino.Inode.size then
+              ino.Inode.size <- (lblock + 1) * block_size t;
+            ino.Inode.dirty <- true
+          | None -> () (* file created but its inode never reached disk *))
+        | Layout.Indirect _ | Layout.Double_indirect _ -> ())
+      s.Layout.entries;
+    Stats.incr t.stats "lfs.rolled_partials"
+  in
+  (* A sealed summary only proves the summary block itself persisted; a
+     write torn inside the partial leaves it describing garbage. *)
+  let payload_ok blkno (s : Layout.summary) =
+    !test_disable_payload_check
+    ||
+    let n = List.length s.Layout.entries in
+    n = 0
+    || Layout.checksum (Disk.read_run t.disk (blkno + 1) n) = s.Layout.payload_ck
+  in
   let expected = ref t.write_seq in
   let seg = ref t.cur_seg and off = ref t.cur_off in
   let next = ref t.next_seg in
+  (* Partials carrying [more] belong to an atomic batch: buffer them and
+     apply only when the batch's final partial validates too, so a commit
+     spanning several partials is recovered all-or-nothing. *)
+  let batch = ref [] in
+  let batch_start = ref None in
   let continue = ref true in
   while !continue do
     if !off >= t.cfg.fs.segment_blocks then begin
@@ -1086,42 +1151,17 @@ let roll_forward t =
     end;
     let blkno = seg_base t !seg + !off in
     match Layout.read_summary (Disk.read t.disk blkno) with
-    | Some s when Int64.equal s.Layout.seq !expected ->
-      List.iteri
-        (fun i entry ->
-          let addr = blkno + 1 + i in
-          match entry with
-          | Layout.Inode_block { inums } ->
-            List.iteri
-              (fun slot inum ->
-                if inum > 0 && inum < max_inodes then begin
-                  t.imap_addr.(inum) <- addr;
-                  t.imap_slot.(inum) <- slot;
-                  t.imap_alloc.(inum) <- true;
-                  (* Any inode loaded earlier in this scan is stale now:
-                     the block written later in the log wins. *)
-                  Hashtbl.remove t.inodes inum;
-                  if inum >= t.next_inum then t.next_inum <- inum + 1
-                end)
-              inums
-          | Layout.Imap_block { index } -> t.imap_chunk_addr.(index) <- addr
-          | Layout.Usage_block { index } -> t.usage_chunk_addr.(index) <- addr
-          | Layout.Data { inum; lblock } -> (
-            (* Commit partials defer their metadata; the summary entry is
-               authoritative for the block's new location. *)
-            match iget_opt t inum with
-            | Some ino ->
-              Inode.set_addr ino ~block_size:(block_size t) lblock addr;
-              if (lblock + 1) * block_size t > ino.Inode.size then
-                ino.Inode.size <- (lblock + 1) * block_size t;
-              ino.Inode.dirty <- true
-            | None -> () (* file created but its inode never reached disk *))
-          | Layout.Indirect _ | Layout.Double_indirect _ -> ())
-        s.Layout.entries;
+    | Some s when Int64.equal s.Layout.seq !expected && payload_ok blkno s ->
+      if !batch = [] then batch_start := Some (!seg, !off, !next, !expected);
+      batch := (blkno, s) :: !batch;
+      if not s.Layout.more then begin
+        List.iter (fun (b, p) -> apply b p) (List.rev !batch);
+        batch := [];
+        batch_start := None
+      end;
       expected := Int64.succ !expected;
       off := !off + 1 + List.length s.Layout.entries;
-      next := s.Layout.next_seg;
-      Stats.incr t.stats "lfs.rolled_partials"
+      next := s.Layout.next_seg
     | Some _ | None ->
       if !off > 0 then begin
         (* Maybe the writer moved to the next segment early. *)
@@ -1134,10 +1174,34 @@ let roll_forward t =
       end
       else continue := false
   done;
+  (match !batch_start with
+  | Some (s0, o0, n0, q0) when !batch <> [] ->
+    (* The log ended mid-batch: discard it whole and rewind the head so
+       new writes overwrite the orphaned partials. *)
+    seg := s0;
+    off := o0;
+    next := n0;
+    expected := q0;
+    Stats.incr t.stats "lfs.discarded_batches"
+  | _ -> ());
   t.cur_seg <- !seg;
   t.cur_off <- !off;
   t.next_seg <- !next;
-  t.write_seq <- !expected
+  t.write_seq <- !expected;
+  (* Scrub any stale summary left beyond the recovered head (a torn or
+     discarded partial). If future writes lined up exactly, a later
+     recovery could mistake it for a live continuation of the log. *)
+  let zero = Bytes.make (block_size t) '\000' in
+  let scrub blkno =
+    match Layout.read_summary (Disk.read t.disk blkno) with
+    | Some s when Int64.compare s.Layout.seq !expected >= 0 ->
+      Disk.write t.disk blkno zero
+    | _ -> ()
+  in
+  for o = !off to t.cfg.fs.segment_blocks - 1 do
+    scrub (seg_base t !seg + o)
+  done;
+  if !next <> !seg then scrub (seg_base t !next)
 
 let recompute_usage t =
   Array.iter
@@ -1227,6 +1291,12 @@ let mount disk clock stats (cfg : Config.t) =
     t.usage_chunk_addr;
   roll_forward t;
   recompute_usage t;
+  (* Roll-forward can end having followed the log into the reserved next
+     segment without learning what the writer reserved after it (the
+     first partial there was torn, so its next_seg is untrusted). Leave
+     next_seg aliasing cur_seg and the writer would wrap onto the very
+     segment it is filling, overwriting live blocks. Reserve afresh. *)
+  if t.next_seg = t.cur_seg then t.next_seg <- pop_free t;
   (* Rebuild the free-inode list. *)
   let free = ref [] in
   for inum = t.next_inum - 1 downto 2 do

@@ -116,6 +116,13 @@ val snapshot_view : t -> snapshot -> Vfs.t
 val snapshots : t -> int
 (** Number of live snapshots. *)
 
+val test_disable_payload_check : bool ref
+(** Test-only: make roll-forward trust segment summaries without
+    verifying their payload checksum, resurrecting the torn-commit
+    vulnerability the checksum prevents. Used by the fault-injection
+    suite to prove its oracle detects a broken recovery path. Never set
+    outside tests. *)
+
 val check : t -> unit
 (** Full-consistency check of the in-memory/on-disk state: the segment
     usage table must match recomputed block reachability, no two live

@@ -133,6 +133,55 @@ let prop_btree_model =
       Hashtbl.fold (fun k v ok -> ok && Btree.find bt k = Some v) model true
       && Btree.count bt = Hashtbl.length model)
 
+(* Iteration must deliver exactly the model's bindings in sorted key
+   order — in full, from an arbitrary starting key, and as a prefix when
+   the callback stops early. *)
+let prop_btree_iteration =
+  Tutil.qtest ~count:30 "btree iteration matches the sorted model"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 150)
+           (pair (int_bound 60)
+              (option (string_size ~gen:(char_range 'a' 'z') (int_bound 12)))))
+        (int_bound 60))
+    (fun (ops, from_k) ->
+      let m, _, _, pager = mk_plain () in
+      let bt = attach_btree m pager in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          let k = key k in
+          match v with
+          | Some v ->
+            Btree.insert bt k v;
+            Hashtbl.replace model k v
+          | None ->
+            Hashtbl.remove model k;
+            ignore (Btree.delete bt k))
+        ops;
+      let expect =
+        List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) model [])
+      in
+      let collect ?from () =
+        let seen = ref [] in
+        Btree.iter bt ?from (fun k v ->
+            seen := (k, v) :: !seen;
+            true);
+        List.rev !seen
+      in
+      let from = key from_k in
+      let stop_after = (List.length expect + 1) / 2 in
+      let prefix = ref [] and n = ref 0 in
+      Btree.iter bt (fun k v ->
+          prefix := (k, v) :: !prefix;
+          incr n;
+          !n < stop_after);
+      let prefix = List.rev !prefix in
+      let take n l = List.filteri (fun i _ -> i < n) l in
+      collect () = expect
+      && collect ~from () = List.filter (fun (k, _) -> k >= from) expect
+      && prefix = take (min stop_after (List.length expect)) expect)
+
 let test_btree_iter_from_missing_key () =
   let m, _, _, pager = mk_plain () in
   let bt = attach_btree m pager in
@@ -329,6 +378,50 @@ let test_recno_set_and_iter () =
       true);
   Alcotest.(check int) "iterated all" 100 !n
 
+let prop_recno_model =
+  Tutil.qtest ~count:40 "recno matches an array model"
+    QCheck2.Gen.(
+      list_size (int_range 1 200)
+        (oneof
+           [
+             map (fun i -> `Append i) (int_bound 10_000);
+             map (fun (r, i) -> `Set (r, i)) (pair (int_bound 300) (int_bound 10_000));
+           ]))
+    (fun ops ->
+      let reclen = 32 in
+      let _, r = mk_recno ~reclen () in
+      let model = ref [||] in
+      List.iter
+        (function
+          | `Append i ->
+            let id = Recno.append r (record i reclen) in
+            if id <> Array.length !model then failwith "recno id mismatch";
+            model := Array.append !model [| record i reclen |]
+          | `Set (recno, i) ->
+            let n = Array.length !model in
+            if n > 0 then begin
+              let recno = recno mod n in
+              Recno.set r recno (record i reclen);
+              !model.(recno) <- record i reclen
+            end)
+        ops;
+      Array.iteri
+        (fun i expect ->
+          if not (Bytes.equal (Recno.get r i) expect) then failwith "get mismatch")
+        !model;
+      (* The iteration sequence is exactly the array, in record order. *)
+      let seen = ref [] in
+      Recno.iter r (fun recno data ->
+          seen := (recno, Bytes.copy data) :: !seen;
+          true);
+      let seen = List.rev !seen in
+      Recno.count r = Array.length !model
+      && List.length seen = Array.length !model
+      && List.for_all2
+           (fun (i, d) (j, e) -> i = j && Bytes.equal d e)
+           seen
+           (Array.to_list (Array.mapi (fun i d -> (i, d)) !model)))
+
 let test_recno_reclen_mismatch () =
   let m, _, _, pager = mk_plain () in
   let _ = Recno.attach m.Tutil.clock m.Tutil.stats m.Tutil.cfg.Config.cpu pager ~reclen:50 in
@@ -396,6 +489,40 @@ let prop_hash_model =
       Hashtbl.fold (fun k v ok -> ok && Hashdb.find h k = Some v) model true
       && Hashdb.count h = Hashtbl.length model)
 
+
+(* Hash iteration has no order guarantee, but it must visit every model
+   binding exactly once and nothing else. *)
+let prop_hash_iteration =
+  Tutil.qtest ~count:30 "hash iteration visits each binding once"
+    QCheck2.Gen.(
+      list_size (int_range 1 150)
+        (pair (int_bound 40)
+           (option (string_size ~gen:(char_range 'a' 'z') (int_bound 15)))))
+    (fun ops ->
+      let _, h = mk_hash ~buckets:2 () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          let k = key k in
+          match v with
+          | Some v ->
+            Hashdb.insert h k v;
+            Hashtbl.replace model k v
+          | None ->
+            Hashtbl.remove model k;
+            ignore (Hashdb.delete h k))
+        ops;
+      let seen = Hashtbl.create 16 in
+      let dup = ref false in
+      Hashdb.iter h (fun k v ->
+          if Hashtbl.mem seen k then dup := true;
+          Hashtbl.replace seen k v;
+          true);
+      (not !dup)
+      && Hashtbl.length seen = Hashtbl.length model
+      && Hashtbl.fold
+           (fun k v acc -> acc && Hashtbl.find_opt seen k = Some v)
+           model true)
 
 (* db(3)-style unified facade ---------------------------------------------- *)
 
@@ -471,6 +598,7 @@ let () =
           Alcotest.test_case "sequential fill" `Quick test_btree_sequential_load_fill;
           Alcotest.test_case "delete persists" `Quick test_btree_delete_persists;
           prop_btree_model;
+          prop_btree_iteration;
         ] );
       ( "btree-wal",
         [
@@ -484,6 +612,7 @@ let () =
           Alcotest.test_case "reclen mismatch" `Quick test_recno_reclen_mismatch;
           Alcotest.test_case "exact page fill" `Quick test_recno_exact_page_fill;
           Alcotest.test_case "oversized reclen" `Quick test_recno_oversized_rejected;
+          prop_recno_model;
         ] );
       ( "db-facade",
         [
@@ -498,5 +627,6 @@ let () =
           Alcotest.test_case "overflow chains" `Quick test_hash_overflow_chains;
           Alcotest.test_case "persistence" `Quick test_hash_persistence;
           prop_hash_model;
+          prop_hash_iteration;
         ] );
     ]

@@ -1,0 +1,148 @@
+(* Fault-injection harness tests: the injector itself (tearing,
+   read-error retries, determinism), short crash-point sweeps per
+   backend that run on every `dune runtest`, and a negative control — a
+   deliberately broken recovery path must make the sweep light up.
+
+   Set FAULTSIM_FULL=1 for the exhaustive sweeps (every crash point,
+   larger workloads); by default those run a small sampled version. *)
+
+let full = Sys.getenv_opt "FAULTSIM_FULL" <> None
+
+(* Injector ------------------------------------------------------------ *)
+
+let test_tear_multiblock_write () =
+  let m = Tutil.machine () in
+  let bs = m.Tutil.cfg.Config.disk.block_size in
+  let f = Faultsim.arm ~crash_after:5 m.Tutil.disk in
+  let first = Tutil.payload 1 (3 * bs) in
+  Disk.write_run m.Tutil.disk 100 first;
+  let torn = Tutil.payload 2 (4 * bs) in
+  (match Disk.write_run m.Tutil.disk 200 torn with
+  | () -> Alcotest.fail "expected Injected_crash"
+  | exception Disk.Injected_crash -> ());
+  Alcotest.(check bool) "crashed" true (Faultsim.crashed f);
+  Alcotest.(check int) "writes counted through the tear" 7 (Faultsim.writes f);
+  Tutil.check_bytes "pre-crash write intact" (Bytes.sub first 0 bs)
+    (Disk.peek m.Tutil.disk 100);
+  (* crash_after 5 with 3 blocks already down: exactly 2 of the 4 persist *)
+  Tutil.check_bytes "torn block 0" (Bytes.sub torn 0 bs) (Disk.peek m.Tutil.disk 200);
+  Tutil.check_bytes "torn block 1" (Bytes.sub torn bs bs)
+    (Disk.peek m.Tutil.disk 201);
+  Tutil.check_bytes "beyond the tear untouched" (Bytes.make bs '\000')
+    (Disk.peek m.Tutil.disk 202);
+  Faultsim.disarm f;
+  Disk.write_run m.Tutil.disk 300 torn;
+  Tutil.check_bytes "disarmed disk writes normally" (Bytes.sub torn (3 * bs) bs)
+    (Disk.peek m.Tutil.disk 303)
+
+let test_read_errors_are_transient () =
+  let m = Tutil.machine () in
+  let bs = m.Tutil.cfg.Config.disk.block_size in
+  let data = Tutil.payload 3 bs in
+  Disk.write m.Tutil.disk 50 data;
+  let rng = Rng.create ~seed:42 in
+  let f = Faultsim.arm ~read_error_rate:1.0 ~rng m.Tutil.disk in
+  for _ = 1 to 6 do
+    Tutil.check_bytes "read survives transient errors" data
+      (Disk.read m.Tutil.disk 50)
+  done;
+  Faultsim.disarm f;
+  Alcotest.(check bool) "retries were recorded" true
+    (Stats.count m.Tutil.stats "disk.read_retries" > 0)
+
+let test_rate_without_rng_rejected () =
+  let m = Tutil.machine () in
+  match Faultsim.arm ~read_error_rate:0.5 m.Tutil.disk with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* Every run is a pure function of (seed, crash_point): replaying one
+   must reproduce the identical outcome, byte counts and all. *)
+let test_replay_is_deterministic () =
+  let run () = Sweep.run_one Sweep.Lfs_kernel ~seed:9 ~txns:5 ~crash_point:37 () in
+  let a = run () and b = run () in
+  Alcotest.(check string) "identical outcome" (Sweep.describe a)
+    (Sweep.describe b);
+  Alcotest.(check int) "identical write counts" a.Sweep.writes b.Sweep.writes;
+  Alcotest.(check bool) "both crashed the same way" a.Sweep.crashed
+    b.Sweep.crashed
+
+(* Sweeps --------------------------------------------------------------- *)
+
+let assert_clean r =
+  (match r.Sweep.failures with
+  | [] -> ()
+  | fs -> Alcotest.fail (String.concat "\n" (List.map Sweep.describe fs)));
+  Alcotest.(check bool) "run produced writes to crash into" true
+    (r.Sweep.total_writes > 5)
+
+let sweep_pages backend () =
+  let points = if full then 0 else 25 in
+  let txns = if full then 20 else 6 in
+  assert_clean (Sweep.sweep backend ~seed:7 ~txns ~points)
+
+let sweep_tpcb_kernel () =
+  if full then begin
+    let r = Sweep.sweep_tpcb Sweep.Lfs_kernel ~seed:1 ~txns:40 ~points:0 in
+    Alcotest.(check bool)
+      (Printf.sprintf "at least 200 crash points (got %d)" r.Sweep.total_writes)
+      true
+      (r.Sweep.total_writes >= 200);
+    assert_clean r
+  end
+  else assert_clean (Sweep.sweep_tpcb Sweep.Lfs_kernel ~seed:1 ~txns:5 ~points:8)
+
+let sweep_tpcb_ffs () =
+  if full then begin
+    let r = Sweep.sweep_tpcb Sweep.Ffs_user ~seed:1 ~txns:100 ~points:0 in
+    Alcotest.(check bool)
+      (Printf.sprintf "at least 200 crash points (got %d)" r.Sweep.total_writes)
+      true
+      (r.Sweep.total_writes >= 200);
+    assert_clean r
+  end
+  else assert_clean (Sweep.sweep_tpcb Sweep.Ffs_user ~seed:1 ~txns:6 ~points:8)
+
+let sweep_tpcb_lfs_user () =
+  assert_clean (Sweep.sweep_tpcb Sweep.Lfs_user ~seed:2 ~txns:5 ~points:8)
+
+(* Negative control: disable the roll-forward payload verification and
+   the sweep must catch torn partial-segment writes that the hardened
+   recovery path would have rejected. A harness that cannot detect a
+   known-broken recovery proves nothing. *)
+let test_broken_recovery_is_caught () =
+  Lfs.test_disable_payload_check := true;
+  Fun.protect
+    ~finally:(fun () -> Lfs.test_disable_payload_check := false)
+    (fun () ->
+      let r = Sweep.sweep Sweep.Lfs_kernel ~seed:3 ~txns:4 ~points:0 in
+      Alcotest.(check bool) "sweep detects the broken recovery path" true
+        (r.Sweep.failures <> []))
+
+let () =
+  Alcotest.run "faultsim"
+    [
+      ( "injector",
+        [
+          Alcotest.test_case "tears a multi-block write" `Quick
+            test_tear_multiblock_write;
+          Alcotest.test_case "read errors are transient" `Quick
+            test_read_errors_are_transient;
+          Alcotest.test_case "rate without rng rejected" `Quick
+            test_rate_without_rng_rejected;
+          Alcotest.test_case "replay is deterministic" `Quick
+            test_replay_is_deterministic;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "pages / lfs-kernel" `Slow
+            (sweep_pages Sweep.Lfs_kernel);
+          Alcotest.test_case "pages / lfs-user" `Slow (sweep_pages Sweep.Lfs_user);
+          Alcotest.test_case "pages / ffs-user" `Slow (sweep_pages Sweep.Ffs_user);
+          Alcotest.test_case "tpcb / lfs-kernel" `Slow sweep_tpcb_kernel;
+          Alcotest.test_case "tpcb / lfs-user" `Slow sweep_tpcb_lfs_user;
+          Alcotest.test_case "tpcb / ffs-user" `Slow sweep_tpcb_ffs;
+          Alcotest.test_case "broken recovery is caught" `Slow
+            test_broken_recovery_is_caught;
+        ] );
+    ]

@@ -47,7 +47,14 @@ let sample_entries =
 
 let test_summary_roundtrip () =
   let s =
-    { Layout.seq = 123456789L; timestamp = 3.25; next_seg = 42; entries = sample_entries }
+    {
+      Layout.seq = 123456789L;
+      timestamp = 3.25;
+      next_seg = 42;
+      more = true;
+      payload_ck = 0x1234_5678;
+      entries = sample_entries;
+    }
   in
   let b = Bytes.make bs '\000' in
   Layout.write_summary b s;
@@ -57,11 +64,22 @@ let test_summary_roundtrip () =
     Alcotest.(check int64) "seq" s.Layout.seq d.Layout.seq;
     Alcotest.(check (float 0.0)) "timestamp" s.Layout.timestamp d.Layout.timestamp;
     Alcotest.(check int) "next_seg" s.Layout.next_seg d.Layout.next_seg;
+    Alcotest.(check bool) "more" true d.Layout.more;
+    Alcotest.(check int) "payload_ck" s.Layout.payload_ck d.Layout.payload_ck;
     Alcotest.(check bool) "entries" true (d.Layout.entries = sample_entries)
 
 let test_summary_rejects_garbage () =
   Alcotest.(check bool) "zeros" true (Layout.read_summary (Bytes.make bs '\000') = None);
-  let s = { Layout.seq = 1L; timestamp = 0.0; next_seg = 0; entries = sample_entries } in
+  let s =
+    {
+      Layout.seq = 1L;
+      timestamp = 0.0;
+      next_seg = 0;
+      more = false;
+      payload_ck = 0;
+      entries = sample_entries;
+    }
+  in
   let b = Bytes.make bs '\000' in
   Layout.write_summary b s;
   Bytes.set b 100 '\255';
@@ -85,7 +103,9 @@ let prop_summary_roundtrip =
       tup3 (list_size (int_range 0 80) entry_gen) (int_bound 500)
         (map Int64.of_int (int_bound 1_000_000)))
     (fun (entries, next_seg, seq) ->
-      let s = { Layout.seq; timestamp = 1.5; next_seg; entries } in
+      let s =
+        { Layout.seq; timestamp = 1.5; next_seg; more = false; payload_ck = 7; entries }
+      in
       let b = Bytes.make bs '\000' in
       Layout.write_summary b s;
       match Layout.read_summary b with
