@@ -178,14 +178,27 @@ let () =
     o.tps_scale
     (Tpcb.scale_for_tps o.tps_scale).Tpcb.accounts
     o.txns o.nseeds;
+  let emit ~name ~config json =
+    Printf.printf "wrote %s\n%!" (Expcommon.write_bench ~name ~config json)
+  in
   let fig4 = Fig4.run ~tps_scale:o.tps_scale ~txns:o.txns ~seeds () in
   Fig4.print fig4;
+  emit ~name:"fig4" ~config:fig4.Fig4.config (Fig4.to_json fig4);
   let fig5 = Fig5.run ~tps_scale:(min o.tps_scale 2) () in
   Fig5.print fig5;
+  emit ~name:"fig5" ~config:fig5.Fig5.config (Fig5.to_json fig5);
   let fig6 = Fig6.run ~tps_scale:o.tps_scale ~txns:o.txns () in
   Fig6.print fig6;
+  emit ~name:"fig6" ~config:fig6.Fig6.config (Fig6.to_json fig6);
   let fig7 = Fig7.of_measurements ~fig4 ~fig6 in
   Fig7.print fig7;
+  emit ~name:"fig7" ~config:fig4.Fig4.config
+    (Json.Obj
+       [
+         ("fig7", Fig7.to_json fig7);
+         ( "sources",
+           Json.Obj [ ("fig4", Fig4.to_json fig4); ("fig6", Fig6.to_json fig6) ] );
+       ]);
   Ablation.print (Ablation.test_and_set ~tps_scale:o.tps_scale ~txns:(o.txns / 2) ());
   Ablation.print
     (Ablation.cleaner_placement ~tps_scale:o.tps_scale ~txns:(o.txns * 3 / 4) ());

@@ -22,38 +22,73 @@ let seeds_arg =
   let doc = "Number of seeds (independent runs averaged)." in
   Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N" ~doc)
 
+let json_arg =
+  let doc =
+    "Also write the machine-readable $(b,BENCH_<name>.json) artifact into \
+     $(b,\\$BENCH_DIR) (or the current directory)."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let emit_bench ~name ~config json =
+  let path = Expcommon.write_bench ~name ~config json in
+  Printf.printf "wrote %s\n" path
+
 (* fig4 *)
 let fig4_cmd =
-  let run scale txns nseeds =
-    Fig4.print (Fig4.run ~tps_scale:scale ~txns ~seeds:(List.init nseeds (fun i -> i + 1)) ())
+  let run scale txns nseeds json =
+    let f =
+      Fig4.run ~tps_scale:scale ~txns ~seeds:(List.init nseeds (fun i -> i + 1)) ()
+    in
+    Fig4.print f;
+    if json then emit_bench ~name:"fig4" ~config:f.Fig4.config (Fig4.to_json f)
   in
   Cmd.v
     (Cmd.info "fig4" ~doc:"Figure 4: TPC-B throughput of the three configurations")
-    Term.(const run $ scale_arg $ txns_arg 20_000 $ seeds_arg)
+    Term.(const run $ scale_arg $ txns_arg 20_000 $ seeds_arg $ json_arg)
 
 let fig5_cmd =
-  let run scale = Fig5.print (Fig5.run ~tps_scale:scale ()) in
+  let run scale json =
+    let f = Fig5.run ~tps_scale:scale () in
+    Fig5.print f;
+    if json then emit_bench ~name:"fig5" ~config:f.Fig5.config (Fig5.to_json f)
+  in
   Cmd.v
     (Cmd.info "fig5"
        ~doc:"Figure 5: non-transaction performance on normal vs transaction kernel")
-    Term.(const run $ scale_arg)
+    Term.(const run $ scale_arg $ json_arg)
 
 let fig6_cmd =
-  let run scale txns seed =
-    Fig6.print (Fig6.run ~tps_scale:scale ~txns ~seed ())
+  let run scale txns seed json =
+    let f = Fig6.run ~tps_scale:scale ~txns ~seed () in
+    Fig6.print f;
+    if json then emit_bench ~name:"fig6" ~config:f.Fig6.config (Fig6.to_json f)
   in
   Cmd.v
     (Cmd.info "fig6" ~doc:"Figure 6: key-order scan after random updates")
-    Term.(const run $ scale_arg $ txns_arg 20_000 $ seed_arg)
+    Term.(const run $ scale_arg $ txns_arg 20_000 $ seed_arg $ json_arg)
 
 let fig7_cmd =
-  let run scale txns nseeds =
-    Fig7.print
-      (Fig7.run ~tps_scale:scale ~txns ~seeds:(List.init nseeds (fun i -> i + 1)) ())
+  let run scale txns nseeds json =
+    let seeds = List.init nseeds (fun i -> i + 1) in
+    let fig4 = Fig4.run ~tps_scale:scale ~txns ~seeds () in
+    let fig6 = Fig6.run ~tps_scale:scale ~txns () in
+    let f = Fig7.of_measurements ~fig4 ~fig6 in
+    Fig7.print f;
+    if json then
+      (* Figure 7 is derived; ship the source measurements (and their
+         metrics) alongside so the artifact stands on its own. *)
+      emit_bench ~name:"fig7" ~config:fig4.Fig4.config
+        (Json.Obj
+           [
+             ("fig7", Fig7.to_json f);
+             ( "sources",
+               Json.Obj
+                 [ ("fig4", Fig4.to_json fig4); ("fig6", Fig6.to_json fig6) ] );
+           ])
   in
   Cmd.v
     (Cmd.info "fig7" ~doc:"Figure 7: transaction/scan trade-off crossover")
-    Term.(const run $ scale_arg $ txns_arg 20_000 $ seeds_arg)
+    Term.(const run $ scale_arg $ txns_arg 20_000 $ seeds_arg $ json_arg)
 
 let ablation_cmd =
   let which =
@@ -86,19 +121,19 @@ let ablation_cmd =
     Term.(const run $ which $ scale_arg $ txns_arg 10_000)
 
 (* Ad hoc TPC-B *)
+let setup_arg =
+  let doc = "Configuration: readopt-user, lfs-user, or lfs-kernel." in
+  Arg.(value & opt string "lfs-kernel" & info [ "setup" ] ~docv:"SETUP" ~doc)
+
+let parse_setup = function
+  | "readopt-user" -> Expcommon.Readopt_user
+  | "lfs-user" -> Expcommon.Lfs_user
+  | "lfs-kernel" -> Expcommon.Lfs_kernel
+  | s -> failwith ("unknown setup: " ^ s)
+
 let tpcb_cmd =
-  let setup_arg =
-    let doc = "Configuration: readopt-user, lfs-user, or lfs-kernel." in
-    Arg.(value & opt string "lfs-kernel" & info [ "setup" ] ~docv:"SETUP" ~doc)
-  in
   let run setup scale txns seed =
-    let setup =
-      match setup with
-      | "readopt-user" -> Expcommon.Readopt_user
-      | "lfs-user" -> Expcommon.Lfs_user
-      | "lfs-kernel" -> Expcommon.Lfs_kernel
-      | s -> failwith ("unknown setup: " ^ s)
-    in
+    let setup = parse_setup setup in
     let config =
       Config.scaled ~factor:(float_of_int scale /. 10.0) Config.default
     in
@@ -117,6 +152,135 @@ let tpcb_cmd =
   Cmd.v
     (Cmd.info "tpcb" ~doc:"Run TPC-B on one configuration and report TPS")
     Term.(const run $ setup_arg $ scale_arg $ txns_arg 10_000 $ seed_arg)
+
+(* Event tracing: run TPC-B with the trace ring attached and dump it. *)
+let trace_cmd =
+  let out_arg =
+    let doc = "Write the JSONL trace to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let cap_arg =
+    let doc =
+      "Trace ring capacity; once full, the oldest events are dropped (the \
+       summary line reports how many)."
+    in
+    Arg.(value & opt int 65_536 & info [ "cap" ] ~docv:"N" ~doc)
+  in
+  let run setup scale txns seed out cap =
+    let setup = parse_setup setup in
+    let config =
+      Config.scaled ~factor:(float_of_int scale /. 10.0) Config.default
+    in
+    let r =
+      Expcommon.run_tpcb ~trace:cap ~config ~scale:(Tpcb.scale_for_tps scale)
+        ~txns ~seed setup
+    in
+    match Stats.trace r.Expcommon.stats with
+    | None -> prerr_endline "trace: no events captured"
+    | Some tr ->
+      (match out with
+      | None -> Trace.output stdout tr
+      | Some file ->
+        let oc = open_out file in
+        Trace.output oc tr;
+        close_out oc);
+      Printf.eprintf "trace: %d event(s), %d dropped (ring cap %d)\n"
+        (Trace.length tr) (Trace.dropped tr) cap
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run TPC-B with event tracing enabled and emit the structured trace \
+          as JSONL (one event per line, keyed by simulated time)")
+    Term.(
+      const run $ setup_arg $ scale_arg $ txns_arg 1_000 $ seed_arg $ out_arg
+      $ cap_arg)
+
+(* Schema check for BENCH_*.json artifacts (used by CI to reject empty or
+   malformed benchmark output). *)
+let bench_check_cmd =
+  let files_arg =
+    let doc = "BENCH_*.json files to validate." in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let rec collect key j acc =
+    match j with
+    | Json.Obj kvs ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let acc = if k = key then v :: acc else acc in
+          collect key v acc)
+        acc kvs
+    | Json.List l -> List.fold_left (fun acc v -> collect key v acc) acc l
+    | _ -> acc
+  in
+  let check file =
+    let contents =
+      let ic = open_in_bin file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let errors = ref [] in
+    let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+    (match Json.of_string_opt contents with
+    | None -> err "not valid JSON"
+    | Some doc ->
+      (match Json.member "meta" doc with
+      | None -> err "missing meta object"
+      | Some meta ->
+        (match Json.member "name" meta with
+        | Some (Json.Str n) when n <> "" -> ()
+        | _ -> err "meta.name missing or empty");
+        (match Json.member "config" meta with
+        | Some (Json.Obj (_ :: _)) -> ()
+        | _ -> err "meta.config missing or empty"));
+      if Json.member "data" doc = None then err "missing data object";
+      let counters =
+        List.concat_map
+          (function Json.Obj kvs -> kvs | _ -> [])
+          (collect "counters" doc [])
+      in
+      let nonzero =
+        List.exists (function _, Json.Int n -> n > 0 | _ -> false) counters
+      in
+      if counters = [] then err "no counters anywhere in the document"
+      else if not nonzero then err "all counters are zero";
+      let histos =
+        List.concat_map
+          (function Json.Obj kvs -> kvs | _ -> [])
+          (collect "histograms" doc [])
+      in
+      if histos = [] then err "no histograms anywhere in the document"
+      else
+        List.iter
+          (fun (name, h) ->
+            List.iter
+              (fun field ->
+                if Json.member field h = None then
+                  err "histogram %s missing field %s" name field)
+              [ "count"; "p50"; "p95"; "p99"; "max"; "buckets" ])
+          histos);
+    match !errors with
+    | [] ->
+      Printf.printf "%s: ok\n" file;
+      true
+    | es ->
+      List.iter (fun e -> Printf.printf "%s: %s\n" file e) (List.rev es);
+      false
+  in
+  let run files =
+    let ok = List.fold_left (fun acc f -> check f && acc) true files in
+    if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench-check"
+       ~doc:
+         "Validate BENCH_*.json artifacts: schema envelope present, at least \
+          one non-zero counter, and every histogram carries count and \
+          p50/p95/p99/max")
+    Term.(const run $ files_arg)
 
 (* LFS inspection: build a small fs, exercise it, dump segment usage. *)
 let lfsdump_cmd =
@@ -272,6 +436,19 @@ let main =
        ~doc:
          "Reproduction of Seltzer's 'Transaction Support in a Log-Structured \
           File System' (ICDE 1993)")
-    [ fig4_cmd; fig5_cmd; fig6_cmd; fig7_cmd; ablation_cmd; tpcb_cmd; lfsdump_cmd; fsck_cmd; snapshot_cmd; faultsim_cmd ]
+    [
+      fig4_cmd;
+      fig5_cmd;
+      fig6_cmd;
+      fig7_cmd;
+      ablation_cmd;
+      tpcb_cmd;
+      trace_cmd;
+      bench_check_cmd;
+      lfsdump_cmd;
+      fsck_cmd;
+      snapshot_cmd;
+      faultsim_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

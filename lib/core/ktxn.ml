@@ -24,6 +24,9 @@ let create lfs =
   let clock = Lfs.clock lfs in
   let stats = Lfs.stats lfs in
   let cfg = Lfs.config lfs in
+  (* Group-commit histograms exist even in runs that never defer. *)
+  Stats.declare stats "ktxn.commit_batch";
+  Stats.declare stats "ktxn.group_commit_wait";
   {
     lfs;
     clock;
@@ -129,6 +132,7 @@ let write_page t txn ~inum ~page data =
 
 let flush_pending t =
   let cache = Lfs.cache t.lfs in
+  let batch = List.length t.pending_commits in
   let all_frames =
     List.concat_map
       (fun (_, frames) ->
@@ -153,13 +157,19 @@ let flush_pending t =
   Lfs.force_frames t.lfs frames;
   List.iter (fun (txn, _) -> release t txn) t.pending_commits;
   t.pending_commits <- [];
-  Stats.incr t.stats "ktxn.group_flushes"
+  Stats.incr t.stats "ktxn.group_flushes";
+  Stats.observe t.stats "ktxn.commit_batch" (float_of_int batch);
+  if Stats.tracing t.stats then
+    Stats.emit t.stats ~time:(Clock.now t.clock) "ktxn.group_flush"
+      [ ("batch", Trace.I batch); ("frames", Trace.I (List.length frames)) ]
 
 (* Committers deferred by group commit sleep until the timeout expires;
    any later event past that point (a new transaction, an explicit
    flush) implies the flush happened first. *)
 let settle_pending t =
   if t.pending_commits <> [] then begin
+    let wait = t.pending_deadline -. Clock.now t.clock in
+    if wait > 0.0 then Stats.observe t.stats "ktxn.group_commit_wait" wait;
     Clock.sleep_until t.clock t.pending_deadline;
     flush_pending t
   end

@@ -17,6 +17,16 @@ type t = {
 let create clock stats (cfg : Config.disk) =
   if cfg.nblocks <= 0 || cfg.block_size <= 0 then
     invalid_arg "Disk.create: bad geometry";
+  (* Per-op latency histograms exist from boot so every benchmark
+     artifact carries them, samples or not. *)
+  List.iter (Stats.declare stats)
+    [
+      "disk.read.service";
+      "disk.write.service";
+      "disk.seek";
+      "disk.rotation";
+      "disk.transfer";
+    ];
   {
     data = Bytes.make (cfg.nblocks * cfg.block_size) '\000';
     cfg;
@@ -65,21 +75,37 @@ let service_time t blkno ~nblocks =
 let serve ?(queued = false) t blkno ~nblocks ~write =
   check_range t blkno nblocks;
   let seek = seek_time t ~from:t.head ~target:blkno in
-  let dt =
-    if queued then
-      (0.3 *. seek)
-      +. (0.75 *. rotation_time t)
-      +. transfer_time t nblocks
-    else service_time t blkno ~nblocks
+  let seek_c, rot_c =
+    if queued then (0.3 *. seek, 0.75 *. rotation_time t)
+    else
+      ( seek,
+        if seek = 0.0 && blkno = t.head then 0.0 else rotation_time t )
   in
+  let xfer = transfer_time t nblocks in
+  let dt = seek_c +. rot_c +. xfer in
   Clock.advance t.clock dt;
   Stats.add_time t.stats "disk.busy" dt;
-  Stats.add_time t.stats "disk.seek" (if queued then 0.3 *. seek else seek);
+  Stats.add_time t.stats "disk.seek" seek_c;
   if seek > 0.0 then Stats.incr t.stats "disk.seeks";
   Stats.incr t.stats "disk.requests";
   Stats.add t.stats
     (if write then "disk.blocks_written" else "disk.blocks_read")
     nblocks;
+  Stats.observe t.stats
+    (if write then "disk.write.service" else "disk.read.service")
+    dt;
+  Stats.observe t.stats "disk.seek" seek_c;
+  Stats.observe t.stats "disk.rotation" rot_c;
+  Stats.observe t.stats "disk.transfer" xfer;
+  if Stats.tracing t.stats then
+    Stats.emit t.stats ~time:(Clock.now t.clock) "disk.op"
+      [
+        ("rw", Trace.S (if write then "w" else "r"));
+        ("blkno", Trace.I blkno);
+        ("nblocks", Trace.I nblocks);
+        ("queued", Trace.B queued);
+        ("service_s", Trace.F dt);
+      ];
   t.head <- blkno + nblocks
 
 (* A transient read error costs a full revolution (the sector comes

@@ -17,16 +17,25 @@ let setup_label = function
   | Lfs_user -> "LFS / user-level"
   | Lfs_kernel -> "LFS / kernel (embedded)"
 
+let setup_key = function
+  | Readopt_user -> "ffs-user"
+  | Lfs_user -> "lfs-user"
+  | Lfs_kernel -> "lfs-kernel"
+
 type tpcb_run = {
   setup : setup;
   seed : int;
   result : Tpcb.result;
   cleaner_stall_s : float;
   cleaner_max_stall_s : float;
+  stats : Stats.t;
 }
 
-let run_tpcb ?(pool_pages = 1024) ~config ~scale ~txns ~seed setup =
+let run_tpcb ?(pool_pages = 1024) ?trace ~config ~scale ~txns ~seed setup =
   let m = machine config in
+  (match trace with
+  | Some cap -> Stats.set_trace m.stats (Some (Trace.create ~capacity:cap ()))
+  | None -> ());
   let rng = Rng.create ~seed in
   let vfs, backend =
     match setup with
@@ -67,7 +76,8 @@ let run_tpcb ?(pool_pages = 1024) ~config ~scale ~txns ~seed setup =
     seed;
     result;
     cleaner_stall_s = Stats.time m.stats "cleaner.stall" -. stall0;
-    cleaner_max_stall_s = Stats.time m.stats "cleaner.max_stall";
+    cleaner_max_stall_s = Stats.max_of m.stats "cleaner.max_stall";
+    stats = m.stats;
   }
 
 let mean xs =
@@ -85,3 +95,101 @@ let stdev xs =
 let pp_header title =
   let line = String.make 72 '=' in
   Printf.printf "\n%s\n%s\n%s\n" line title line
+
+(* Machine-readable benchmark artifacts ----------------------------------- *)
+
+let config_json (c : Config.t) =
+  let d = c.Config.disk and cpu = c.Config.cpu and fs = c.Config.fs in
+  Json.Obj
+    [
+      ( "disk",
+        Json.Obj
+          [
+            ("block_size", Json.Int d.Config.block_size);
+            ("nblocks", Json.Int d.Config.nblocks);
+            ("blocks_per_cylinder", Json.Int d.Config.blocks_per_cylinder);
+            ("min_seek_s", Json.Float d.Config.min_seek_s);
+            ("max_seek_s", Json.Float d.Config.max_seek_s);
+            ("rpm", Json.Float d.Config.rpm);
+            ("transfer_bytes_per_s", Json.Float d.Config.transfer_bytes_per_s);
+          ] );
+      ( "cpu",
+        Json.Obj
+          [
+            ("syscall_s", Json.Float cpu.Config.syscall_s);
+            ("context_switch_s", Json.Float cpu.Config.context_switch_s);
+            ("has_test_and_set", Json.Bool cpu.Config.has_test_and_set);
+            ("test_and_set_s", Json.Float cpu.Config.test_and_set_s);
+            ("copy_block_s", Json.Float cpu.Config.copy_block_s);
+            ("buffer_lookup_s", Json.Float cpu.Config.buffer_lookup_s);
+            ("protection_check_s", Json.Float cpu.Config.protection_check_s);
+            ("record_op_s", Json.Float cpu.Config.record_op_s);
+            ("cursor_next_s", Json.Float cpu.Config.cursor_next_s);
+            ("lock_op_s", Json.Float cpu.Config.lock_op_s);
+            ("log_record_s", Json.Float cpu.Config.log_record_s);
+            ("file_op_s", Json.Float cpu.Config.file_op_s);
+            ("compile_unit_s", Json.Float cpu.Config.compile_unit_s);
+          ] );
+      ( "fs",
+        Json.Obj
+          [
+            ("kernel_txn", Json.Bool fs.Config.kernel_txn);
+            ("segment_blocks", Json.Int fs.Config.segment_blocks);
+            ("cache_blocks", Json.Int fs.Config.cache_blocks);
+            ("syncer_interval_s", Json.Float fs.Config.syncer_interval_s);
+            ("checkpoint_segments", Json.Int fs.Config.checkpoint_segments);
+            ("cleaner_low_segments", Json.Int fs.Config.cleaner_low_segments);
+            ("cleaner_high_segments", Json.Int fs.Config.cleaner_high_segments);
+            ( "cleaner_policy",
+              Json.Str
+                (match fs.Config.cleaner_policy with
+                | `Greedy -> "greedy"
+                | `Cost_benefit -> "cost-benefit") );
+            ("lfs_user_cleaner", Json.Bool fs.Config.lfs_user_cleaner);
+            ("group_commit_timeout_s", Json.Float fs.Config.group_commit_timeout_s);
+            ("group_commit_size", Json.Int fs.Config.group_commit_size);
+          ] );
+    ]
+
+let config_fingerprint c =
+  Printf.sprintf "%08x" (Hashtbl.hash (Json.to_string (config_json c)))
+
+let bench_doc ~name ~config data =
+  Json.Obj
+    [
+      ( "meta",
+        Json.Obj
+          [
+            ("name", Json.Str name);
+            ("schema", Json.Int 1);
+            ("generator", Json.Str "txnlfs");
+            ("config_fingerprint", Json.Str (config_fingerprint config));
+            ("config", config_json config);
+          ] );
+      ("data", data);
+    ]
+
+let write_bench ~name ~config data =
+  let dir =
+    match Sys.getenv_opt "BENCH_DIR" with Some d when d <> "" -> d | _ -> "."
+  in
+  let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" name) in
+  let oc = open_out path in
+  output_string oc (Json.to_string_pretty (bench_doc ~name ~config data));
+  output_char oc '\n';
+  close_out oc;
+  path
+
+let tpcb_run_json (r : tpcb_run) =
+  Json.Obj
+    [
+      ("setup", Json.Str (setup_key r.setup));
+      ("seed", Json.Int r.seed);
+      ("txns", Json.Int r.result.Tpcb.txns);
+      ("elapsed_s", Json.Float r.result.Tpcb.elapsed_s);
+      ("tps", Json.Float r.result.Tpcb.tps);
+      ("max_latency_s", Json.Float r.result.Tpcb.max_latency_s);
+      ("cleaner_stall_s", Json.Float r.cleaner_stall_s);
+      ("cleaner_max_stall_s", Json.Float r.cleaner_max_stall_s);
+      ("stats", Stats.to_json r.stats);
+    ]

@@ -20,16 +20,21 @@ type setup =
 
 val setup_label : setup -> string
 
+val setup_key : setup -> string
+(** Short machine-readable slug ([ffs-user], [lfs-user], [lfs-kernel]). *)
+
 type tpcb_run = {
   setup : setup;
   seed : int;
   result : Tpcb.result;
   cleaner_stall_s : float;  (** total time the system stalled cleaning *)
   cleaner_max_stall_s : float;
+  stats : Stats.t;  (** the machine's stats — counters, histograms, trace *)
 }
 
 val run_tpcb :
   ?pool_pages:int ->
+  ?trace:int ->
   config:Config.t ->
   scale:Tpcb.scale ->
   txns:int ->
@@ -37,10 +42,34 @@ val run_tpcb :
   setup ->
   tpcb_run
 (** Boot a fresh machine, build the database, run [txns] transactions,
-    and report throughput plus cleaner interference. *)
+    and report throughput plus cleaner interference. [?trace] attaches an
+    event-trace ring of that capacity to the machine's stats before the
+    run; retrieve it via [Stats.trace run.stats]. *)
 
 val mean : float list -> float
 val stdev : float list -> float
 
 val pp_header : string -> unit
 (** Print a section banner for the experiment reports. *)
+
+(** {2 Machine-readable benchmark artifacts}
+
+    Every experiment driver can serialize its results as a [BENCH_*.json]
+    document: [{meta: {name; schema; generator; config_fingerprint;
+    config}, data: ...}]. The fingerprint lets tooling group artifacts
+    produced under identical configurations. *)
+
+val config_json : Config.t -> Json.t
+val config_fingerprint : Config.t -> string
+
+val bench_doc : name:string -> config:Config.t -> Json.t -> Json.t
+(** Wrap [data] in the standard [{meta; data}] envelope. *)
+
+val write_bench : name:string -> config:Config.t -> Json.t -> string
+(** Write [BENCH_<name>.json] (pretty-printed) into [$BENCH_DIR] (or the
+    current directory) and return the path. *)
+
+val tpcb_run_json : tpcb_run -> Json.t
+(** One TPC-B run: throughput, cleaner interference, and the machine's
+    full stats (counters + histograms, including the [tpcb.txn] latency
+    histogram). *)

@@ -5,9 +5,10 @@ type bar = {
   per_seed : float list;
   cleaner_stall_mean_s : float;
   paper_tps : float option;
+  runs : Expcommon.tpcb_run list;
 }
 
-type t = { bars : bar list; scale : Tpcb.scale; txns : int }
+type t = { bars : bar list; scale : Tpcb.scale; txns : int; config : Config.t }
 
 let default_tps_scale = 4
 
@@ -40,6 +41,7 @@ let run ?config ?(tps_scale = default_tps_scale) ?(txns = 20_000)
       cleaner_stall_mean_s =
         Expcommon.mean (List.map (fun r -> r.Expcommon.cleaner_stall_s) runs);
       paper_tps = paper_value setup;
+      runs;
     }
   in
   {
@@ -48,7 +50,41 @@ let run ?config ?(tps_scale = default_tps_scale) ?(txns = 20_000)
         [ Expcommon.Readopt_user; Expcommon.Lfs_user; Expcommon.Lfs_kernel ];
     scale;
     txns;
+    config;
   }
+
+let to_json t =
+  Json.Obj
+    [
+      ("figure", Json.Str "fig4");
+      ( "scale",
+        Json.Obj
+          [
+            ("accounts", Json.Int t.scale.Tpcb.accounts);
+            ("tellers", Json.Int t.scale.Tpcb.tellers);
+            ("branches", Json.Int t.scale.Tpcb.branches);
+          ] );
+      ("txns", Json.Int t.txns);
+      ( "bars",
+        Json.List
+          (List.map
+             (fun b ->
+               Json.Obj
+                 [
+                   ("setup", Json.Str (Expcommon.setup_key b.setup));
+                   ("tps_mean", Json.Float b.tps_mean);
+                   ("tps_sd", Json.Float b.tps_sd);
+                   ( "per_seed",
+                     Json.List (List.map (fun v -> Json.Float v) b.per_seed) );
+                   ("cleaner_stall_mean_s", Json.Float b.cleaner_stall_mean_s);
+                   ( "paper_tps",
+                     match b.paper_tps with
+                     | Some v -> Json.Float v
+                     | None -> Json.Null );
+                   ("runs", Json.List (List.map Expcommon.tpcb_run_json b.runs));
+                 ])
+             t.bars) );
+    ]
 
 let print t =
   Expcommon.pp_header

@@ -13,12 +13,14 @@ type bar = {
   per_seed : float list;
   cleaner_stall_mean_s : float;
   paper_tps : float option;  (** the value read off Figure 4, if given *)
+  runs : Expcommon.tpcb_run list;  (** the underlying per-seed runs *)
 }
 
 type t = {
   bars : bar list;
   scale : Tpcb.scale;
   txns : int;
+  config : Config.t;
 }
 
 val run :
@@ -31,5 +33,9 @@ val run :
 (** Defaults: TPC-B scaling for 4 TPS with all machine parameters scaled
     by the same factor (preserving the paper's cache ≪ database ≪ disk
     ratios), 20 000 measured transactions, three seeds. *)
+
+val to_json : t -> Json.t
+(** Machine-readable form: bars with per-seed runs, each carrying the
+    machine's full stats (counters and latency histograms). *)
 
 val print : t -> unit

@@ -3,9 +3,11 @@ type row = {
   normal_s : float;
   txn_kernel_s : float;
   delta_pct : float;
+  normal_stats : Stats.t;
+  txn_kernel_stats : Stats.t;
 }
 
-type t = { rows : row list }
+type t = { rows : row list; config : Config.t }
 
 let elapsed_of phases = List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 phases
 
@@ -15,7 +17,7 @@ let measure config bench =
   let m = Expcommon.machine config in
   let fs = Lfs.format m.Expcommon.disk m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg in
   let v = Lfs.vfs fs in
-  bench m v
+  (bench m v, m.Expcommon.stats)
 
 let andrew_bench m v =
   let t0 = Clock.now m.Expcommon.clock in
@@ -54,13 +56,15 @@ let run ?config ?(tps_scale = 2) () =
     { config with Config.fs = { config.Config.fs with kernel_txn = ktxn } }
   in
   let row benchmark bench =
-    let normal_s = measure (with_kernel false) bench in
-    let txn_kernel_s = measure (with_kernel true) bench in
+    let normal_s, normal_stats = measure (with_kernel false) bench in
+    let txn_kernel_s, txn_kernel_stats = measure (with_kernel true) bench in
     {
       benchmark;
       normal_s;
       txn_kernel_s;
       delta_pct = 100.0 *. ((txn_kernel_s /. normal_s) -. 1.0);
+      normal_stats;
+      txn_kernel_stats;
     }
   in
   {
@@ -70,7 +74,28 @@ let run ?config ?(tps_scale = 2) () =
         row "BIGFILE" bigfile_bench;
         row "USER-TP" (user_tp_bench tps_scale 3_000);
       ];
+    config;
   }
+
+let to_json t =
+  Json.Obj
+    [
+      ("figure", Json.Str "fig5");
+      ( "rows",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("benchmark", Json.Str r.benchmark);
+                   ("normal_s", Json.Float r.normal_s);
+                   ("txn_kernel_s", Json.Float r.txn_kernel_s);
+                   ("delta_pct", Json.Float r.delta_pct);
+                   ("normal_stats", Stats.to_json r.normal_stats);
+                   ("txn_kernel_stats", Stats.to_json r.txn_kernel_stats);
+                 ])
+             t.rows) );
+    ]
 
 let print t =
   Expcommon.pp_header

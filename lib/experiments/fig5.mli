@@ -12,9 +12,12 @@ type row = {
   normal_s : float;  (** elapsed on the unmodified kernel *)
   txn_kernel_s : float;  (** elapsed with embedded transactions compiled in *)
   delta_pct : float;
+  normal_stats : Stats.t;
+  txn_kernel_stats : Stats.t;
 }
 
-type t = { rows : row list }
+type t = { rows : row list; config : Config.t }
 
 val run : ?config:Config.t -> ?tps_scale:int -> unit -> t
+val to_json : t -> Json.t
 val print : t -> unit

@@ -3,9 +3,10 @@ type side = {
   tps : float;
   scan_s : float;
   contiguity : float option;
+  stats : Stats.t;
 }
 
-type t = { readopt : side; lfs : side; txns : int }
+type t = { readopt : side; lfs : side; txns : int; config : Config.t }
 
 let run ?config ?(tps_scale = 4) ?(txns = 20_000) ?(seed = 1) () =
   let config =
@@ -48,9 +49,30 @@ let run ?config ?(tps_scale = 4) ?(txns = 20_000) ?(seed = 1) () =
       tps = r.Tpcb.tps;
       scan_s;
       contiguity = contiguity ();
+      stats = m.Expcommon.stats;
     }
   in
-  { readopt = one `Readopt; lfs = one `Lfs; txns }
+  { readopt = one `Readopt; lfs = one `Lfs; txns; config }
+
+let side_json s =
+  Json.Obj
+    [
+      ("fs", Json.Str s.fs_name);
+      ("tps", Json.Float s.tps);
+      ("scan_s", Json.Float s.scan_s);
+      ( "contiguity",
+        match s.contiguity with Some c -> Json.Float c | None -> Json.Null );
+      ("stats", Stats.to_json s.stats);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("figure", Json.Str "fig6");
+      ("txns", Json.Int t.txns);
+      ("readopt", side_json t.readopt);
+      ("lfs", side_json t.lfs);
+    ]
 
 let print t =
   Expcommon.pp_header

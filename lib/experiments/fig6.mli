@@ -13,16 +13,19 @@ type side = {
   scan_s : float;
   contiguity : float option;
       (** fraction of adjacent leaf blocks adjacent on disk (FFS only) *)
+  stats : Stats.t;  (** the machine's stats for run + scan *)
 }
 
 type t = {
   readopt : side;
   lfs : side;
   txns : int;  (** transactions executed before the scan *)
+  config : Config.t;
 }
 
 val run :
   ?config:Config.t -> ?tps_scale:int -> ?txns:int -> ?seed:int -> unit -> t
 (** Defaults: TPC-B scale 4, 20 000 transactions before the scan. *)
 
+val to_json : t -> Json.t
 val print : t -> unit

@@ -54,6 +54,31 @@ let run ?config ?tps_scale ?txns ?seeds () =
   let fig6 = Fig6.run ?config ?tps_scale ?txns () in
   of_measurements ~fig4 ~fig6
 
+let to_json t =
+  Json.Obj
+    [
+      ("figure", Json.Str "fig7");
+      ("readopt_tps", Json.Float t.readopt_tps);
+      ("lfs_tps", Json.Float t.lfs_tps);
+      ("readopt_scan_s", Json.Float t.readopt_scan_s);
+      ("lfs_scan_s", Json.Float t.lfs_scan_s);
+      ( "crossover_txns",
+        match t.crossover_txns with
+        | Some c -> Json.Float c
+        | None -> Json.Null );
+      ( "series",
+        Json.List
+          (List.map
+             (fun (n, ro, lfs) ->
+               Json.Obj
+                 [
+                   ("txns", Json.Int n);
+                   ("readopt_total_s", Json.Float ro);
+                   ("lfs_total_s", Json.Float lfs);
+                 ])
+             t.series) );
+    ]
+
 let print t =
   Expcommon.pp_header
     "Figure 7: Total elapsed time (transactions + one scan) vs transactions";

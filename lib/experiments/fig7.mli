@@ -28,4 +28,5 @@ val run :
   ?config:Config.t -> ?tps_scale:int -> ?txns:int -> ?seeds:int list -> unit -> t
 (** Run Figures 4 and 6 afresh and derive the crossover. *)
 
+val to_json : t -> Json.t
 val print : t -> unit

@@ -542,6 +542,7 @@ let dirty_inodes t =
 
 let checkpoint t =
   let was = t.in_maintenance in
+  let cp_t0 = Clock.now t.clock in
   t.in_maintenance <- true;
   (* A checkpoint must leave the on-disk state self-consistent: flush the
      eligible dirty data first (transaction-owned buffers stay pinned),
@@ -593,6 +594,13 @@ let checkpoint t =
   t.segs_since_cp <- 0;
   t.pending_cp <- false;
   Stats.incr t.stats "lfs.checkpoints";
+  Stats.observe t.stats "lfs.checkpoint" (Clock.now t.clock -. cp_t0);
+  if Stats.tracing t.stats then
+    Stats.emit t.stats ~time:(Clock.now t.clock) "lfs.checkpoint"
+      [
+        ("seq", Trace.I (Int64.to_int t.cp_seq));
+        ("duration_s", Trace.F (Clock.now t.clock -. cp_t0));
+      ];
   t.in_maintenance <- was
 
 (* Cleaner --------------------------------------------------------------- *)
@@ -603,10 +611,14 @@ let clean_victim t victim =
   if u.live = 0 then begin
     u.state <- Pending;
     Stats.incr t.stats "cleaner.reclaimed_dead";
+    if Stats.tracing t.stats then
+      Stats.emit t.stats ~time:(Clock.now t.clock) "cleaner.victim"
+        [ ("seg", Trace.I victim); ("live", Trace.I 0) ];
     true
   end
   else begin
     let t0 = Clock.now t.clock in
+    let live0 = u.live in
     Stats.add t.stats "cleaner.victim_live" u.live;
     let seg_blocks = t.cfg.fs.segment_blocks in
     let run = Disk.read_run t.disk (seg_base t victim) seg_blocks in
@@ -699,6 +711,10 @@ let clean_victim t victim =
     let dt = Clock.now t.clock -. t0 in
     Stats.incr t.stats "cleaner.segments";
     Stats.add_time t.stats "cleaner.busy" dt;
+    Stats.observe t.stats "cleaner.clean" dt;
+    if Stats.tracing t.stats then
+      Stats.emit t.stats ~time:(Clock.now t.clock) "cleaner.victim"
+        [ ("seg", Trace.I victim); ("live", Trace.I live0); ("duration_s", Trace.F dt) ];
     true
   end
 
@@ -761,7 +777,11 @@ let maybe_clean t =
     let stall = Clock.now t.clock -. t0 in
     if stall > 0.0 then begin
       Stats.add_time t.stats "cleaner.stall" stall;
-      Stats.record_max t.stats "cleaner.max_stall" stall
+      Stats.record_max t.stats "cleaner.max_stall" stall;
+      Stats.observe t.stats "cleaner.stall" stall;
+      if Stats.tracing t.stats then
+        Stats.emit t.stats ~time:(Clock.now t.clock) "cleaner.stall"
+          [ ("duration_s", Trace.F stall) ]
     end
   end
 
@@ -999,6 +1019,10 @@ let is_protected t inum =
 (* Construction ---------------------------------------------------------- *)
 
 let make_empty disk clock stats (cfg : Config.t) sb =
+  (* LFS-side histograms appear in every benchmark artifact, samples or
+     not (short runs may never checkpoint or clean). *)
+  List.iter (Stats.declare stats)
+    [ "lfs.checkpoint"; "cleaner.clean"; "cleaner.stall" ];
   let nseg = sb.Layout.nsegments in
   let t =
     {

@@ -6,13 +6,19 @@ type outcome = [ `Granted | `Would_block of int list | `Deadlock ]
 
 type entry = { mutable holders : (int * mode) list }
 
+(* A blocked request: what the transaction asked for and who currently
+   stands in the way. Keeping the object and mode (not just the blocker
+   list) lets every holder-set change re-derive the blockers, so the
+   waits-for graph never carries stale edges. *)
+type wait = { w_obj : obj; w_mode : mode; mutable w_blockers : int list }
+
 type t = {
   clock : Clock.t;
   stats : Stats.t;
   cpu : Config.cpu;
   table : (obj, entry) Hashtbl.t;
   chains : (int, (obj * mode) list ref) Hashtbl.t;
-  waits_for : (int, int list) Hashtbl.t;
+  waits_for : (int, wait) Hashtbl.t;
 }
 
 let create clock stats cpu =
@@ -70,10 +76,40 @@ let reaches t start target =
          Hashtbl.add seen v ();
          match Hashtbl.find_opt t.waits_for v with
          | None -> false
-         | Some succs -> List.exists go succs
+         | Some w -> List.exists go w.w_blockers
        end
   in
   go start
+
+let blockers t ~txn =
+  match Hashtbl.find_opt t.waits_for txn with
+  | Some w -> w.w_blockers
+  | None -> []
+
+(* The holder set of [obj] changed: recompute every waiter-on-[obj]'s
+   blocker list from the live table. A wait whose request no longer
+   conflicts is dropped entirely — the waiter would be granted on retry,
+   so it must contribute no waits-for edges. Without this, a release or
+   abort left other transactions' blocker lists naming a transaction
+   that no longer stood in their way, and [reaches] walking those stale
+   edges made [acquire] report spurious deadlocks. *)
+let revalidate_waiters t obj =
+  let cleared = ref [] in
+  Hashtbl.iter
+    (fun waiter w ->
+      if w.w_obj = obj then
+        match Hashtbl.find_opt t.table obj with
+        | None -> cleared := waiter :: !cleared
+        | Some e -> (
+          match conflicts e ~txn:waiter w.w_mode with
+          | [] -> cleared := waiter :: !cleared
+          | bs -> w.w_blockers <- bs))
+    t.waits_for;
+  List.iter
+    (fun waiter ->
+      Hashtbl.remove t.waits_for waiter;
+      Stats.incr t.stats "lock.waits_cleared")
+    !cleared
 
 let record_grant t ~txn obj mode =
   let e =
@@ -94,7 +130,10 @@ let record_grant t ~txn obj mode =
     e.holders <-
       List.map (fun (h, m) -> if h = txn then (h, mode) else (h, m)) e.holders;
     r := List.map (fun (o, m) -> if o = obj then (o, mode) else (o, m)) !r);
-  Hashtbl.remove t.waits_for txn
+  Hashtbl.remove t.waits_for txn;
+  (* The new holder may block waiters that previously conflicted only
+     with others (or with nobody, if they were about to be re-granted). *)
+  revalidate_waiters t obj
 
 let acquire t ~txn obj mode =
   charge t;
@@ -124,10 +163,30 @@ let acquire t ~txn obj mode =
       (* Would waiting close a cycle? *)
       if List.exists (fun b -> reaches t b txn) blockers then begin
         Stats.incr t.stats "lock.deadlocks";
+        if Stats.tracing t.stats then
+          Stats.emit t.stats ~time:(Clock.now t.clock) "lock.deadlock"
+            [
+              ("txn", Trace.I txn);
+              ("file", Trace.I (fst obj));
+              ("page", Trace.I (snd obj));
+              ( "blockers",
+                Trace.S (String.concat "," (List.map string_of_int blockers)) );
+            ];
         `Deadlock
       end
       else begin
-        Hashtbl.replace t.waits_for txn blockers;
+        Hashtbl.replace t.waits_for txn
+          { w_obj = obj; w_mode = mode; w_blockers = blockers };
+        Stats.incr t.stats "lock.waits";
+        if Stats.tracing t.stats then
+          Stats.emit t.stats ~time:(Clock.now t.clock) "lock.wait"
+            [
+              ("txn", Trace.I txn);
+              ("file", Trace.I (fst obj));
+              ("page", Trace.I (snd obj));
+              ( "blockers",
+                Trace.S (String.concat "," (List.map string_of_int blockers)) );
+            ];
         `Would_block blockers
       end)
 
@@ -141,20 +200,24 @@ let remove_holder t ~txn obj =
 let release t ~txn obj =
   charge t;
   remove_holder t ~txn obj;
-  match Hashtbl.find_opt t.chains txn with
+  (match Hashtbl.find_opt t.chains txn with
   | None -> ()
-  | Some r -> r := List.filter (fun (o, _) -> o <> obj) !r
+  | Some r -> r := List.filter (fun (o, _) -> o <> obj) !r);
+  revalidate_waiters t obj
 
 let cancel_wait t ~txn = Hashtbl.remove t.waits_for txn
 
 let release_all t ~txn =
-  (match Hashtbl.find_opt t.chains txn with
+  (* Drop our own pending request first so revalidation below never
+     treats the departing transaction as a live waiter. *)
+  Hashtbl.remove t.waits_for txn;
+  match Hashtbl.find_opt t.chains txn with
   | None -> ()
   | Some r ->
     List.iter
       (fun (obj, _) ->
         charge t;
-        remove_holder t ~txn obj)
+        remove_holder t ~txn obj;
+        revalidate_waiters t obj)
       !r;
-    Hashtbl.remove t.chains txn);
-  Hashtbl.remove t.waits_for txn
+    Hashtbl.remove t.chains txn

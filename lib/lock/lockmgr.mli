@@ -52,3 +52,10 @@ val chain : t -> txn:int -> (obj * mode) list
 
 val locked_objects : t -> int
 val waiting : t -> txn:int -> bool
+
+val blockers : t -> txn:int -> int list
+(** The live blocker list of the transaction's pending request ([[]] if
+    it is not waiting). Release, abort and grant re-derive every
+    affected waiter's blockers from the lock table, so these edges never
+    go stale — a request whose conflicts have all released is dropped
+    from the graph entirely. *)

@@ -1,0 +1,127 @@
+(* Fixed logarithmic buckets: four per decade from 100 ns to 100 000 s
+   (plus an overflow bucket), which covers every latency the simulation
+   produces — a single buffer-cache lookup up to a full-scale benchmark —
+   with ≤ ~78 % relative bucket width. Batch-size histograms reuse the
+   same scale; small integers land in distinct buckets. *)
+
+let lo = 1e-7
+let per_decade = 4
+let decades = 12
+let nbuckets = per_decade * decades
+
+let bounds =
+  Array.init nbuckets (fun i ->
+      lo *. (10.0 ** (float_of_int (i + 1) /. float_of_int per_decade)))
+
+type t = {
+  counts : int array; (* nbuckets + 1; last is overflow *)
+  mutable n : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let create () =
+  {
+    counts = Array.make (nbuckets + 1) 0;
+    n = 0;
+    sum = 0.0;
+    vmin = infinity;
+    vmax = neg_infinity;
+  }
+
+(* Smallest bucket whose upper bound is >= v (binary search). *)
+let index v =
+  if v <= bounds.(0) then 0
+  else if v > bounds.(nbuckets - 1) then nbuckets
+  else begin
+    let a = ref 0 and b = ref (nbuckets - 1) in
+    (* invariant: bounds.(!a) < v <= bounds.(!b) *)
+    while !b - !a > 1 do
+      let mid = (!a + !b) / 2 in
+      if v <= bounds.(mid) then b := mid else a := mid
+    done;
+    !b
+  end
+
+let add t v =
+  let v = if Float.is_finite v then Float.max 0.0 v else 0.0 in
+  t.counts.(index v) <- t.counts.(index v) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v
+
+let count t = t.n
+let sum t = t.sum
+let min_value t = if t.n = 0 then 0.0 else t.vmin
+let max_value t = if t.n = 0 then 0.0 else t.vmax
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+(* Nearest-rank percentile over the buckets: the upper bound of the
+   bucket holding the p-th sample, clamped to the observed range (so
+   p=1.0 is exactly the max and a single-sample histogram reports that
+   sample's bucket, never less than the true minimum). *)
+let percentile t p =
+  if t.n = 0 then 0.0
+  else begin
+    let p = Float.min 1.0 (Float.max 0.0 p) in
+    let rank = Stdlib.max 1 (int_of_float (Float.ceil (p *. float_of_int t.n))) in
+    let cum = ref 0 and result = ref t.vmax in
+    (try
+       for i = 0 to nbuckets do
+         cum := !cum + t.counts.(i);
+         if !cum >= rank then begin
+           result := (if i < nbuckets then bounds.(i) else t.vmax);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    Float.min t.vmax (Float.max t.vmin !result)
+  end
+
+let merge_into ~src ~dst =
+  Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.n <- dst.n + src.n;
+  dst.sum <- dst.sum +. src.sum;
+  if src.n > 0 then begin
+    if src.vmin < dst.vmin then dst.vmin <- src.vmin;
+    if src.vmax > dst.vmax then dst.vmax <- src.vmax
+  end
+
+let buckets t =
+  let acc = ref [] in
+  for i = nbuckets downto 0 do
+    if t.counts.(i) > 0 then
+      acc := (`Le (if i < nbuckets then bounds.(i) else infinity), t.counts.(i)) :: !acc
+  done;
+  !acc
+
+let to_json t =
+  Json.Obj
+    [
+      ("count", Json.Int t.n);
+      ("sum", Json.Float t.sum);
+      ("min", Json.Float (min_value t));
+      ("mean", Json.Float (mean t));
+      ("p50", Json.Float (percentile t 0.50));
+      ("p95", Json.Float (percentile t 0.95));
+      ("p99", Json.Float (percentile t 0.99));
+      ("max", Json.Float (max_value t));
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (`Le ub, n) ->
+               Json.List
+                 [
+                   (if Float.is_finite ub then Json.Float ub else Json.Str "+inf");
+                   Json.Int n;
+                 ])
+             (buckets t)) );
+    ]
+
+let pp ppf t =
+  if t.n = 0 then Format.fprintf ppf "(empty)"
+  else
+    Format.fprintf ppf "n=%d p50=%.6f p95=%.6f p99=%.6f max=%.6f" t.n
+      (percentile t 0.50) (percentile t 0.95) (percentile t 0.99) (max_value t)

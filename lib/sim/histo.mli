@@ -1,0 +1,36 @@
+(** Fixed-bucket latency histogram.
+
+    Buckets are logarithmic — four per decade from 100 ns to 100 000 s
+    plus an overflow bucket — so one shape serves every latency in the
+    simulation, and recording is O(log buckets) with no allocation.
+    Percentiles are nearest-rank over the buckets, clamped to the exact
+    observed min/max (which are tracked separately, so [max_value] is
+    always exact). *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+(** Record one sample. Negative and non-finite values count as 0. *)
+
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+val min_value : t -> float
+val max_value : t -> float
+(** Exact extrema of the recorded samples (0 when empty). *)
+
+val percentile : t -> float -> float
+(** [percentile t 0.99] — nearest-rank bucket upper bound, clamped to the
+    observed range. 0 when empty. *)
+
+val merge_into : src:t -> dst:t -> unit
+
+val buckets : t -> ([ `Le of float ] * int) list
+(** Non-empty buckets as (inclusive upper bound, count), ascending; the
+    overflow bucket reports [`Le infinity]. *)
+
+val to_json : t -> Json.t
+(** [{count, sum, min, mean, p50, p95, p99, max, buckets}]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+(** Minimal JSON values: enough to emit the machine-readable benchmark
+    artifacts ([BENCH_*.json]) and the JSONL event traces, and to parse
+    them back for schema checks and round-trip tests. No external
+    dependency; integers and floats are kept distinct so counters stay
+    integers on the wire. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line form (used for JSONL trace records). Non-finite
+    floats are emitted as [null]. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented form for the benchmark files. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Raises {!Parse_error} on malformed input. *)
+
+val of_string_opt : string -> t option
+
+val member : string -> t -> t option
+(** [member key (Obj _)] looks up a field; [None] for other values. *)
+
+val to_float_opt : t -> float option
+(** Numeric value of an [Int] or [Float]. *)

@@ -1,9 +1,19 @@
 type t = {
   counts : (string, int ref) Hashtbl.t;
   times : (string, float ref) Hashtbl.t;
+  maxes : (string, float ref) Hashtbl.t;
+  histos : (string, Histo.t) Hashtbl.t;
+  mutable trace : Trace.t option;
 }
 
-let create () = { counts = Hashtbl.create 32; times = Hashtbl.create 32 }
+let create () =
+  {
+    counts = Hashtbl.create 32;
+    times = Hashtbl.create 32;
+    maxes = Hashtbl.create 8;
+    histos = Hashtbl.create 16;
+    trace = None;
+  }
 
 let cell tbl zero key =
   match Hashtbl.find_opt tbl key with
@@ -23,8 +33,11 @@ let add_time t key dt =
   let r = cell t.times 0.0 key in
   r := !r +. dt
 
+(* Maxima live in their own table: storing them among the cumulative
+   times made [cleaner.max_stall] pretty-print as accumulated seconds,
+   and an [add_time] on the same key silently corrupted the maximum. *)
 let record_max t key v =
-  let r = cell t.times 0.0 key in
+  let r = cell t.maxes 0.0 key in
   if v > !r then r := v
 
 let count t key =
@@ -33,21 +46,83 @@ let count t key =
 let time t key =
   match Hashtbl.find_opt t.times key with Some r -> !r | None -> 0.0
 
+let max_of t key =
+  match Hashtbl.find_opt t.maxes key with Some r -> !r | None -> 0.0
+
+(* Histograms -------------------------------------------------------------- *)
+
+let histo_cell t key =
+  match Hashtbl.find_opt t.histos key with
+  | Some h -> h
+  | None ->
+    let h = Histo.create () in
+    Hashtbl.add t.histos key h;
+    h
+
+let declare t key = ignore (histo_cell t key)
+
+let observe t key v = Histo.add (histo_cell t key) v
+
+let histo t key = Hashtbl.find_opt t.histos key
+
+let histograms t =
+  Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.histos []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Tracing ----------------------------------------------------------------- *)
+
+let set_trace t tr = t.trace <- tr
+let trace t = t.trace
+let tracing t = t.trace <> None
+
+let emit t ~time name attrs =
+  match t.trace with
+  | None -> ()
+  | Some tr -> Trace.emit tr ~t:time name attrs
+
 let reset t =
   Hashtbl.reset t.counts;
-  Hashtbl.reset t.times
+  Hashtbl.reset t.times;
+  Hashtbl.reset t.maxes;
+  Hashtbl.reset t.histos
+
+(* Reporting --------------------------------------------------------------- *)
 
 let to_list t =
   let entries = ref [] in
   Hashtbl.iter (fun k r -> entries := (k, `Count !r) :: !entries) t.counts;
   Hashtbl.iter (fun k r -> entries := (k, `Seconds !r) :: !entries) t.times;
+  Hashtbl.iter (fun k r -> entries := (k, `Max !r) :: !entries) t.maxes;
   List.sort (fun (a, _) (b, _) -> String.compare a b) !entries
 
 let pp ppf t =
   let pp_entry ppf = function
     | key, `Count n -> Format.fprintf ppf "%s: %d" key n
     | key, `Seconds s -> Format.fprintf ppf "%s: %.6fs" key s
+    | key, `Max m -> Format.fprintf ppf "%s: max %.6fs" key m
   in
   Format.fprintf ppf "@[<v>%a@]"
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_entry)
-    (to_list t)
+    (to_list t);
+  match histograms t with
+  | [] -> ()
+  | hs ->
+    List.iter
+      (fun (k, h) ->
+        if Histo.count h > 0 then
+          Format.fprintf ppf "@,%s: %a" k Histo.pp h)
+      hs
+
+let to_json t =
+  let sorted tbl f =
+    Hashtbl.fold (fun k r acc -> (k, f r) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj (sorted t.counts (fun r -> Json.Int !r)));
+      ("times_s", Json.Obj (sorted t.times (fun r -> Json.Float !r)));
+      ("maxes_s", Json.Obj (sorted t.maxes (fun r -> Json.Float !r)));
+      ( "histograms",
+        Json.Obj (List.map (fun (k, h) -> (k, Histo.to_json h)) (histograms t)) );
+    ]

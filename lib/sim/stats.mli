@@ -1,9 +1,12 @@
-(** Named simulation counters and accumulators.
+(** Named simulation counters, accumulators, maxima, latency histograms
+    and the event-trace hook.
 
     Every subsystem records what it did (seeks performed, blocks read,
     segments cleaned, locks waited on, …) into a shared [Stats.t] so the
     experiment harness can report not just elapsed time but {e why} time
-    was spent. *)
+    was spent. The same handle carries the observability layer: fixed
+    bucket latency histograms ({!observe}) and an optional structured
+    event trace ({!set_trace} / {!emit}) that is free when disabled. *)
 
 type t
 
@@ -19,8 +22,8 @@ val add_time : t -> string -> float -> unit
 (** Accumulate [dt] seconds under the key. *)
 
 val record_max : t -> string -> float -> unit
-(** Keep the maximum of all values reported under the key (stored in the
-    time table; read it back with {!time}). *)
+(** Keep the maximum of all values reported under the key. Maxima have
+    their own table — read them back with {!max_of}, not {!time}. *)
 
 val count : t -> string -> int
 (** Current value of the integer counter (0 if never touched). *)
@@ -28,10 +31,42 @@ val count : t -> string -> int
 val time : t -> string -> float
 (** Current value of the time accumulator (0.0 if never touched). *)
 
-val reset : t -> unit
-(** Zero every counter and accumulator. *)
+val max_of : t -> string -> float
+(** Current maximum recorded by {!record_max} (0.0 if never touched). *)
 
-val to_list : t -> (string * [ `Count of int | `Seconds of float ]) list
-(** Sorted dump of all entries, for reports and debugging. *)
+val observe : t -> string -> float -> unit
+(** Record one sample into the key's latency histogram (created on first
+    use). *)
+
+val declare : t -> string -> unit
+(** Ensure the key's histogram exists (so reports always carry it, even
+    when no sample was recorded). *)
+
+val histo : t -> string -> Histo.t option
+val histograms : t -> (string * Histo.t) list
+(** All histograms, sorted by key. *)
+
+val set_trace : t -> Trace.t option -> unit
+(** Attach (or detach) an event trace; subsequent {!emit} calls land in
+    it. *)
+
+val trace : t -> Trace.t option
+val tracing : t -> bool
+(** True when a trace is attached — guard attribute building in hot
+    paths. *)
+
+val emit : t -> time:float -> string -> (string * Trace.value) list -> unit
+(** Append an event at the given simulated time. No-op when no trace is
+    attached. *)
+
+val reset : t -> unit
+(** Zero every counter, accumulator, maximum and histogram. *)
+
+val to_list : t -> (string * [ `Count of int | `Seconds of float | `Max of float ]) list
+(** Sorted dump of all scalar entries, for reports and debugging. *)
 
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Json.t
+(** [{counters, times_s, maxes_s, histograms}] — the metrics block of the
+    [BENCH_*.json] artifacts. *)

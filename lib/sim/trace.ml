@@ -1,0 +1,88 @@
+type value = B of bool | I of int | F of float | S of string
+
+type event = { t : float; name : string; attrs : (string * value) list }
+
+type t = {
+  cap : int;
+  ring : event array;
+  mutable start : int;
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let nil_event = { t = 0.0; name = ""; attrs = [] }
+
+let create ?(capacity = 65_536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { cap = capacity; ring = Array.make capacity nil_event; start = 0; len = 0; dropped = 0 }
+
+let emit tr ~t name attrs =
+  let e = { t; name; attrs } in
+  if tr.len < tr.cap then begin
+    tr.ring.((tr.start + tr.len) mod tr.cap) <- e;
+    tr.len <- tr.len + 1
+  end
+  else begin
+    (* Full: overwrite the oldest so the trace always ends at "now". *)
+    tr.ring.(tr.start) <- e;
+    tr.start <- (tr.start + 1) mod tr.cap;
+    tr.dropped <- tr.dropped + 1
+  end
+
+let length tr = tr.len
+let dropped tr = tr.dropped
+
+let to_list tr = List.init tr.len (fun i -> tr.ring.((tr.start + i) mod tr.cap))
+
+let iter tr f = List.iter f (to_list tr)
+
+let clear tr =
+  tr.start <- 0;
+  tr.len <- 0;
+  tr.dropped <- 0
+
+(* JSONL ------------------------------------------------------------------- *)
+
+let json_of_value = function
+  | B b -> Json.Bool b
+  | I i -> Json.Int i
+  | F f -> Json.Float f
+  | S s -> Json.Str s
+
+let value_of_json = function
+  | Json.Bool b -> Some (B b)
+  | Json.Int i -> Some (I i)
+  | Json.Float f -> Some (F f)
+  | Json.Str s -> Some (S s)
+  | _ -> None
+
+let to_json_line e =
+  Json.to_string
+    (Json.Obj
+       (("t", Json.Float e.t)
+       :: ("ev", Json.Str e.name)
+       :: List.map (fun (k, v) -> (k, json_of_value v)) e.attrs))
+
+let of_json_line line =
+  match Json.of_string_opt line with
+  | Some (Json.Obj kvs) ->
+    let t = ref None and name = ref None and attrs = ref [] in
+    List.iter
+      (fun (k, v) ->
+        match k with
+        | "t" -> t := Json.to_float_opt v
+        | "ev" -> ( match v with Json.Str s -> name := Some s | _ -> ())
+        | _ -> (
+          match value_of_json v with
+          | Some value -> attrs := (k, value) :: !attrs
+          | None -> ()))
+      kvs;
+    (match (!t, !name) with
+    | Some t, Some name -> Some { t; name; attrs = List.rev !attrs }
+    | _ -> None)
+  | _ -> None
+
+let output oc tr =
+  iter tr (fun e ->
+      output_string oc (to_json_line e);
+      output_char oc '\n')

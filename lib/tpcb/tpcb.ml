@@ -117,6 +117,7 @@ let execute clock stats cfg db backend ~account ~teller ~branch ~delta =
     Ktxn.txn_commit k txn
 
 let run clock stats cfg db backend ~rng ~n =
+  Stats.declare stats "tpcb.txn";
   let latencies = Array.make n 0.0 in
   let t0 = Clock.now clock in
   for i = 0 to n - 1 do
@@ -126,7 +127,10 @@ let run clock stats cfg db backend ~rng ~n =
     let branch = teller * db.scale.branches / db.scale.tellers in
     let delta = Rng.int rng 1_999_999 - 999_999 in
     execute clock stats cfg db backend ~account ~teller ~branch ~delta;
-    latencies.(i) <- Clock.now clock -. start
+    let lat = Clock.now clock -. start in
+    latencies.(i) <- lat;
+    Stats.incr stats "tpcb.commits";
+    Stats.observe stats "tpcb.txn" lat
   done;
   (* Any deferred group commit belongs to the measured run. *)
   (match backend with Kernel k -> Ktxn.flush_commits k | User _ -> ());
@@ -208,12 +212,15 @@ type proc = {
   mutable branch : int;
   mutable delta : int;
   mutable blocked : bool;
+  mutable t_begin : float; (* simulated time this attempt's txn began *)
 }
 
 let run_multi clock stats cfg db backend ~rng ~n ~mpl =
   if mpl <= 0 then invalid_arg "Tpcb.run_multi: mpl must be positive";
+  Stats.declare stats "tpcb.txn";
   let cpu = cfg.Config.cpu in
   let conflicts = ref 0 and deadlocks = ref 0 and restarts = ref 0 in
+  let latencies = ref [] in
   let committed = ref 0 in
   let new_params p =
     p.account <- Rng.int rng db.scale.accounts;
@@ -234,6 +241,7 @@ let run_multi clock stats cfg db backend ~rng ~n ~mpl =
             branch = 0;
             delta = 0;
             blocked = false;
+            t_begin = 0.0;
           }
         in
         new_params p;
@@ -289,6 +297,7 @@ let run_multi clock stats cfg db backend ~rng ~n ~mpl =
       | None ->
         let h = begin_txn () in
         p.handle <- Some h;
+        p.t_begin <- Clock.now clock;
         h
     in
     match p.steps with
@@ -307,6 +316,10 @@ let run_multi clock stats cfg db backend ~rng ~n ~mpl =
         p.blocked <- false;
         if s = Scommit then begin
           incr committed;
+          let lat = Clock.now clock -. p.t_begin in
+          latencies := lat :: !latencies;
+          Stats.incr stats "tpcb.commits";
+          Stats.observe stats "tpcb.txn" lat;
           p.handle <- None;
           new_params p;
           true
@@ -314,12 +327,15 @@ let run_multi clock stats cfg db backend ~rng ~n ~mpl =
         else false
       | exception (Libtp.Conflict _ | Ktxn.Conflict _) ->
         incr conflicts;
+        Stats.incr stats "tpcb.conflicts";
         p.blocked <- true;
         Cpu.charge clock stats cpu Cpu.Context_switch;
         false
       | exception (Libtp.Deadlock_abort _ | Ktxn.Deadlock_abort _) ->
         incr deadlocks;
         incr restarts;
+        Stats.incr stats "tpcb.deadlocks";
+        Stats.incr stats "tpcb.restarts";
         p.handle <- None;
         new_params p;
         p.blocked <- false;
@@ -363,14 +379,15 @@ let run_multi clock stats cfg db backend ~rng ~n ~mpl =
     procs;
   (match backend with Kernel k -> Ktxn.flush_commits k | User _ -> ());
   let elapsed = Clock.now clock -. t0 in
+  let latencies_s = Array.of_list (List.rev !latencies) in
   {
     base =
       {
         txns = !committed;
         elapsed_s = elapsed;
         tps = (if elapsed > 0.0 then float_of_int !committed /. elapsed else 0.0);
-        max_latency_s = 0.0;
-        latencies_s = [||];
+        max_latency_s = Array.fold_left Float.max 0.0 latencies_s;
+        latencies_s;
       };
     conflicts = !conflicts;
     deadlocks = !deadlocks;

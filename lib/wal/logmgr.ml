@@ -9,15 +9,49 @@ type t = {
   mutable pending_commits : int;
 }
 
-let scan_end vfs fd =
+(* Incremental log scanning: records are streamed through a bounded
+   window instead of slurping the whole file per call — [read_from] and
+   [scan_end] used to read the entire log every time, which made replay
+   after a long run O(log²) across the recovery loop. The window widens
+   geometrically when a record straddles its end, so a scan reads each
+   byte a bounded number of times. *)
+let scan_chunk_bytes = 64 * 1024
+
+let records ?stats vfs fd ~from =
   let size = vfs.Vfs.size fd in
-  let data = vfs.Vfs.read fd ~off:0 ~len:size in
-  let rec go off =
-    match Logrec.decode data off with
-    | Some (_, next) -> go next
-    | None -> off
+  let fetch off want =
+    let len = min want (size - off) in
+    (match stats with
+    | Some s ->
+      Stats.add s "log.recovery_bytes_scanned" len;
+      Stats.incr s "log.recovery_reads"
+    | None -> ());
+    (off, vfs.Vfs.read fd ~off ~len)
   in
-  go 0
+  let rec step ~base ~buf off () =
+    if off >= size then Seq.Nil
+    else if off < base || off >= base + Bytes.length buf then
+      let base, buf = fetch off scan_chunk_bytes in
+      decode ~base ~buf off ()
+    else decode ~base ~buf off ()
+  and decode ~base ~buf off () =
+    match Logrec.decode buf (off - base) with
+    | Some (rec_, next) -> Seq.Cons ((off, rec_), step ~base ~buf (base + next))
+    | None ->
+      if base + Bytes.length buf >= size then Seq.Nil (* true end of log *)
+      else
+        (* The record may straddle the window: re-read from here with a
+           wider one (doubling, so this terminates at EOF). *)
+        let base, buf = fetch off (2 * (Bytes.length buf + scan_chunk_bytes)) in
+        decode ~base ~buf off ()
+  in
+  step ~base:0 ~buf:Bytes.empty (max 0 from)
+
+let scan_end ?stats vfs fd =
+  Seq.fold_left
+    (fun _ (off, rec_) -> off + Logrec.size rec_)
+    0
+    (records ?stats vfs fd ~from:0)
 
 let open_log clock stats cfg vfs ~path =
   let fd =
@@ -31,9 +65,14 @@ let open_log clock stats cfg vfs ~path =
       fd
     end
   in
-  let tail = scan_end vfs fd in
+  let tail = scan_end ~stats vfs fd in
   (* Drop any torn tail so new records append at a clean boundary. *)
   if tail < vfs.Vfs.size fd then vfs.Vfs.truncate fd tail;
+  (* Group-commit histograms are part of every benchmark artifact, even
+     when the run never forces (or never waits). *)
+  Stats.declare stats "log.force";
+  Stats.declare stats "log.commit_batch";
+  Stats.declare stats "log.group_commit_wait";
   {
     clock;
     stats;
@@ -57,13 +96,21 @@ let append t rec_ =
 
 let do_force t =
   if Buffer.length t.buf > 0 then begin
+    let t0 = Clock.now t.clock in
     let data = Buffer.to_bytes t.buf in
     t.vfs.Vfs.write t.fd ~off:t.flushed data;
     t.vfs.Vfs.fsync t.fd;
     t.flushed <- t.flushed + Bytes.length data;
     Buffer.clear t.buf;
+    if t.pending_commits > 0 then
+      (* Group-commit batch size: how many committers shared this force. *)
+      Stats.observe t.stats "log.commit_batch" (float_of_int t.pending_commits);
     t.pending_commits <- 0;
-    Stats.incr t.stats "log.forces"
+    Stats.incr t.stats "log.forces";
+    Stats.observe t.stats "log.force" (Clock.now t.clock -. t0);
+    if Stats.tracing t.stats then
+      Stats.emit t.stats ~time:(Clock.now t.clock) "log.force"
+        [ ("bytes", Trace.I (Bytes.length data)); ("lsn", Trace.I t.flushed) ]
   end
 
 let force t ~upto = if upto >= t.flushed then do_force t
@@ -79,19 +126,12 @@ let force_commit t ~upto =
          expires (Section 4.4). *)
       Clock.advance t.clock timeout;
       Stats.add_time t.stats "log.group_commit_wait" timeout;
+      Stats.observe t.stats "log.group_commit_wait" timeout;
       do_force t
     end
   end
 
-let read_from t lsn =
-  let size = t.vfs.Vfs.size t.fd in
-  let data = t.vfs.Vfs.read t.fd ~off:0 ~len:size in
-  let rec seq off () =
-    match Logrec.decode data off with
-    | Some (rec_, next) -> Seq.Cons ((off, rec_), seq next)
-    | None -> Seq.Nil
-  in
-  seq (max 0 lsn)
+let read_from t lsn = records ~stats:t.stats t.vfs t.fd ~from:lsn
 
 let truncate t =
   if Buffer.length t.buf > 0 then

@@ -75,6 +75,7 @@ let test_fig7_crossover_math () =
             per_seed = [ 10.0 ];
             cleaner_stall_mean_s = 0.0;
             paper_tps = None;
+            runs = [];
           };
           {
             Fig4.setup = Expcommon.Lfs_user;
@@ -83,17 +84,23 @@ let test_fig7_crossover_math () =
             per_seed = [ 12.5 ];
             cleaner_stall_mean_s = 0.0;
             paper_tps = None;
+            runs = [];
           };
         ];
       scale = Tpcb.scale_for_tps 1;
       txns = 0;
+      config = Config.default;
     }
+  in
+  let side name tps scan_s =
+    { Fig6.fs_name = name; tps; scan_s; contiguity = None; stats = Stats.create () }
   in
   let fig6 =
     {
-      Fig6.readopt = { Fig6.fs_name = "ffs"; tps = 10.0; scan_s = 100.0; contiguity = None };
-      lfs = { Fig6.fs_name = "lfs"; tps = 12.5; scan_s = 200.0; contiguity = None };
+      Fig6.readopt = side "ffs" 10.0 100.0;
+      lfs = side "lfs" 12.5 200.0;
       txns = 0;
+      config = Config.default;
     }
   in
   let f = Fig7.of_measurements ~fig4 ~fig6 in
@@ -109,7 +116,15 @@ let test_fig7_crossover_math () =
     f.Fig7.series
 
 let test_fig7_no_crossover () =
-  let side tps scan = { Fig6.fs_name = ""; tps; scan_s = scan; contiguity = None } in
+  let side tps scan =
+    {
+      Fig6.fs_name = "";
+      tps;
+      scan_s = scan;
+      contiguity = None;
+      stats = Stats.create ();
+    }
+  in
   let bar setup tps =
     {
       Fig4.setup;
@@ -118,6 +133,7 @@ let test_fig7_no_crossover () =
       per_seed = [ tps ];
       cleaner_stall_mean_s = 0.0;
       paper_tps = None;
+      runs = [];
     }
   in
   (* LFS faster at everything: no crossover. *)
@@ -128,8 +144,15 @@ let test_fig7_no_crossover () =
           Fig4.bars = [ bar Expcommon.Readopt_user 10.0; bar Expcommon.Lfs_user 12.0 ];
           scale = Tpcb.scale_for_tps 1;
           txns = 0;
+          config = Config.default;
         }
-      ~fig6:{ Fig6.readopt = side 10.0 200.0; lfs = side 12.0 100.0; txns = 0 }
+      ~fig6:
+        {
+          Fig6.readopt = side 10.0 200.0;
+          lfs = side 12.0 100.0;
+          txns = 0;
+          config = Config.default;
+        }
   in
   Alcotest.(check bool) "no crossover" true (f.Fig7.crossover_txns = None)
 

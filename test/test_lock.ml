@@ -113,6 +113,183 @@ let test_wait_cleared_on_grant () =
   Alcotest.(check bool) "retry wins" true (Lockmgr.acquire lm ~txn:2 o Exclusive = `Granted);
   Alcotest.(check bool) "no longer waiting" false (Lockmgr.waiting lm ~txn:2)
 
+(* Regression: [release] used to leave other transactions' waits-for
+   edges naming the releasing transaction, and [reaches] walking those
+   stale edges made a later [acquire] report a spurious deadlock. The
+   B-tree's lock-coupling descent releases early, so this needed no
+   transaction-id reuse to fire. *)
+let test_no_spurious_deadlock_after_early_release () =
+  let _, lm = mk () in
+  let a = obj 1 0 and b = obj 1 1 in
+  ignore (Lockmgr.acquire lm ~txn:1 a Exclusive);
+  ignore (Lockmgr.acquire lm ~txn:2 b Exclusive);
+  (* 2 blocks on a: edge 2 -> 1. *)
+  (match Lockmgr.acquire lm ~txn:2 a Exclusive with
+  | `Would_block [ 1 ] -> ()
+  | _ -> Alcotest.fail "expected 2 blocked by 1");
+  (* 1 releases a early (lock coupling): 2's request no longer conflicts
+     with anyone, so it must contribute no waits-for edges. *)
+  Lockmgr.release lm ~txn:1 a;
+  Alcotest.(check (list int)) "2's blockers cleared" [] (Lockmgr.blockers lm ~txn:2);
+  Alcotest.(check bool) "2 dropped from the graph" false (Lockmgr.waiting lm ~txn:2);
+  (* 1 requesting b must block on 2, not walk the stale 2 -> 1 edge and
+     report a deadlock that isn't there. *)
+  Alcotest.(check bool) "no spurious deadlock" true
+    (match Lockmgr.acquire lm ~txn:1 b Exclusive with
+    | `Would_block [ 2 ] -> true
+    | _ -> false)
+
+(* Same bug through the commit/abort path: release_all must re-derive the
+   blocker lists of every waiter on every object it frees. *)
+let test_release_all_prunes_other_waiters () =
+  let _, lm = mk () in
+  let a = obj 1 0 and b = obj 1 1 in
+  ignore (Lockmgr.acquire lm ~txn:1 a Exclusive);
+  ignore (Lockmgr.acquire lm ~txn:2 b Exclusive);
+  (match Lockmgr.acquire lm ~txn:2 a Exclusive with
+  | `Would_block [ 1 ] -> ()
+  | _ -> Alcotest.fail "expected 2 blocked by 1");
+  (* 1 aborts: everything it held is free, so 2's wait entry must go. *)
+  Lockmgr.release_all lm ~txn:1;
+  Alcotest.(check bool) "2 no longer waiting" false (Lockmgr.waiting lm ~txn:2);
+  Alcotest.(check (list int)) "no blockers" [] (Lockmgr.blockers lm ~txn:2);
+  (* A later holder of a sees 2 as a plain waiter, not a deadlock. *)
+  ignore (Lockmgr.acquire lm ~txn:3 a Exclusive);
+  Alcotest.(check bool) "2 blocks on the new holder" true
+    (match Lockmgr.acquire lm ~txn:2 a Exclusive with
+    | `Would_block [ 3 ] -> true
+    | _ -> false)
+
+(* Model-based property: the lock manager must agree, outcome for
+   outcome, with a tiny reference model whose waits-for edges are
+   re-derived from the holder table at every step — i.e. [`Deadlock] is
+   reported iff the request would close a cycle in the LIVE graph. A
+   waiter whose conflicts have all gone is dropped from the graph (it
+   would be granted on retry), exactly as the implementation does. *)
+type mstate = {
+  mutable mholders : ((int * int) * (int * Lockmgr.mode) list) list;
+  mutable mwaits : (int * ((int * int) * Lockmgr.mode)) list;
+}
+
+let m_holders st obj = try List.assoc obj st.mholders with Not_found -> []
+
+let m_conflicts st obj ~txn mode =
+  List.filter_map
+    (fun (h, hm) ->
+      if h = txn then None
+      else
+        match (mode, hm) with
+        | Lockmgr.Shared, Lockmgr.Shared -> None
+        | _ -> Some h)
+    (m_holders st obj)
+
+let m_blockers st txn =
+  match List.assoc_opt txn st.mwaits with
+  | None -> []
+  | Some (obj, mode) -> m_conflicts st obj ~txn mode
+
+let m_reaches st start target =
+  let rec go seen v =
+    v = target
+    || ((not (List.mem v seen))
+       && List.exists (go (v :: seen)) (m_blockers st v))
+  in
+  go [] start
+
+(* Drop waiters whose pending request no longer conflicts. The
+   implementation does this locally on every holder-set change; since a
+   request's conflicts only change when its object's holders do, a global
+   sweep is equivalent. *)
+let m_prune st =
+  st.mwaits <-
+    List.filter
+      (fun (txn, (obj, mode)) -> m_conflicts st obj ~txn mode <> [])
+      st.mwaits
+
+let m_set_holder st obj txn mode =
+  let hs = (txn, mode) :: List.filter (fun (h, _) -> h <> txn) (m_holders st obj) in
+  st.mholders <- (obj, hs) :: List.remove_assoc obj st.mholders
+
+let m_acquire st ~txn obj mode =
+  let held = List.assoc_opt txn (m_holders st obj) in
+  match held with
+  | Some Lockmgr.Exclusive -> `Granted
+  | Some Lockmgr.Shared when mode = Lockmgr.Shared -> `Granted
+  | _ -> (
+    match m_conflicts st obj ~txn mode with
+    | [] ->
+      let granted_mode =
+        if held = Some Lockmgr.Shared then Lockmgr.Exclusive else mode
+      in
+      m_set_holder st obj txn granted_mode;
+      st.mwaits <- List.remove_assoc txn st.mwaits;
+      m_prune st;
+      `Granted
+    | bs ->
+      if List.exists (fun b -> m_reaches st b txn) bs then `Deadlock
+      else begin
+        st.mwaits <- (txn, (obj, mode)) :: List.remove_assoc txn st.mwaits;
+        `Would_block (List.sort compare bs)
+      end)
+
+let m_release st ~txn obj =
+  let hs = List.filter (fun (h, _) -> h <> txn) (m_holders st obj) in
+  st.mholders <-
+    (if hs = [] then List.remove_assoc obj st.mholders
+     else (obj, hs) :: List.remove_assoc obj st.mholders);
+  m_prune st
+
+let m_release_all st ~txn =
+  st.mwaits <- List.remove_assoc txn st.mwaits;
+  st.mholders <-
+    List.filter_map
+      (fun (obj, hs) ->
+        match List.filter (fun (h, _) -> h <> txn) hs with
+        | [] -> None
+        | hs -> Some (obj, hs))
+      st.mholders;
+  m_prune st
+
+let norm = function
+  | `Would_block bs -> `Would_block (List.sort compare bs)
+  | (`Granted | `Deadlock) as o -> o
+
+let prop_model_deadlock_iff_live_cycle =
+  Tutil.qtest ~count:500 "deadlock iff cycle in live waits-for graph"
+    QCheck2.Gen.(
+      list_size (int_range 1 40)
+        (tup4 (int_range 0 4) (int_range 1 4) (int_bound 3) bool))
+    (fun ops ->
+      let _, lm = mk () in
+      let st = { mholders = []; mwaits = [] } in
+      List.for_all
+        (fun (op, txn, page, excl) ->
+          let obj = (0, page) in
+          let mode = if excl then Lockmgr.Exclusive else Lockmgr.Shared in
+          let agree =
+            match op with
+            | 0 | 1 | 2 ->
+              (* acquire dominates the op mix *)
+              norm (Lockmgr.acquire lm ~txn obj mode)
+              = norm (m_acquire st ~txn obj mode)
+            | 3 ->
+              Lockmgr.release lm ~txn obj;
+              m_release st ~txn obj;
+              true
+            | _ ->
+              Lockmgr.release_all lm ~txn;
+              m_release_all st ~txn;
+              true
+          in
+          agree
+          && List.for_all
+               (fun t ->
+                 Lockmgr.waiting lm ~txn:t = List.mem_assoc t st.mwaits
+                 && List.sort compare (Lockmgr.blockers lm ~txn:t)
+                    = List.sort compare (m_blockers st t))
+               [ 1; 2; 3; 4 ])
+        ops)
+
 let prop_release_all_empties =
   Tutil.qtest "release_all leaves no residue"
     QCheck2.Gen.(list (tup3 (int_range 1 4) (int_bound 8) bool))
@@ -147,6 +324,11 @@ let () =
           Alcotest.test_case "3-party deadlock" `Quick test_three_party_deadlock;
           Alcotest.test_case "early release" `Quick test_early_release;
           Alcotest.test_case "wait cleared" `Quick test_wait_cleared_on_grant;
+          Alcotest.test_case "stale edge after early release" `Quick
+            test_no_spurious_deadlock_after_early_release;
+          Alcotest.test_case "stale edge after release_all" `Quick
+            test_release_all_prunes_other_waiters;
+          prop_model_deadlock_iff_live_cycle;
           prop_release_all_empties;
           prop_shared_never_conflicts;
         ] );

@@ -32,9 +32,187 @@ let test_stats () =
   Alcotest.(check int) "missing count is 0" 0 (Stats.count s "nope");
   Stats.record_max s "m" 2.0;
   Stats.record_max s "m" 1.0;
-  Alcotest.(check (float 1e-9)) "max keeps larger" 2.0 (Stats.time s "m");
+  Alcotest.(check (float 1e-9)) "max keeps larger" 2.0 (Stats.max_of s "m");
+  (* Maxima live in their own table: a cumulative time under the same key
+     must not be polluted by (or pollute) the recorded maximum. *)
+  Stats.add_time s "m" 0.125;
+  Alcotest.(check (float 1e-9)) "max unaffected by add_time" 2.0
+    (Stats.max_of s "m");
+  Alcotest.(check (float 1e-9)) "time unaffected by record_max" 0.125
+    (Stats.time s "m");
   Stats.reset s;
   Alcotest.(check int) "reset" 0 (Stats.count s "a")
+
+(* Histograms --------------------------------------------------------------- *)
+
+let test_histo_basics () =
+  let h = Histo.create () in
+  Alcotest.(check int) "empty count" 0 (Histo.count h);
+  Histo.add h 0.037;
+  Alcotest.(check int) "count" 1 (Histo.count h);
+  Alcotest.(check (float 1e-12)) "min" 0.037 (Histo.min_value h);
+  Alcotest.(check (float 1e-12)) "max" 0.037 (Histo.max_value h);
+  Alcotest.(check (float 1e-12)) "mean" 0.037 (Histo.mean h);
+  (* Any percentile of a single sample is that sample (clamped to the
+     exact tracked min/max, not the bucket bound). *)
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "p%.0f" p)
+        0.037 (Histo.percentile h p))
+    [ 0.0; 0.50; 0.95; 0.99; 1.0 ]
+
+let test_histo_percentiles () =
+  let h = Histo.create () in
+  for _ = 1 to 90 do Histo.add h 0.001 done;
+  for _ = 1 to 10 do Histo.add h 1.0 done;
+  Alcotest.(check int) "count" 100 (Histo.count h);
+  Alcotest.(check bool) "p50 in the low mode" true (Histo.percentile h 0.50 < 0.002);
+  Alcotest.(check (float 1e-12)) "p99 is the high mode" 1.0 (Histo.percentile h 0.99);
+  Alcotest.(check (float 1e-12)) "p100 = max" 1.0 (Histo.percentile h 1.0);
+  (* Percentiles are monotone in p. *)
+  let ps = [ 0.01; 0.25; 0.50; 0.75; 0.90; 0.95; 0.99; 1.0 ] in
+  let vs = List.map (Histo.percentile h) ps in
+  ignore
+    (List.fold_left
+       (fun prev v ->
+         Alcotest.(check bool) "monotone" true (v >= prev);
+         v)
+       0.0 vs);
+  (* Bucket counts account for every sample. *)
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 (Histo.buckets h) in
+  Alcotest.(check int) "buckets sum to count" 100 total
+
+let test_histo_outliers_and_merge () =
+  let h = Histo.create () in
+  Histo.add h (-1.0);
+  (* clamped to 0, still counted *)
+  Histo.add h 1e9;
+  (* overflow bucket *)
+  Alcotest.(check int) "both counted" 2 (Histo.count h);
+  Alcotest.(check (float 1e-12)) "min clamped" 0.0 (Histo.min_value h);
+  Alcotest.(check (float 0.0)) "max exact" 1e9 (Histo.max_value h);
+  let dst = Histo.create () in
+  Histo.add dst 0.5;
+  Histo.merge_into ~src:h ~dst;
+  Alcotest.(check int) "merged count" 3 (Histo.count dst);
+  Alcotest.(check (float 0.0)) "merged max" 1e9 (Histo.max_value dst)
+
+let prop_histo_percentile_bounded =
+  Tutil.qtest "percentiles stay within [min, max]"
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_exclusive 100.0))
+    (fun xs ->
+      let h = Histo.create () in
+      List.iter (Histo.add h) xs;
+      List.for_all
+        (fun p ->
+          let v = Histo.percentile h p in
+          v >= Histo.min_value h && v <= Histo.max_value h)
+        [ 0.0; 0.10; 0.50; 0.90; 0.99; 1.0 ])
+
+(* JSON --------------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("name", Json.Str "x\"y\\z\n");
+        ("n", Json.Int (-42));
+        ("f", Json.Float 3.25);
+        ("tiny", Json.Float 1.25e-7);
+        ("flag", Json.Bool true);
+        ("nothing", Json.Null);
+        ("xs", Json.List [ Json.Int 1; Json.Str "two"; Json.Float 0.5 ]);
+        ("empty", Json.Obj []);
+      ]
+  in
+  (match Json.of_string_opt (Json.to_string v) with
+  | Some v' -> Alcotest.(check bool) "compact round-trip" true (v = v')
+  | None -> Alcotest.fail "reparse failed");
+  match Json.of_string_opt (Json.to_string_pretty v) with
+  | Some v' -> Alcotest.(check bool) "pretty round-trip" true (v = v')
+  | None -> Alcotest.fail "pretty reparse failed"
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rejects %S" s)
+        true
+        (Json.of_string_opt s = None))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "{} trailing" ]
+
+let test_json_member () =
+  let v = Json.Obj [ ("a", Json.Int 1); ("b", Json.Obj [ ("c", Json.Str "x") ]) ] in
+  Alcotest.(check bool) "member" true (Json.member "a" v = Some (Json.Int 1));
+  Alcotest.(check bool) "missing" true (Json.member "z" v = None);
+  Alcotest.(check bool) "nested" true
+    (match Json.member "b" v with
+    | Some b -> Json.member "c" b = Some (Json.Str "x")
+    | None -> false)
+
+(* Event trace -------------------------------------------------------------- *)
+
+let test_trace_ring () =
+  let tr = Trace.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Trace.emit tr ~t:(float_of_int i) "ev" [ ("i", Trace.I i) ]
+  done;
+  Alcotest.(check int) "bounded" 4 (Trace.length tr);
+  Alcotest.(check int) "dropped" 2 (Trace.dropped tr);
+  (* Oldest two fell off; the survivors are in order. *)
+  let ts = List.map (fun e -> e.Trace.t) (Trace.to_list tr) in
+  Alcotest.(check (list (float 0.0))) "oldest first" [ 3.0; 4.0; 5.0; 6.0 ] ts;
+  Trace.clear tr;
+  Alcotest.(check int) "cleared" 0 (Trace.length tr)
+
+let test_trace_jsonl_roundtrip () =
+  let e =
+    {
+      Trace.t = 1.5;
+      name = "disk.op";
+      attrs =
+        [
+          ("rw", Trace.S "w");
+          ("blkno", Trace.I 17);
+          ("queued", Trace.B false);
+          ("service_s", Trace.F 0.012);
+        ];
+    }
+  in
+  let line = Trace.to_json_line e in
+  Alcotest.(check bool) "single line" true (not (String.contains line '\n'));
+  (match Trace.of_json_line line with
+  | Some e' ->
+    Alcotest.(check (float 0.0)) "t" e.Trace.t e'.Trace.t;
+    Alcotest.(check string) "name" e.Trace.name e'.Trace.name;
+    Alcotest.(check bool) "attrs" true (e.Trace.attrs = e'.Trace.attrs)
+  | None -> Alcotest.fail "reparse failed");
+  Alcotest.(check bool) "garbage rejected" true (Trace.of_json_line "{oops" = None)
+
+let test_stats_to_json () =
+  let s = Stats.create () in
+  Stats.incr s "ops";
+  Stats.add_time s "busy" 0.5;
+  Stats.record_max s "peak" 2.0;
+  Stats.observe s "lat" 0.01;
+  let j = Stats.to_json s in
+  let field k = match Json.member k j with Some v -> v | None -> Json.Null in
+  Alcotest.(check bool) "counters" true
+    (Json.member "ops" (field "counters") = Some (Json.Int 1));
+  Alcotest.(check bool) "times" true
+    (Json.member "busy" (field "times_s") = Some (Json.Float 0.5));
+  Alcotest.(check bool) "maxes" true
+    (Json.member "peak" (field "maxes_s") = Some (Json.Float 2.0));
+  match Json.member "lat" (field "histograms") with
+  | Some h ->
+    Alcotest.(check bool) "histogram count" true
+      (Json.member "count" h = Some (Json.Int 1));
+    List.iter
+      (fun k ->
+        Alcotest.(check bool) (k ^ " present") true (Json.member k h <> None))
+      [ "p50"; "p95"; "p99"; "max"; "buckets" ]
+  | None -> Alcotest.fail "histogram missing from json"
 
 let test_cpu_charges () =
   let cfg = Config.default.Config.cpu in
@@ -124,7 +302,26 @@ let () =
           Alcotest.test_case "basics" `Quick test_clock_basics;
           Alcotest.test_case "bad delta" `Quick test_clock_rejects_bad_delta;
         ] );
-      ("stats", [ Alcotest.test_case "counters" `Quick test_stats ]);
+      ("stats", [ Alcotest.test_case "counters" `Quick test_stats;
+                  Alcotest.test_case "to_json" `Quick test_stats_to_json ]);
+      ( "histo",
+        [
+          Alcotest.test_case "basics" `Quick test_histo_basics;
+          Alcotest.test_case "percentiles" `Quick test_histo_percentiles;
+          Alcotest.test_case "outliers/merge" `Quick test_histo_outliers_and_merge;
+          prop_histo_percentile_bounded;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "member" `Quick test_json_member;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring" `Quick test_trace_ring;
+          Alcotest.test_case "jsonl roundtrip" `Quick test_trace_jsonl_roundtrip;
+        ] );
       ( "cpu",
         [
           Alcotest.test_case "charges" `Quick test_cpu_charges;
