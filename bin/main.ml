@@ -131,15 +131,33 @@ let parse_setup = function
   | "lfs-kernel" -> Expcommon.Lfs_kernel
   | s -> failwith ("unknown setup: " ^ s)
 
+let mpl_arg =
+  let doc =
+    "Multiprogramming level: number of concurrent simulated transaction \
+     processes. 1 uses the classic single-user driver; above 1 the run \
+     executes on the discrete-event scheduler."
+  in
+  Arg.(value & opt int 1 & info [ "mpl" ] ~docv:"N" ~doc)
+
 let tpcb_cmd =
-  let run setup scale txns seed =
+  let run setup scale txns seed mpl =
     let setup = parse_setup setup in
     let config =
       Config.scaled ~factor:(float_of_int scale /. 10.0) Config.default
     in
     let r =
-      Expcommon.run_tpcb ~config ~scale:(Tpcb.scale_for_tps scale) ~txns ~seed
-        setup
+      if mpl <= 1 then
+        Expcommon.run_tpcb ~config ~scale:(Tpcb.scale_for_tps scale) ~txns
+          ~seed setup
+      else begin
+        let r, multi =
+          Expcommon.run_tpcb_mpl ~config ~scale:(Tpcb.scale_for_tps scale)
+            ~txns ~seed ~mpl setup
+        in
+        Printf.printf "mpl %d: %d lock block(s), %d deadlock(s), %d restart(s)\n"
+          mpl multi.Tpcb.conflicts multi.Tpcb.deadlocks multi.Tpcb.restarts;
+        r
+      end
     in
     Printf.printf
       "%s: %d txns in %.1f simulated seconds = %.2f TPS (max latency %.3fs, \
@@ -151,7 +169,58 @@ let tpcb_cmd =
   in
   Cmd.v
     (Cmd.info "tpcb" ~doc:"Run TPC-B on one configuration and report TPS")
-    Term.(const run $ setup_arg $ scale_arg $ txns_arg 10_000 $ seed_arg)
+    Term.(
+      const run $ setup_arg $ scale_arg $ txns_arg 10_000 $ seed_arg $ mpl_arg)
+
+(* MPL x group-commit sweep on the discrete-event scheduler. *)
+let mplsweep_cmd =
+  let mpls_arg =
+    let doc = "Comma-separated multiprogramming levels to sweep." in
+    Arg.(value & opt string "1,2,4,8,16" & info [ "mpls" ] ~docv:"LIST" ~doc)
+  in
+  let groups_arg =
+    let doc =
+      "Comma-separated group-commit configurations as size:timeout_ms pairs \
+       (size 1 / timeout 0 forces every commit)."
+    in
+    Arg.(value & opt string "1:0,4:50,8:100" & info [ "groups" ] ~docv:"LIST" ~doc)
+  in
+  let run setup scale txns seed mpls groups json =
+    let setup = parse_setup setup in
+    let parse_list name conv s =
+      List.map
+        (fun item ->
+          try conv (String.trim item)
+          with _ ->
+            prerr_endline ("mplsweep: bad " ^ name ^ " element: " ^ item);
+            exit 2)
+        (String.split_on_char ',' s)
+    in
+    let mpls = parse_list "mpls" int_of_string mpls in
+    let groups =
+      parse_list "groups"
+        (fun item ->
+          match String.split_on_char ':' item with
+          | [ size; ms ] ->
+            (int_of_string size, float_of_string ms /. 1000.0)
+          | _ -> failwith "expected size:timeout_ms")
+        groups
+    in
+    let s = Mplsweep.run ~tps_scale:scale ~txns ~seed ~mpls ~groups ~setup () in
+    Mplsweep.print s;
+    if json then
+      emit_bench ~name:"mplsweep" ~config:s.Mplsweep.config
+        (Mplsweep.to_json s)
+  in
+  Cmd.v
+    (Cmd.info "mplsweep"
+       ~doc:
+         "Sweep multiprogramming level x group-commit configuration on the \
+          discrete-event scheduler and report TPS, commit batch sizes, lock \
+          blocks and deadlocks")
+    Term.(
+      const run $ setup_arg $ scale_arg $ txns_arg 2_000 $ seed_arg $ mpls_arg
+      $ groups_arg $ json_arg)
 
 (* Event tracing: run TPC-B with the trace ring attached and dump it. *)
 let trace_cmd =
@@ -166,14 +235,19 @@ let trace_cmd =
     in
     Arg.(value & opt int 65_536 & info [ "cap" ] ~docv:"N" ~doc)
   in
-  let run setup scale txns seed out cap =
+  let run setup scale txns seed out cap mpl =
     let setup = parse_setup setup in
     let config =
       Config.scaled ~factor:(float_of_int scale /. 10.0) Config.default
     in
     let r =
-      Expcommon.run_tpcb ~trace:cap ~config ~scale:(Tpcb.scale_for_tps scale)
-        ~txns ~seed setup
+      if mpl <= 1 then
+        Expcommon.run_tpcb ~trace:cap ~config
+          ~scale:(Tpcb.scale_for_tps scale) ~txns ~seed setup
+      else
+        fst
+          (Expcommon.run_tpcb_mpl ~trace:cap ~config
+             ~scale:(Tpcb.scale_for_tps scale) ~txns ~seed ~mpl setup)
     in
     match Stats.trace r.Expcommon.stats with
     | None -> prerr_endline "trace: no events captured"
@@ -191,10 +265,11 @@ let trace_cmd =
     (Cmd.info "trace"
        ~doc:
          "Run TPC-B with event tracing enabled and emit the structured trace \
-          as JSONL (one event per line, keyed by simulated time)")
+          as JSONL (one event per line, keyed by simulated time); --mpl \
+          captures multi-process interleavings")
     Term.(
       const run $ setup_arg $ scale_arg $ txns_arg 1_000 $ seed_arg $ out_arg
-      $ cap_arg)
+      $ cap_arg $ mpl_arg)
 
 (* Schema check for BENCH_*.json artifacts (used by CI to reject empty or
    malformed benchmark output). *)
@@ -261,7 +336,85 @@ let bench_check_cmd =
                 if Json.member field h = None then
                   err "histogram %s missing field %s" name field)
               [ "count"; "p50"; "p95"; "p99"; "max"; "buckets" ])
-          histos);
+          histos;
+      (* mplsweep artifacts additionally promise per-point sweep fields
+         and that group commit demonstrably batched once MPL and group
+         size allow it. *)
+      (match Json.member "meta" doc with
+      | Some meta when Json.member "name" meta = Some (Json.Str "mplsweep") -> (
+        let points =
+          match Json.member "data" doc with
+          | Some data -> (
+            match Json.member "points" data with
+            | Some (Json.List ps) -> ps
+            | _ -> [])
+          | None -> []
+        in
+        if points = [] then err "mplsweep: data.points missing or empty"
+        else begin
+          List.iter
+            (fun p ->
+              List.iter
+                (fun field ->
+                  if Json.member field p = None then
+                    err "mplsweep point missing field %s" field)
+                [
+                  "mpl";
+                  "group_size";
+                  "group_timeout_s";
+                  "tps";
+                  "mean_commit_batch";
+                  "group_flushes";
+                ])
+            points;
+          let num = function
+            | Some (Json.Float f) -> f
+            | Some (Json.Int i) -> float_of_int i
+            | _ -> 0.0
+          in
+          let batching_possible =
+            List.exists
+              (fun p ->
+                num (Json.member "mpl" p) > 1.0
+                && num (Json.member "group_size" p) > 1.0)
+              points
+          in
+          let max_batch =
+            List.fold_left
+              (fun acc p -> Float.max acc (num (Json.member "mean_commit_batch" p)))
+              0.0 points
+          in
+          if batching_possible && max_batch <= 1.0 then
+            err
+              "mplsweep: no point achieved a mean commit batch > 1 despite \
+               MPL > 1 and group size > 1";
+          (* Where both endpoints exist for a grouped configuration, MPL 8
+             must beat MPL 1. *)
+          List.iter
+            (fun p8 ->
+              if
+                num (Json.member "mpl" p8) = 8.0
+                && num (Json.member "group_size" p8) > 1.0
+              then
+                List.iter
+                  (fun p1 ->
+                    if
+                      num (Json.member "mpl" p1) = 1.0
+                      && Json.member "group_size" p1
+                         = Json.member "group_size" p8
+                      && num (Json.member "tps" p8)
+                         <= num (Json.member "tps" p1)
+                    then
+                      err
+                        "mplsweep: TPS at MPL 8 (%.2f) not above MPL 1 (%.2f) \
+                         for group size %g"
+                        (num (Json.member "tps" p8))
+                        (num (Json.member "tps" p1))
+                        (num (Json.member "group_size" p8)))
+                  points)
+            points
+        end)
+      | _ -> ()));
     match !errors with
     | [] ->
       Printf.printf "%s: ok\n" file;
@@ -389,7 +542,7 @@ let faultsim_cmd =
     let doc = "Print every run's outcome, not just violations." in
     Arg.(value & flag & info [ "verbose" ] ~doc)
   in
-  let run backend workload txns seed points crash_point verbose =
+  let run backend workload txns seed points crash_point verbose mpl =
     let usage msg =
       prerr_endline ("txnlfs faultsim: " ^ msg);
       exit 2
@@ -400,10 +553,16 @@ let faultsim_cmd =
         usage ("unknown backend " ^ backend ^ " (lfs-kernel, lfs-user, ffs-user)")
     in
     let one, swp =
-      match workload with
-      | "pages" -> (Sweep.run_one, Sweep.sweep)
-      | "tpcb" -> (Sweep.run_one_tpcb, Sweep.sweep_tpcb)
-      | w -> usage ("unknown workload " ^ w ^ " (pages, tpcb)")
+      match (workload, mpl) with
+      | "pages", 1 -> (Sweep.run_one, Sweep.sweep)
+      | "pages", _ -> usage "--mpl applies to the tpcb workload only"
+      | "tpcb", 1 -> (Sweep.run_one_tpcb, Sweep.sweep_tpcb)
+      | "tpcb", _ ->
+        ( (fun backend ~seed ~txns ?crash_point () ->
+            Sweep.run_one_tpcb_mpl backend ~seed ~txns ~mpl ?crash_point ()),
+          fun ?progress backend ~seed ~txns ~points ->
+            Sweep.sweep_tpcb_mpl ?progress backend ~seed ~txns ~mpl ~points )
+      | w, _ -> usage ("unknown workload " ^ w ^ " (pages, tpcb)")
     in
     match crash_point with
     | Some p ->
@@ -428,7 +587,7 @@ let faultsim_cmd =
           durability oracle")
     Term.(
       const run $ backend_arg $ workload_arg $ txns_arg 25 $ seed_arg
-      $ points_arg $ crash_point_arg $ verbose_arg)
+      $ points_arg $ crash_point_arg $ verbose_arg $ mpl_arg)
 
 let main =
   Cmd.group
@@ -443,6 +602,7 @@ let main =
       fig7_cmd;
       ablation_cmd;
       tpcb_cmd;
+      mplsweep_cmd;
       trace_cmd;
       bench_check_cmd;
       lfsdump_cmd;

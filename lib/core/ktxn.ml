@@ -14,6 +14,14 @@ type t = {
   mutable next_id : int;
   mutable pending_commits : (txn * Cache.frame list) list; (* group commit *)
   mutable pending_deadline : float; (* flush time of the oldest pending *)
+  (* Scheduler-mode state. [parked]: processes blocked in [lock], keyed
+     by txn id, woken by the lock manager's waker. [flush_gen] /
+     [commit_cond]: the group-commit rendezvous — committers park until
+     the generation moves past the one they joined; every flush bumps it
+     after the frames are durable. *)
+  parked : (int, Sched.cond) Hashtbl.t;
+  mutable flush_gen : int;
+  commit_cond : Sched.cond;
 }
 
 exception Conflict of int list
@@ -27,17 +35,32 @@ let create lfs =
   (* Group-commit histograms exist even in runs that never defer. *)
   Stats.declare stats "ktxn.commit_batch";
   Stats.declare stats "ktxn.group_commit_wait";
-  {
-    lfs;
-    clock;
-    stats;
-    cfg;
-    locks = Lockmgr.create clock stats cfg.Config.cpu;
-    active_tbl = Hashtbl.create 16;
-    next_id = 1;
-    pending_commits = [];
-    pending_deadline = 0.0;
-  }
+  let t =
+    {
+      lfs;
+      clock;
+      stats;
+      cfg;
+      locks = Lockmgr.create clock stats cfg.Config.cpu;
+      active_tbl = Hashtbl.create 16;
+      next_id = 1;
+      pending_commits = [];
+      pending_deadline = 0.0;
+      parked = Hashtbl.create 8;
+      flush_gen = 0;
+      commit_cond = Sched.condition ();
+    }
+  in
+  Lockmgr.set_waker t.locks
+    (Some
+       (fun txnid ->
+         match Hashtbl.find_opt t.parked txnid with
+         | Some c -> (
+           match Sched.of_clock clock with
+           | Some sched -> Sched.broadcast sched c
+           | None -> ())
+         | None -> ()));
+  t
 
 let lfs t = t.lfs
 let locks t = t.locks
@@ -91,14 +114,39 @@ let do_abort t txn =
   release t txn;
   Stats.incr t.stats "ktxn.aborts"
 
+(* Under the scheduler the process really is descheduled and left
+   sleeping (Section 4.2): park until the lock manager's waker reports
+   our wait edges cleared, then retry the acquire. *)
+let rec block_lock t sched txn obj mode =
+  Cpu.charge t.clock t.stats t.cfg.Config.cpu Cpu.Context_switch;
+  Stats.incr t.stats "ktxn.lock_blocks";
+  let c = Sched.condition () in
+  Hashtbl.replace t.parked txn.id c;
+  let t0 = Clock.now t.clock in
+  Sched.wait sched c;
+  Hashtbl.remove t.parked txn.id;
+  Stats.add_time t.stats "ktxn.lock_wait" (Clock.now t.clock -. t0);
+  match Lockmgr.acquire t.locks ~txn:txn.id obj mode with
+  | `Granted -> ()
+  | `Would_block _ -> block_lock t sched txn obj mode
+  | `Deadlock ->
+    do_abort t txn;
+    raise (Deadlock_abort txn.id)
+
 let lock t txn ~inum ~page mode =
   kmutex t;
   match Lockmgr.acquire t.locks ~txn:txn.id (inum, page) mode with
   | `Granted -> ()
-  | `Would_block blockers ->
-    (* The process would be descheduled and left sleeping (Section 4.2). *)
-    Cpu.charge t.clock t.stats t.cfg.Config.cpu Cpu.Context_switch;
-    raise (Conflict blockers)
+  | `Would_block blockers -> (
+    match Sched.of_clock t.clock with
+    | Some sched when Sched.in_process sched ->
+      block_lock t sched txn (inum, page) mode
+    | _ ->
+      (* The process would be descheduled and left sleeping
+         (Section 4.2); at MPL 1 we charge the switch and bounce the
+         caller instead. *)
+      Cpu.charge t.clock t.stats t.cfg.Config.cpu Cpu.Context_switch;
+      raise (Conflict blockers))
   | `Deadlock ->
     do_abort t txn;
     raise (Deadlock_abort txn.id)
@@ -161,13 +209,23 @@ let flush_pending t =
   Stats.observe t.stats "ktxn.commit_batch" (float_of_int batch);
   if Stats.tracing t.stats then
     Stats.emit t.stats ~time:(Clock.now t.clock) "ktxn.group_flush"
-      [ ("batch", Trace.I batch); ("frames", Trace.I (List.length frames)) ]
+      [ ("batch", Trace.I batch); ("frames", Trace.I (List.length frames)) ];
+  (* Frames are durable: release committers parked at the rendezvous.
+     Bumping the generation after the force means waking implies
+     durability. *)
+  t.flush_gen <- t.flush_gen + 1;
+  match Sched.of_clock t.clock with
+  | Some sched -> Sched.broadcast sched t.commit_cond
+  | None -> ()
 
 (* Committers deferred by group commit sleep until the timeout expires;
    any later event past that point (a new transaction, an explicit
    flush) implies the flush happened first. *)
 let settle_pending t =
-  if t.pending_commits <> [] then begin
+  (* Under a scheduler the batch is owned by the rendezvous (a timeout
+     process flushes it); the legacy fast-forward would flush early and
+     double-release. *)
+  if Option.is_none (Sched.of_clock t.clock) && t.pending_commits <> [] then begin
     let wait = t.pending_deadline -. Clock.now t.clock in
     if wait > 0.0 then Stats.observe t.stats "ktxn.group_commit_wait" wait;
     Clock.sleep_until t.clock t.pending_deadline;
@@ -193,8 +251,29 @@ let txn_commit t txn =
     timeout <= 0.0
     || List.length t.pending_commits >= t.cfg.Config.fs.group_commit_size
   then flush_pending t
-  (* Otherwise the committing process sleeps; concurrent transactions may
-     still commit and share the flush (Section 4.4). *)
+  else
+    match Sched.of_clock t.clock with
+    | Some sched when Sched.in_process sched ->
+      (* Real rendezvous (Section 4.4): park until the batch fills — a
+         later committer's inline flush — or this batch's timeout
+         process fires. The first committer arms the timeout. *)
+      let gen = t.flush_gen in
+      if was_empty then
+        Sched.spawn ~daemon:true sched (fun () ->
+            Sched.delay sched timeout;
+            if t.flush_gen = gen && t.pending_commits <> [] then
+              flush_pending t);
+      let t0 = Clock.now t.clock in
+      while t.flush_gen = gen do
+        Sched.wait sched t.commit_cond
+      done;
+      let waited = Clock.now t.clock -. t0 in
+      Stats.add_time t.stats "ktxn.group_commit_wait" waited;
+      Stats.observe t.stats "ktxn.group_commit_wait" waited
+    | _ ->
+      (* At MPL 1 the committing process sleeps; the deferred batch is
+         settled by the next event (see [settle_pending]). *)
+      ()
 
 let txn_abort t txn =
   check_live txn;

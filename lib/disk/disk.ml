@@ -5,6 +5,20 @@ type injector = {
   on_read : blkno:int -> nblocks:int -> bool;
 }
 
+(* A read parked in the live request queue, waiting for the server
+   process to reach it. Bytes are captured at submit time: the caller
+   sees the platter as of its request, and only the *timing* of the read
+   is asynchronous — so LFS invariants never observe a half-written
+   platter across a yield point. *)
+type pending = {
+  p_blkno : int;
+  p_nblocks : int;
+  p_data : bytes;
+  p_submitted : float;
+  mutable p_done : bool;
+  p_cond : Sched.cond;
+}
+
 type t = {
   data : bytes;
   cfg : Config.disk;
@@ -12,6 +26,8 @@ type t = {
   stats : Stats.t;
   mutable head : int;
   mutable injector : injector option;
+  mutable queue : pending list;
+  mutable serving : bool;
 }
 
 let create clock stats (cfg : Config.disk) =
@@ -26,6 +42,7 @@ let create clock stats (cfg : Config.disk) =
       "disk.seek";
       "disk.rotation";
       "disk.transfer";
+      "disk.read.qwait";
     ];
   {
     data = Bytes.make (cfg.nblocks * cfg.block_size) '\000';
@@ -34,6 +51,8 @@ let create clock stats (cfg : Config.disk) =
     stats;
     head = 0;
     injector = None;
+    queue = [];
+    serving = false;
   }
 
 let set_injector t inj = t.injector <- inj
@@ -168,6 +187,88 @@ let write_queued t blkno data =
   persist t blkno data
 
 let write_run t blkno data = write_blocks t blkno data
+
+(* The disk server process: as long as requests are queued, pick the
+   next one by C-LOOK from the *live* head position, hold the device for
+   its service time (other processes run meanwhile), then wake the
+   submitter. Positioning costs use the same arithmetic as the
+   synchronous path — the elevator's benefit under load comes from the
+   ordering itself shortening seeks, not from a modelled discount. *)
+let rec serve_queue t sched =
+  match t.queue with
+  | [] -> t.serving <- false
+  | reqs ->
+    let pick =
+      match
+        Elevator.order Elevator.Elevator ~head:t.head
+          (List.map (fun r -> (r.p_blkno, r)) reqs)
+      with
+      | (_, r) :: _ -> r
+      | [] -> assert false
+    in
+    t.queue <- List.filter (fun r -> r != pick) t.queue;
+    let seek = seek_time t ~from:t.head ~target:pick.p_blkno in
+    let rot =
+      if seek = 0.0 && pick.p_blkno = t.head then 0.0 else rotation_time t
+    in
+    let xfer = transfer_time t pick.p_nblocks in
+    let dt = seek +. rot +. xfer in
+    Sched.delay sched dt;
+    Stats.add_time t.stats "disk.busy" dt;
+    Stats.add_time t.stats "disk.seek" seek;
+    if seek > 0.0 then Stats.incr t.stats "disk.seeks";
+    Stats.incr t.stats "disk.requests";
+    Stats.add t.stats "disk.blocks_read" pick.p_nblocks;
+    Stats.observe t.stats "disk.read.service" dt;
+    Stats.observe t.stats "disk.seek" seek;
+    Stats.observe t.stats "disk.rotation" rot;
+    Stats.observe t.stats "disk.transfer" xfer;
+    t.head <- pick.p_blkno + pick.p_nblocks;
+    retry_reads t pick.p_blkno pick.p_nblocks;
+    Stats.observe t.stats "disk.read.qwait"
+      (Clock.now t.clock -. pick.p_submitted);
+    if Stats.tracing t.stats then
+      Stats.emit t.stats ~time:(Clock.now t.clock) "disk.op"
+        [
+          ("rw", Trace.S "r");
+          ("blkno", Trace.I pick.p_blkno);
+          ("nblocks", Trace.I pick.p_nblocks);
+          ("queued", Trace.B true);
+          ("service_s", Trace.F dt);
+          ("qdepth", Trace.I (List.length t.queue));
+        ];
+    pick.p_done <- true;
+    Sched.broadcast sched pick.p_cond;
+    serve_queue t sched
+
+let read_async t blkno =
+  match Sched.of_clock t.clock with
+  | Some sched when Sched.in_process sched ->
+    check_range t blkno 1;
+    let p =
+      {
+        p_blkno = blkno;
+        p_nblocks = 1;
+        p_data =
+          Bytes.sub t.data (blkno * t.cfg.block_size) t.cfg.block_size;
+        p_submitted = Clock.now t.clock;
+        p_done = false;
+        p_cond = Sched.condition ();
+      }
+    in
+    t.queue <- t.queue @ [ p ];
+    Stats.incr t.stats "disk.queue.enqueued";
+    Stats.record_max t.stats "disk.queue.depth"
+      (float_of_int (List.length t.queue + if t.serving then 1 else 0));
+    if not t.serving then begin
+      t.serving <- true;
+      Sched.spawn ~daemon:true sched (fun () -> serve_queue t sched)
+    end;
+    while not p.p_done do
+      Sched.wait sched p.p_cond
+    done;
+    p.p_data
+  | _ -> read t blkno
 
 let head t = t.head
 

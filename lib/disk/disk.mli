@@ -55,6 +55,15 @@ val read : t -> int -> bytes
     the block's contents.
     @raise Invalid_argument on an out-of-range block number. *)
 
+val read_async : t -> int -> bytes
+(** Like {!read}, but when a {!Sched} scheduler is attached to the
+    clock and the caller runs inside a process, the request joins a live
+    device queue: a server process picks requests by C-LOOK elevator
+    order from the current head position, holds the device for the
+    service time while other processes run, then wakes the submitter.
+    Block contents are captured at submit time — only the timing is
+    asynchronous. Outside a scheduler this is exactly {!read}. *)
+
 val write : t -> int -> bytes -> unit
 (** [write t blkno data] services a one-block write. [data] must be
     exactly one block long. *)

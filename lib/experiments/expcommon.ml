@@ -80,6 +80,63 @@ let run_tpcb ?(pool_pages = 1024) ?trace ~config ~scale ~txns ~seed setup =
     stats = m.stats;
   }
 
+let run_tpcb_mpl ?(pool_pages = 1024) ?trace ~config ~scale ~txns ~seed ~mpl
+    setup =
+  let m = machine config in
+  (match trace with
+  | Some cap -> Stats.set_trace m.stats (Some (Trace.create ~capacity:cap ()))
+  | None -> ());
+  (* Attach the discrete-event scheduler before any component boots, so
+     subsystems discover it via [Sched.of_clock] and take their blocking
+     paths once inside worker processes. Setup itself runs outside any
+     process and stays on the legacy paths. *)
+  let sched = Sched.create m.clock in
+  let rng = Rng.create ~seed in
+  let vfs, backend, lfs =
+    match setup with
+    | Readopt_user ->
+      let fs = Ffs.format m.disk m.clock m.stats m.cfg in
+      let v = Ffs.vfs fs in
+      ignore (Tpcb.build m.clock m.stats m.cfg v ~rng ~scale);
+      let env =
+        Libtp.open_env m.clock m.stats m.cfg v ~pool_pages
+          ~log_path:"/tpcb/log" ()
+      in
+      (v, Tpcb.User env, None)
+    | Lfs_user ->
+      let fs = Lfs.format m.disk m.clock m.stats m.cfg in
+      let v = Lfs.vfs fs in
+      ignore (Tpcb.build m.clock m.stats m.cfg v ~rng ~scale);
+      let env =
+        Libtp.open_env m.clock m.stats m.cfg v ~pool_pages
+          ~log_path:"/tpcb/log" ()
+      in
+      (v, Tpcb.User env, Some fs)
+    | Lfs_kernel ->
+      let fs = Lfs.format m.disk m.clock m.stats m.cfg in
+      let v = Lfs.vfs fs in
+      let db = Tpcb.build m.clock m.stats m.cfg v ~rng ~scale in
+      let k = Ktxn.create fs in
+      Tpcb.protect_all db k;
+      (v, Tpcb.Kernel k, Some fs)
+  in
+  (match lfs with Some fs -> Lfs.start_background fs | None -> ());
+  let db = Tpcb.open_db vfs ~scale in
+  let stall0 = Stats.time m.stats "cleaner.stall" in
+  let multi =
+    Tpcb.run_sched m.clock m.stats m.cfg db backend ~vfs ~rng ~n:txns ~mpl
+  in
+  Sched.detach sched;
+  ( {
+      setup;
+      seed;
+      result = multi.Tpcb.base;
+      cleaner_stall_s = Stats.time m.stats "cleaner.stall" -. stall0;
+      cleaner_max_stall_s = Stats.max_of m.stats "cleaner.max_stall";
+      stats = m.stats;
+    },
+    multi )
+
 let mean xs =
   match xs with
   | [] -> 0.0

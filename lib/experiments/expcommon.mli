@@ -46,6 +46,23 @@ val run_tpcb :
     event-trace ring of that capacity to the machine's stats before the
     run; retrieve it via [Stats.trace run.stats]. *)
 
+val run_tpcb_mpl :
+  ?pool_pages:int ->
+  ?trace:int ->
+  config:Config.t ->
+  scale:Tpcb.scale ->
+  txns:int ->
+  seed:int ->
+  mpl:int ->
+  setup ->
+  tpcb_run * Tpcb.multi_result
+(** Like {!run_tpcb} but at multiprogramming level [mpl] on the
+    discrete-event scheduler: boots the machine with a {!Sched} attached
+    to its clock, starts the LFS syncer/cleaner as background processes,
+    and drives the workload with [Tpcb.run_sched]. The [tpcb_run] mirrors
+    {!run_tpcb}'s shape; the [multi_result] adds lock blocks, deadlocks
+    and restarts. *)
+
 val mean : float list -> float
 val stdev : float list -> float
 

@@ -1,0 +1,50 @@
+(** Multiprogramming-level sweep (MPL x group-commit configuration).
+
+    The paper measured everything at MPL 1 and conceded that "group
+    commit provides no benefit" there (Section 4.4). On the
+    discrete-event scheduler this experiment sweeps MPL over
+    [{1,2,4,8,16}] crossed with group-commit [(size, timeout)]
+    configurations and reports, per point: throughput, the mean commit
+    batch size actually achieved, flush/force counts, lock blocks,
+    deadlocks and rendezvous wait time. A legacy MPL-1 run per
+    configuration is included as the epsilon reference for the
+    refactor's safety net. *)
+
+type point = {
+  mpl : int;
+  group_size : int;
+  group_timeout_s : float;
+  run : Expcommon.tpcb_run;
+  multi : Tpcb.multi_result;
+  mean_batch : float;  (** mean committers per flush (1.0 if no sample) *)
+  group_flushes : int;
+  group_commit_wait_s : float;
+}
+
+type t = {
+  points : point list;
+  legacy_mpl1 : (int * float * float) list;
+  scale : Tpcb.scale;
+  txns : int;
+  config : Config.t;
+  setup : Expcommon.setup;
+}
+
+val default_mpls : int list
+val default_groups : (int * float) list
+
+val run :
+  ?config:Config.t ->
+  ?tps_scale:int ->
+  ?txns:int ->
+  ?seed:int ->
+  ?mpls:int list ->
+  ?groups:(int * float) list ->
+  ?setup:Expcommon.setup ->
+  unit ->
+  t
+
+val to_json : t -> Json.t
+(** The [data] block of [BENCH_mplsweep.json]. *)
+
+val print : t -> unit

@@ -427,6 +427,125 @@ let run_one_tpcb backend ~seed ~txns ?crash_point () =
    with e -> push ("recovery failed: " ^ Printexc.to_string e));
   { backend; seed; crash_point; writes; crashed; violations = List.rev !violations }
 
+(* TPC-B at MPL > 1: the same oracle under real concurrency. Worker
+   processes on the discrete-event scheduler park at the group-commit
+   rendezvous, so a crash point can land mid-batch — some committers
+   flushed but not yet resumed, others parked with nothing durable.
+   Acknowledgement is [txn_commit] returning (a parked committer wakes
+   only after its batch's force), so every acknowledged commit must
+   survive recovery; beyond them at most [mpl] in-flight transactions
+   may have landed. *)
+let run_one_tpcb_mpl backend ~seed ~txns ~mpl ?crash_point () =
+  let cfg = config backend in
+  (* Group commit on — the rendezvous is the point of this sweep. *)
+  let cfg =
+    {
+      cfg with
+      Config.fs =
+        {
+          cfg.Config.fs with
+          group_commit_size = mpl;
+          group_commit_timeout_s = 0.02;
+        };
+    }
+  in
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  let disk = Disk.create clock stats cfg.Config.disk in
+  let sched = Sched.create clock in
+  let rng = Rng.create ~seed in
+  let scale = tpcb_scale in
+  let open_env v =
+    Libtp.open_env clock stats cfg v ~pool_pages:64 ~checkpoint_every:50
+      ~log_path:"/tpcb.log" ()
+  in
+  let bh, db, vfs, recover =
+    match backend with
+    | Lfs_kernel ->
+      let fs = Lfs.format disk clock stats cfg in
+      let v = Lfs.vfs fs in
+      let db = Tpcb.build clock stats cfg v ~rng ~scale in
+      let kt = Ktxn.create fs in
+      Tpcb.protect_all db kt;
+      Lfs.start_background fs;
+      ( Tpcb.Kernel kt,
+        db,
+        v,
+        fun () ->
+          Lfs.crash fs;
+          let fs' = Lfs.mount disk clock stats cfg in
+          (Lfs.vfs fs', fun () -> Lfs.check fs') )
+    | Lfs_user ->
+      let fs = Lfs.format disk clock stats cfg in
+      let v = Lfs.vfs fs in
+      let db = Tpcb.build clock stats cfg v ~rng ~scale in
+      let env = open_env v in
+      Lfs.start_background fs;
+      ( Tpcb.User env,
+        db,
+        v,
+        fun () ->
+          Lfs.crash fs;
+          let fs' = Lfs.mount disk clock stats cfg in
+          let v' = Lfs.vfs fs' in
+          ignore (open_env v');
+          (v', fun () -> Lfs.check fs') )
+    | Ffs_user ->
+      let fs = Ffs.format disk clock stats cfg in
+      let v = Ffs.vfs fs in
+      let db = Tpcb.build clock stats cfg v ~rng ~scale in
+      let env = open_env v in
+      ( Tpcb.User env,
+        db,
+        v,
+        fun () ->
+          Ffs.crash fs;
+          let fs' = Ffs.mount disk clock stats cfg in
+          let rep = Ffs.fsck fs' in
+          if rep.Ffs.cross_allocated > 0 then
+            failwith
+              (Printf.sprintf "fsck: %d cross-allocated blocks"
+                 rep.Ffs.cross_allocated);
+          let v' = Ffs.vfs fs' in
+          ignore (open_env v');
+          (v', fun () -> ()) )
+  in
+  let arm =
+    Faultsim.arm ?crash_after:crash_point ~read_error_rate:0.02
+      ~rng:(Rng.split rng) disk
+  in
+  let crashed, workload_err =
+    match Tpcb.run_sched clock stats cfg db bh ~vfs ~rng ~n:txns ~mpl with
+    | (_ : Tpcb.multi_result) -> (false, None)
+    | exception Disk.Injected_crash -> (true, None)
+    | exception e -> (false, Some (Printexc.to_string e))
+  in
+  (* Workers bump "tpcb.commits" immediately after [txn_commit] returns,
+     with no intervening yield — exactly the acknowledgement point. *)
+  let acked = Stats.count stats "tpcb.commits" in
+  let writes = Faultsim.writes arm in
+  Faultsim.disarm arm;
+  (* Recovery must run on the legacy (non-scheduler) paths. *)
+  Sched.detach sched;
+  let violations =
+    ref (match workload_err with Some m -> [ "workload: " ^ m ] | None -> [])
+  in
+  let push m = violations := m :: !violations in
+  (try
+     let v, structural = recover () in
+     (try structural ()
+      with e -> push ("structural check: " ^ Printexc.to_string e));
+     let db' = Tpcb.open_db v ~scale in
+     (try Tpcb.check_consistency clock stats cfg db' v
+      with e -> push ("tpcb consistency: " ^ Printexc.to_string e));
+     let h = Tpcb.history_count clock stats cfg db' v in
+     if h < acked || h > acked + mpl then
+       push
+         (Printf.sprintf "history count %d outside [%d, %d]" h acked
+            (acked + mpl))
+   with e -> push ("recovery failed: " ^ Printexc.to_string e));
+  { backend; seed; crash_point; writes; crashed; violations = List.rev !violations }
+
 (* Sweeping --------------------------------------------------------------- *)
 
 type sweep_result = {
@@ -468,4 +587,10 @@ let sweep ?progress backend ~seed ~txns ~points =
 let sweep_tpcb ?progress backend ~seed ~txns ~points =
   sweep_runs ?progress
     (fun ?crash_point () -> run_one_tpcb backend ~seed ~txns ?crash_point ())
+    ~points
+
+let sweep_tpcb_mpl ?progress backend ~seed ~txns ~mpl ~points =
+  sweep_runs ?progress
+    (fun ?crash_point () ->
+      run_one_tpcb_mpl backend ~seed ~txns ~mpl ?crash_point ())
     ~points

@@ -40,6 +40,21 @@ val run_one_tpcb :
     recovery the balance-consistency identity must hold and the history
     count must lie in [acked, acked+1]. *)
 
+val run_one_tpcb_mpl :
+  backend ->
+  seed:int ->
+  txns:int ->
+  mpl:int ->
+  ?crash_point:int ->
+  unit ->
+  outcome
+(** TPC-B at multiprogramming level [mpl] on the discrete-event
+    scheduler with group commit enabled (size [mpl], 20 ms timeout), so
+    crash points land mid-rendezvous. An acknowledged commit is one
+    whose [txn_commit] returned — a parked committer wakes only after
+    its batch's force — so after recovery the history count must lie in
+    [acked, acked + mpl]. *)
+
 type sweep_result = {
   total_writes : int;  (** crash points available in the run *)
   points_run : int;
@@ -55,3 +70,8 @@ val sweep :
 val sweep_tpcb :
   ?progress:(outcome -> unit) ->
   backend -> seed:int -> txns:int -> points:int -> sweep_result
+
+val sweep_tpcb_mpl :
+  ?progress:(outcome -> unit) ->
+  backend -> seed:int -> txns:int -> mpl:int -> points:int -> sweep_result
+(** Sweep {!run_one_tpcb_mpl}. *)

@@ -214,7 +214,7 @@ let bitmap_writes t =
   end
 
 let issue_sorted t writes =
-  let ordered = Sched.order Sched.Elevator ~head:(Disk.head t.disk) writes in
+  let ordered = Elevator.order Elevator.Elevator ~head:(Disk.head t.disk) writes in
   List.iter
     (fun (blk, data) ->
       Disk.write_queued t.disk blk data;

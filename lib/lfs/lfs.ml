@@ -37,6 +37,7 @@ type t = {
   mutable in_maintenance : bool;
   mutable pending_cp : bool;
   mutable crashed : bool;
+  mutable bg : bool; (* syncer/cleaner run as scheduler daemons *)
   mutable snaps : snapshot list;
   mutable next_snap : int;
 }
@@ -785,21 +786,67 @@ let maybe_clean t =
     end
   end
 
-(* Syncer + maintenance hook executed at every public operation. *)
+(* One syncer pass: flush everything dirty as a segment write. *)
+let syncer_run t =
+  t.in_maintenance <- true;
+  t.last_syncer <- Clock.now t.clock;
+  let frames = Cache.dirty_frames t.cache () in
+  log_write t ~ditems:(dirty_ditems frames) ~inodes:(dirty_inodes t);
+  Stats.incr t.stats "lfs.syncer_runs";
+  t.in_maintenance <- false
+
+(* Syncer + maintenance hook executed at every public operation. When
+   the syncer and cleaner run as background processes ([start_background])
+   the inline syncer is skipped, but the cleaner check stays as an
+   emergency backstop: a write burst between cleaner wakeups must never
+   exhaust the log's writable reserve. *)
 let tick t =
   check_alive t;
   if not t.in_maintenance then begin
-    t.in_maintenance <- true;
-    if Clock.now t.clock -. t.last_syncer >= t.cfg.fs.syncer_interval_s then begin
-      t.last_syncer <- Clock.now t.clock;
-      let frames = Cache.dirty_frames t.cache () in
-      log_write t ~ditems:(dirty_ditems frames) ~inodes:(dirty_inodes t);
-      Stats.incr t.stats "lfs.syncer_runs"
-    end;
-    t.in_maintenance <- false;
+    if
+      (not t.bg)
+      && Clock.now t.clock -. t.last_syncer >= t.cfg.fs.syncer_interval_s
+    then syncer_run t;
     maybe_clean t;
     if t.pending_cp then checkpoint t
   end
+
+let start_background t =
+  match Sched.of_clock t.clock with
+  | None -> ()
+  | Some sched ->
+    if not t.bg then begin
+      t.bg <- true;
+      (* The 30 s syncer becomes a real process instead of a check
+         piggy-backed on every operation. *)
+      Sched.spawn ~daemon:true sched (fun () ->
+          let rec loop () =
+            if not t.crashed then begin
+              Sched.delay sched t.cfg.fs.syncer_interval_s;
+              if not t.crashed then begin
+                if not t.in_maintenance then syncer_run t;
+                loop ()
+              end
+            end
+          in
+          loop ());
+      (* The cleaner polls for low free space off the request path; the
+         inline backstop in [tick] still covers bursts between polls. *)
+      Sched.spawn ~daemon:true sched (fun () ->
+          let rec loop () =
+            if not t.crashed then begin
+              Sched.delay sched 0.5;
+              if not t.crashed then begin
+                if not t.in_maintenance then begin
+                  maybe_clean t;
+                  if t.pending_cp then checkpoint t
+                end;
+                loop ()
+              end
+            end
+          in
+          loop ())
+    end
 
 (* Page access ----------------------------------------------------------- *)
 
@@ -814,11 +861,24 @@ let get_page t ~inum ~lblock =
     Cpu.charge t.clock t.stats t.cfg.cpu Cpu.Protection_check;
   match Cache.lookup t.cache ~file:inum ~lblock with
   | Some f -> f
-  | None ->
+  | None -> (
     let ino = iget t inum in
     let addr = Inode.get_addr ino lblock in
-    let data = if addr = 0 then zero_block t else Disk.read t.disk addr in
-    Cache.insert t.cache ~file:inum ~lblock data
+    match Sched.of_clock t.clock with
+    | Some sched
+      when Sched.in_process sched && (not t.in_maintenance) && addr <> 0 ->
+      (* Cache miss under the scheduler: the read joins the live disk
+         queue and this process parks. LFS maintenance paths stay on the
+         synchronous branch — they must not yield mid-write. *)
+      let data = Disk.read_async t.disk addr in
+      (* Another process may have brought the page in (and dirtied it)
+         while we were parked: never clobber a present frame. *)
+      (match Cache.lookup t.cache ~file:inum ~lblock with
+      | Some f -> f
+      | None -> Cache.insert t.cache ~file:inum ~lblock data)
+    | _ ->
+      let data = if addr = 0 then zero_block t else Disk.read t.disk addr in
+      Cache.insert t.cache ~file:inum ~lblock data)
 
 let new_page t ~inum ~lblock =
   check_alive t;
@@ -1055,6 +1115,7 @@ let make_empty disk clock stats (cfg : Config.t) sb =
       in_maintenance = false;
       pending_cp = false;
       crashed = false;
+      bg = false;
       snaps = [];
       next_snap = 1;
     }

@@ -138,7 +138,16 @@ val check : t -> unit
 
 val get_page : t -> inum:int -> lblock:int -> Cache.frame
 (** The cached frame for a page, reading it from the log on a miss
-    (zero-filled if it is a hole or lies past end of file). *)
+    (zero-filled if it is a hole or lies past end of file). Under a
+    {!Sched} scheduler a miss is serviced through the live disk queue:
+    the calling process parks and other processes run during the read. *)
+
+val start_background : t -> unit
+(** Detach the periodic syncer and the cleaner from the request path,
+    running each as a daemon process on the scheduler attached to this
+    file system's clock (no-op without one). [tick] keeps an inline
+    cleaner backstop so a write burst between cleaner wakeups cannot
+    exhaust the writable reserve. *)
 
 val page_dirty : t -> Cache.frame -> unit
 (** Mark a page frame dirty and its inode modified. *)

@@ -19,6 +19,10 @@ type t = {
   table : (obj, entry) Hashtbl.t;
   chains : (int, (obj * mode) list ref) Hashtbl.t;
   waits_for : (int, wait) Hashtbl.t;
+  (* Under the discrete-event scheduler the transaction layer parks a
+     process whose acquire would block; this hook tells it which
+     transactions' requests stopped conflicting so it can wake them. *)
+  mutable waker : (int -> unit) option;
 }
 
 let create clock stats cpu =
@@ -29,7 +33,10 @@ let create clock stats cpu =
     table = Hashtbl.create 256;
     chains = Hashtbl.create 32;
     waits_for = Hashtbl.create 32;
+    waker = None;
   }
+
+let set_waker t f = t.waker <- f
 
 let charge t = Cpu.charge t.clock t.stats t.cpu Cpu.Lock_op
 
@@ -108,7 +115,8 @@ let revalidate_waiters t obj =
   List.iter
     (fun waiter ->
       Hashtbl.remove t.waits_for waiter;
-      Stats.incr t.stats "lock.waits_cleared")
+      Stats.incr t.stats "lock.waits_cleared";
+      match t.waker with Some wake -> wake waiter | None -> ())
     !cleared
 
 let record_grant t ~txn obj mode =

@@ -30,6 +30,14 @@ type t
 
 val create : Clock.t -> Stats.t -> Config.cpu -> t
 
+val set_waker : t -> (int -> unit) option -> unit
+(** Install a callback fired with a transaction id whenever that
+    transaction's pending request stops conflicting (its wait edges are
+    cleared by a release, abort or grant). The transaction layer uses it
+    to unpark a process blocked in [acquire] under the discrete-event
+    scheduler; a retried acquire is then expected to be granted. [None]
+    (the default) restores the fire-nothing behavior. *)
+
 val acquire : t -> txn:int -> obj -> mode -> outcome
 (** Request a lock. Upgrades ([Shared] then [Exclusive] by the sole
     holder) are granted in place. Repeated requests at an equal or weaker

@@ -1,6 +1,6 @@
-type t = { mutable now : float }
+type t = { mutable now : float; mutable sleeper : (float -> unit) option }
 
-let create () = { now = 0.0 }
+let create () = { now = 0.0; sleeper = None }
 
 let now t = t.now
 
@@ -9,4 +9,11 @@ let advance t dt =
     invalid_arg (Printf.sprintf "Clock.advance: bad delta %g" dt);
   t.now <- t.now +. dt
 
-let sleep_until t deadline = if deadline > t.now then t.now <- deadline
+let catch_up t time = if time > t.now then t.now <- time
+
+let set_sleeper t f = t.sleeper <- f
+
+let sleep_until t deadline =
+  match t.sleeper with
+  | Some sleep -> sleep deadline
+  | None -> if deadline > t.now then t.now <- deadline

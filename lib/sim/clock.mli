@@ -1,10 +1,18 @@
 (** Simulated wall clock.
 
     Every simulation instance (one "machine") owns exactly one clock. All
-    costs — disk service times, CPU charges, sleeps — advance it. Because
-    the reproduction runs at multiprogramming level 1 (as the paper's
-    measurements did), elapsed simulated time is simply the sum of all
-    charges. *)
+    costs — disk service times, CPU charges, sleeps — advance it.
+
+    Two regimes share this interface. Standalone (no scheduler attached,
+    the paper's original multiprogramming-level-1 setup), elapsed simulated
+    time is simply the sum of all charges and [sleep_until] jumps the clock
+    forward directly. When a {!Sched} discrete-event scheduler is attached
+    via {!set_sleeper}, the clock is shared by many cooperative processes:
+    the running process still advances it directly through [advance] (CPU
+    and inline device charges serialize, as on one CPU), but [sleep_until]
+    is routed to the scheduler so the caller parks and other processes run
+    in the meantime. Elapsed time is then the makespan of the interleaved
+    schedule, not the sum of charges. *)
 
 type t
 
@@ -18,7 +26,21 @@ val advance : t -> float -> unit
 (** [advance t dt] moves the clock forward by [dt] seconds.
     @raise Invalid_argument if [dt] is negative or not finite. *)
 
+val catch_up : t -> float -> unit
+(** [catch_up t time] moves the clock forward to [time] if it is in the
+    future; a no-op otherwise. Never dispatches to the sleeper hook — this
+    is the scheduler's own primitive for aligning the clock with the next
+    event, and is not for general use. *)
+
+val set_sleeper : t -> (float -> unit) option -> unit
+(** Install (or clear) the scheduler's sleep hook. When set, every
+    {!sleep_until} is delegated to it. *)
+
 val sleep_until : t -> float -> unit
-(** [sleep_until t deadline] advances the clock to [deadline] if it is in
-    the future; a no-op otherwise. Used by group commit timeouts and the
-    periodic syncer. *)
+(** [sleep_until t deadline] waits until [deadline]. Standalone this
+    advances the clock to [deadline] if it is in the future and is a no-op
+    otherwise. Under a scheduler it parks the calling process until
+    [deadline] — yielding to other runnable processes even when the
+    deadline has already passed, so a same-time waiter cannot starve a
+    timeout process. Used by group commit timeouts and the periodic
+    syncer. *)

@@ -90,4 +90,33 @@ val run_multi :
   n:int ->
   mpl:int ->
   multi_result
-(** Run until [n] transactions have committed, [mpl] at a time. *)
+(** Run until [n] transactions have committed, [mpl] at a time.
+    Legacy round-robin interleaving: steps run back-to-back on the
+    shared clock and a blocked process is simply skipped — no simulated
+    time passes while it waits. Superseded by {!run_sched} for timing
+    studies; kept for lock-manager contention tests. *)
+
+val run_sched :
+  Clock.t ->
+  Stats.t ->
+  Config.t ->
+  db ->
+  backend ->
+  vfs:Vfs.t ->
+  rng:Rng.t ->
+  n:int ->
+  mpl:int ->
+  multi_result
+(** True multi-user run on the discrete-event scheduler attached to
+    [clock] (see {!Sched}): [mpl] worker processes claim transactions
+    from a shared counter, and every blocking point — lock waits,
+    disk-queue reads, the group-commit rendezvous — parks the worker so
+    others overlap with it. Latencies span begin to durable commit,
+    including rendezvous waits. [conflicts] counts real lock blocks.
+
+    To let committers actually overlap, each worker appends to its own
+    history partition ([/tpcb/history.N], created on [vfs] as needed) —
+    otherwise page-grain 2PL on the shared history tail page serializes
+    every transaction through the commit flush. {!history_count} and
+    {!check_consistency} aggregate over the partitions.
+    @raise Invalid_argument if no scheduler is attached to [clock]. *)

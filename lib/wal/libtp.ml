@@ -18,6 +18,10 @@ type t = {
   mutable committed_since_cp : int;
   checkpoint_every : int;
   mutable losers : int;
+  (* Processes parked in [lock] under the scheduler, keyed by txn id;
+     the lock manager's waker broadcasts the condition when the txn's
+     wait edges clear. *)
+  parked : (int, Sched.cond) Hashtbl.t;
 }
 
 exception Conflict of int list
@@ -71,11 +75,35 @@ let do_abort t txn =
   Stats.incr t.stats "txn.aborts";
   release t txn
 
+(* Under the scheduler a conflicting acquire genuinely blocks: the
+   process parks until the lock manager's waker reports its wait edges
+   cleared, then retries. Deadlock (a real wait cycle, detected at
+   acquire time) still aborts and raises. *)
+let rec block_lock t sched txn obj mode =
+  Cpu.charge t.clock t.stats t.cfg.Config.cpu Cpu.Context_switch;
+  Stats.incr t.stats "txn.lock_blocks";
+  let c = Sched.condition () in
+  Hashtbl.replace t.parked txn.id c;
+  let t0 = Clock.now t.clock in
+  Sched.wait sched c;
+  Hashtbl.remove t.parked txn.id;
+  Stats.add_time t.stats "txn.lock_wait" (Clock.now t.clock -. t0);
+  match Lockmgr.acquire t.locks ~txn:txn.id obj mode with
+  | `Granted -> ()
+  | `Would_block _ -> block_lock t sched txn obj mode
+  | `Deadlock ->
+    do_abort t txn;
+    raise (Deadlock_abort txn.id)
+
 let lock t txn obj mode =
   mutex t;
   match Lockmgr.acquire t.locks ~txn:txn.id obj mode with
   | `Granted -> ()
-  | `Would_block blockers -> raise (Conflict blockers)
+  | `Would_block blockers -> (
+    match Sched.of_clock t.clock with
+    | Some sched when Sched.in_process sched ->
+      block_lock t sched txn obj mode
+    | _ -> raise (Conflict blockers))
   | `Deadlock ->
     do_abort t txn;
     raise (Deadlock_abort txn.id)
@@ -246,7 +274,17 @@ let open_env clock stats (cfg : Config.t) vfs ?(pool_pages = 1024)
       committed_since_cp = 0;
       checkpoint_every;
       losers = 0;
+      parked = Hashtbl.create 8;
     }
   in
+  Lockmgr.set_waker locks
+    (Some
+       (fun txnid ->
+         match Hashtbl.find_opt t.parked txnid with
+         | Some c -> (
+           match Sched.of_clock clock with
+           | Some sched -> Sched.broadcast sched c
+           | None -> ())
+         | None -> ()));
   if Logmgr.flushed_lsn log > 0 then recover t else checkpoint t;
   t

@@ -7,6 +7,13 @@ type t = {
   buf : Buffer.t; (* records appended since [flushed] *)
   mutable flushed : int; (* bytes durable on disk *)
   mutable pending_commits : int;
+  (* Group-commit rendezvous state (used only under a Sched scheduler):
+     committers park on [flush_cond] until [force_gen] moves past the
+     generation they joined — every force, whoever triggers it,
+     increments the generation after the fsync, so waking implies the
+     waiter's commit record is durable. *)
+  mutable force_gen : int;
+  flush_cond : Sched.cond;
 }
 
 (* Incremental log scanning: records are streamed through a bounded
@@ -82,6 +89,8 @@ let open_log clock stats cfg vfs ~path =
     buf = Buffer.create 4096;
     flushed = tail;
     pending_commits = 0;
+    force_gen = 0;
+    flush_cond = Sched.condition ();
   }
 
 let flushed_lsn t = t.flushed
@@ -110,7 +119,14 @@ let do_force t =
     Stats.observe t.stats "log.force" (Clock.now t.clock -. t0);
     if Stats.tracing t.stats then
       Stats.emit t.stats ~time:(Clock.now t.clock) "log.force"
-        [ ("bytes", Trace.I (Bytes.length data)); ("lsn", Trace.I t.flushed) ]
+        [ ("bytes", Trace.I (Bytes.length data)); ("lsn", Trace.I t.flushed) ];
+    (* The records are on disk: release any committers parked at the
+       rendezvous. Incrementing after the fsync means a woken waiter's
+       commit record is guaranteed durable. *)
+    t.force_gen <- t.force_gen + 1;
+    match Sched.of_clock t.clock with
+    | Some sched -> Sched.broadcast sched t.flush_cond
+    | None -> ()
   end
 
 let force t ~upto = if upto >= t.flushed then do_force t
@@ -122,12 +138,30 @@ let force_commit t ~upto =
     if timeout <= 0.0 || t.pending_commits >= t.cfg.Config.fs.group_commit_size
     then do_force t
     else begin
-      (* Wait for company; at MPL 1 nobody arrives and the timeout
-         expires (Section 4.4). *)
-      Clock.advance t.clock timeout;
-      Stats.add_time t.stats "log.group_commit_wait" timeout;
-      Stats.observe t.stats "log.group_commit_wait" timeout;
-      do_force t
+      match Sched.of_clock t.clock with
+      | Some sched when Sched.in_process sched ->
+        (* Real rendezvous: park until the batch fills (a later
+           committer's inline force) or our batch's timeout process
+           fires. The first committer of a batch arms the timeout. *)
+        let gen = t.force_gen in
+        let t0 = Clock.now t.clock in
+        if t.pending_commits = 1 then
+          Sched.spawn ~daemon:true sched (fun () ->
+              Sched.delay sched timeout;
+              if t.force_gen = gen then do_force t);
+        while t.force_gen = gen do
+          Sched.wait sched t.flush_cond
+        done;
+        let waited = Clock.now t.clock -. t0 in
+        Stats.add_time t.stats "log.group_commit_wait" waited;
+        Stats.observe t.stats "log.group_commit_wait" waited
+      | _ ->
+        (* Wait for company; at MPL 1 nobody arrives and the timeout
+           expires (Section 4.4). *)
+        Clock.advance t.clock timeout;
+        Stats.add_time t.stats "log.group_commit_wait" timeout;
+        Stats.observe t.stats "log.group_commit_wait" timeout;
+        do_force t
     end
   end
 

@@ -237,6 +237,96 @@ let test_explicit_flush_commits () =
     (Bytes.get (Ktxn.read_page sys.Core.ktxn t ~inum ~page:0) 0);
   Ktxn.txn_commit sys.Core.ktxn t
 
+(* Scheduler-based concurrency ---------------------------------------------- *)
+
+(* Two worker processes lock the same pages in opposite orders. Both
+   genuinely park on each other's locks (a real wait-for cycle between
+   suspended processes, not a same-thread retry); the detector aborts
+   one and the lock manager's waker resumes the survivor. *)
+let test_sched_deadlock_cycle () =
+  let sys = boot () in
+  let inum = setup_file sys "/db" in
+  let k = sys.Core.ktxn in
+  let sched = Sched.create sys.Core.clock in
+  let aborted = ref 0 and committed = ref 0 in
+  let proc first second () =
+    let t = Ktxn.txn_begin k in
+    match
+      Ktxn.write_page k t ~inum ~page:first (page sys 'X');
+      (* yield so the other process takes its first lock too *)
+      Sched.delay sched 0.001;
+      Ktxn.write_page k t ~inum ~page:second (page sys 'Y')
+    with
+    | () ->
+      Ktxn.txn_commit k t;
+      incr committed
+    | exception Ktxn.Deadlock_abort _ -> incr aborted
+  in
+  Sched.spawn sched (proc 0 1);
+  Sched.spawn sched (proc 1 0);
+  Sched.run sched;
+  Sched.detach sched;
+  Alcotest.(check int) "one victim" 1 !aborted;
+  Alcotest.(check int) "one survivor" 1 !committed;
+  Alcotest.(check bool) "a process really blocked first" true
+    (Stats.count sys.Core.stats "ktxn.lock_blocks" >= 1);
+  (* The survivor's writes are intact and the victim's are gone. *)
+  let t = Ktxn.txn_begin k in
+  let a = Bytes.get (Ktxn.read_page k t ~inum ~page:0) 0 in
+  let b = Bytes.get (Ktxn.read_page k t ~inum ~page:1) 0 in
+  Ktxn.txn_commit k t;
+  Alcotest.(check bool) "exactly one txn's pages survive" true
+    ((a = 'X' && b = 'Y') || (a = 'Y' && b = 'X'))
+
+(* With MPL >= group size, parked committers fill the batch and the
+   filling commit flushes everyone at once: one group flush, full-size
+   batch, and nobody pays the timeout. At MPL 1 the same configuration
+   degenerates to one flush per commit. *)
+let test_sched_group_commit_rendezvous () =
+  let cfg = Tutil.small_config () in
+  let cfg =
+    {
+      cfg with
+      Config.fs =
+        { cfg.Config.fs with group_commit_timeout_s = 10.0; group_commit_size = 4 };
+    }
+  in
+  let sys = Core.boot ~config:cfg () in
+  let inum = setup_file sys "/db" in
+  let k = sys.Core.ktxn in
+  let sched = Sched.create sys.Core.clock in
+  let t0 = Clock.now sys.Core.clock in
+  for i = 0 to 3 do
+    Sched.spawn sched (fun () ->
+        let t = Ktxn.txn_begin k in
+        Ktxn.write_page k t ~inum ~page:i (page sys 'G');
+        Ktxn.txn_commit k t)
+  done;
+  Sched.run sched;
+  Sched.detach sched;
+  Alcotest.(check int) "one shared flush" 1
+    (Stats.count sys.Core.stats "ktxn.group_flushes");
+  (match Stats.histo sys.Core.stats "ktxn.commit_batch" with
+  | Some h ->
+    Alcotest.(check (float 1e-9)) "batch reached the group size" 4.0
+      (Histo.max_value h)
+  | None -> Alcotest.fail "no batch histogram");
+  Alcotest.(check bool) "filled batch beat the timeout" true
+    (Clock.now sys.Core.clock -. t0 < 10.0);
+  (* The same work at MPL 1 (legacy path, no scheduler) forces a flush
+     per commit and waits out each timeout. *)
+  let sys' = Core.boot ~config:cfg () in
+  let inum' = setup_file sys' "/db" in
+  let k' = sys'.Core.ktxn in
+  for i = 0 to 3 do
+    let t = Ktxn.txn_begin k' in
+    Ktxn.write_page k' t ~inum:inum' ~page:i (page sys' 'G');
+    Ktxn.txn_commit k' t
+  done;
+  Ktxn.flush_commits k';
+  Alcotest.(check int) "MPL 1: a flush per commit" 4
+    (Stats.count sys'.Core.stats "ktxn.group_flushes")
+
 let test_protect_unprotect_toggle () =
   let sys = boot () in
   let v = Lfs.vfs sys.Core.lfs in
@@ -369,6 +459,13 @@ let () =
           Alcotest.test_case "explicit flush" `Quick test_explicit_flush_commits;
           Alcotest.test_case "protect/unprotect" `Quick test_protect_unprotect_toggle;
           Alcotest.test_case "finished txn rejected" `Quick test_finished_txn_rejected;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "deadlock on a real wait cycle" `Quick
+            test_sched_deadlock_cycle;
+          Alcotest.test_case "group-commit rendezvous" `Quick
+            test_sched_group_commit_rendezvous;
         ] );
       ( "facade",
         [

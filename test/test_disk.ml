@@ -85,11 +85,11 @@ let test_peek_poke_free () =
 
 let test_elevator_order () =
   let reqs = [ (50, "a"); (10, "b"); (90, "c"); (30, "d") ] in
-  let ordered = Sched.order Sched.Elevator ~head:40 reqs in
+  let ordered = Elevator.order Elevator.Elevator ~head:40 reqs in
   Alcotest.(check (list int)) "ascending from head, then wrap"
     [ 50; 90; 10; 30 ]
     (List.map fst ordered);
-  let fcfs = Sched.order Sched.Fcfs ~head:40 reqs in
+  let fcfs = Elevator.order Elevator.Fcfs ~head:40 reqs in
   Alcotest.(check (list int)) "fcfs keeps arrival order" [ 50; 10; 90; 30 ]
     (List.map fst fcfs)
 
@@ -98,15 +98,60 @@ let prop_elevator_is_permutation =
     QCheck2.Gen.(pair (int_bound 1000) (list (int_bound 1000)))
     (fun (head, blocks) ->
       let reqs = List.map (fun b -> (b, ())) blocks in
-      let out = Sched.order Sched.Elevator ~head reqs in
+      let out = Elevator.order Elevator.Elevator ~head reqs in
       List.sort compare (List.map fst out) = List.sort compare blocks)
+
+(* Queued reads under the scheduler: concurrent processes enqueue
+   requests, the server daemon serves them in elevator order, and each
+   process gets the bytes that were on the platter at submission. *)
+let test_read_async_queue () =
+  let c, d = mk () in
+  let bs = Disk.block_size d in
+  let blocks = [ 900; 50; 700; 200 ] in
+  List.iter (fun b -> Disk.write d b (Tutil.payload b bs)) blocks;
+  let sched = Sched.create c in
+  let done_order = ref [] in
+  List.iter
+    (fun b ->
+      Sched.spawn sched (fun () ->
+          let data = Disk.read_async d b in
+          Tutil.check_bytes "content" (Tutil.payload b bs) data;
+          done_order := b :: !done_order))
+    blocks;
+  Sched.run sched;
+  Sched.detach sched;
+  let served = List.rev !done_order in
+  Alcotest.(check int) "all served" 4 (List.length served);
+  (* All four were queued before the server daemon first ran, so the
+     elevator reordered them: service order differs from submission
+     order yet is a single C-LOOK sweep (at most one descent). *)
+  Alcotest.(check bool) "reordered" true (served <> blocks);
+  let rec descents prev = function
+    | [] -> 0
+    | x :: rest -> (if x < prev then 1 else 0) + descents x rest
+  in
+  (match served with
+  | x :: rest ->
+    Alcotest.(check bool) "single sweep" true (descents x rest <= 1)
+  | [] -> Alcotest.fail "nothing served")
+
+let prop_elevator_clook_from_head =
+  Tutil.qtest "elevator is C-LOOK-monotone from the head"
+    QCheck2.Gen.(pair (int_bound 1000) (list (int_bound 1000)))
+    (fun (head, blocks) ->
+      (* Exactly: ascending blocks at or past the head, then one wrap to
+         the ascending blocks below it. *)
+      let ge, lt = List.partition (fun b -> b >= head) blocks in
+      let reqs = List.map (fun b -> (b, ())) blocks in
+      let out = List.map fst (Elevator.order Elevator.Elevator ~head reqs) in
+      out = List.sort compare ge @ List.sort compare lt)
 
 let prop_elevator_single_sweep =
   Tutil.qtest "elevator does at most one wrap"
     QCheck2.Gen.(pair (int_bound 1000) (list (int_bound 1000)))
     (fun (head, blocks) ->
       let reqs = List.map (fun b -> (b, ())) blocks in
-      let out = List.map fst (Sched.order Sched.Elevator ~head reqs) in
+      let out = List.map fst (Elevator.order Elevator.Elevator ~head reqs) in
       (* Direction changes downward at most once. *)
       let rec descents prev = function
         | [] -> 0
@@ -130,11 +175,13 @@ let () =
             test_service_time_monotone_in_distance;
           Alcotest.test_case "range checks" `Quick test_out_of_range;
           Alcotest.test_case "peek/poke" `Quick test_peek_poke_free;
+          Alcotest.test_case "queued reads" `Quick test_read_async_queue;
         ] );
-      ( "sched",
+      ( "elevator",
         [
           Alcotest.test_case "elevator order" `Quick test_elevator_order;
           prop_elevator_is_permutation;
+          prop_elevator_clook_from_head;
           prop_elevator_single_sweep;
         ] );
     ]

@@ -106,6 +106,18 @@ let sweep_tpcb_ffs () =
 let sweep_tpcb_lfs_user () =
   assert_clean (Sweep.sweep_tpcb Sweep.Lfs_user ~seed:2 ~txns:5 ~points:8)
 
+(* MPL 2 on the discrete-event scheduler with group commit enabled:
+   crash points land mid-rendezvous, with one committer possibly
+   flushed-but-parked and another unflushed. The acknowledged-commit
+   lower bound must still hold. *)
+let sweep_tpcb_mpl2 () =
+  if full then
+    assert_clean
+      (Sweep.sweep_tpcb_mpl Sweep.Lfs_kernel ~seed:3 ~txns:20 ~mpl:2 ~points:0)
+  else
+    assert_clean
+      (Sweep.sweep_tpcb_mpl Sweep.Lfs_kernel ~seed:3 ~txns:6 ~mpl:2 ~points:10)
+
 (* Negative control: disable the roll-forward payload verification and
    the sweep must catch torn partial-segment writes that the hardened
    recovery path would have rejected. A harness that cannot detect a
@@ -142,6 +154,7 @@ let () =
           Alcotest.test_case "tpcb / lfs-kernel" `Slow sweep_tpcb_kernel;
           Alcotest.test_case "tpcb / lfs-user" `Slow sweep_tpcb_lfs_user;
           Alcotest.test_case "tpcb / ffs-user" `Slow sweep_tpcb_ffs;
+          Alcotest.test_case "tpcb / lfs-kernel at MPL 2" `Slow sweep_tpcb_mpl2;
           Alcotest.test_case "broken recovery is caught" `Slow
             test_broken_recovery_is_caught;
         ] );

@@ -110,6 +110,124 @@ let prop_histo_percentile_bounded =
           v >= Histo.min_value h && v <= Histo.max_value h)
         [ 0.0; 0.10; 0.50; 0.90; 0.99; 1.0 ])
 
+(* Discrete-event scheduler ------------------------------------------------- *)
+
+let test_sched_ordering () =
+  let clock = Clock.create () in
+  let sched = Sched.create clock in
+  let log = ref [] in
+  let emit tag = log := (tag, Clock.now clock) :: !log in
+  Sched.spawn sched (fun () ->
+      emit "a0";
+      Sched.delay sched 2.0;
+      emit "a2");
+  Sched.spawn sched (fun () ->
+      emit "b0";
+      Sched.delay sched 1.0;
+      emit "b1");
+  Sched.run sched;
+  Sched.detach sched;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "time order; spawn order at t=0"
+    [ ("a0", 0.0); ("b0", 0.0); ("b1", 1.0); ("a2", 2.0) ]
+    (List.rev !log)
+
+let test_sched_deterministic_ties () =
+  (* Same-time events run in scheduling order, so a whole run replays
+     identically. *)
+  let one_run () =
+    let clock = Clock.create () in
+    let sched = Sched.create clock in
+    let log = ref [] in
+    for i = 1 to 5 do
+      Sched.spawn sched (fun () ->
+          Sched.delay sched 1.0;
+          (* all five land at t=1.0 *)
+          log := i :: !log;
+          Sched.yield sched;
+          log := (10 * i) :: !log)
+    done;
+    Sched.run sched;
+    Sched.detach sched;
+    List.rev !log
+  in
+  let a = one_run () in
+  Alcotest.(check (list int))
+    "ties break by schedule order" [ 1; 2; 3; 4; 5; 10; 20; 30; 40; 50 ] a;
+  Alcotest.(check (list int)) "replay is identical" a (one_run ())
+
+let test_sched_condition_fifo () =
+  let clock = Clock.create () in
+  let sched = Sched.create clock in
+  let cond = Sched.condition () in
+  let order = ref [] in
+  for i = 1 to 3 do
+    Sched.spawn sched (fun () ->
+        Sched.wait sched cond;
+        order := i :: !order)
+  done;
+  Sched.spawn sched (fun () ->
+      Sched.delay sched 1.0;
+      Sched.signal sched cond;
+      (* remaining two wake together *)
+      Sched.broadcast sched cond);
+  Sched.run sched;
+  Sched.detach sched;
+  Alcotest.(check (list int)) "FIFO wake order" [ 1; 2; 3 ] (List.rev !order)
+
+let test_sched_stalled_and_daemons () =
+  let clock = Clock.create () in
+  let sched = Sched.create clock in
+  let cond = Sched.condition () in
+  Sched.spawn sched (fun () -> Sched.wait sched cond);
+  Alcotest.check_raises "waiter with no signaller" (Sched.Stalled 1) (fun () ->
+      Sched.run sched);
+  Sched.detach sched;
+  (* A daemon alone does not keep the scheduler alive. *)
+  let clock = Clock.create () in
+  let sched = Sched.create clock in
+  let ticks = ref 0 in
+  Sched.spawn ~daemon:true sched (fun () ->
+      while true do
+        Sched.delay sched 1.0;
+        incr ticks
+      done);
+  Sched.spawn sched (fun () -> Sched.delay sched 2.5);
+  Sched.run sched;
+  Sched.detach sched;
+  Alcotest.(check int) "daemon ran while foreground lived" 2 !ticks
+
+(* Regression: under a scheduler, [Clock.sleep_until] must yield even
+   when the deadline is already past — otherwise a same-time waiter
+   (e.g. a group-commit timeout process) can be starved by a
+   zero-length sleep. Without a scheduler it stays a no-op jump. *)
+let test_sched_sleep_until_past_still_yields () =
+  let clock = Clock.create () in
+  let sched = Sched.create clock in
+  let log = ref [] in
+  Sched.spawn sched (fun () ->
+      Clock.advance clock 5.0;
+      Clock.sleep_until clock 1.0;
+      (* already past *)
+      log := "sleeper" :: !log);
+  Sched.spawn sched (fun () -> log := "other" :: !log);
+  Sched.run sched;
+  Sched.detach sched;
+  Alcotest.(check (float 1e-9)) "time kept" 5.0 (Clock.now clock);
+  Alcotest.(check (list string))
+    "the other process ran before the sleeper resumed" [ "other"; "sleeper" ]
+    (List.rev !log)
+
+let test_sched_registry () =
+  let c1 = Clock.create () and c2 = Clock.create () in
+  let s1 = Sched.create c1 in
+  Alcotest.(check bool) "found" true
+    (match Sched.of_clock c1 with Some s -> s == s1 | None -> false);
+  Alcotest.(check bool) "other clock unclaimed" true (Sched.of_clock c2 = None);
+  Alcotest.(check bool) "outside any process" false (Sched.in_process s1);
+  Sched.detach s1;
+  Alcotest.(check bool) "detached" true (Sched.of_clock c1 = None)
+
 (* JSON --------------------------------------------------------------------- *)
 
 let test_json_roundtrip () =
@@ -328,6 +446,18 @@ let () =
           Alcotest.test_case "user mutex" `Quick test_user_mutex_cost;
         ] );
       ("config", [ Alcotest.test_case "scaled" `Quick test_config_scaled ]);
+      ( "sched",
+        [
+          Alcotest.test_case "ordering" `Quick test_sched_ordering;
+          Alcotest.test_case "deterministic ties" `Quick
+            test_sched_deterministic_ties;
+          Alcotest.test_case "condition fifo" `Quick test_sched_condition_fifo;
+          Alcotest.test_case "stalled / daemons" `Quick
+            test_sched_stalled_and_daemons;
+          Alcotest.test_case "sleep into the past yields" `Quick
+            test_sched_sleep_until_past_still_yields;
+          Alcotest.test_case "registry" `Quick test_sched_registry;
+        ] );
       ( "rng",
         [
           Alcotest.test_case "determinism" `Quick test_rng_determinism;
