@@ -55,8 +55,8 @@ let micro_tests () =
     let clock = Clock.create () in
     let stats = Stats.create () in
     let cfg = Config.scaled ~factor:0.05 Config.default in
-    let disk = Disk.create clock stats cfg.Config.disk in
-    let fs = Lfs.format disk clock stats cfg in
+    let disks = Diskset.create clock stats cfg in
+    let fs = Lfs.format disks clock stats cfg in
     let v = Lfs.vfs fs in
     let fd = v.Vfs.create "/bench" in
     let bt = Btree.attach clock stats cfg.Config.cpu (Pager.plain v fd) in

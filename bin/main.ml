@@ -29,6 +29,25 @@ let json_arg =
   in
   Arg.(value & flag & info [ "json" ] ~doc)
 
+let ndisks_arg =
+  let doc =
+    "Number of data spindles. Above 1, LFS stripes whole segments \
+     round-robin across the spindles; 1 reproduces the paper's single-disk \
+     configuration bit-for-bit."
+  in
+  Arg.(value & opt int 1 & info [ "ndisks" ] ~docv:"N" ~doc)
+
+let log_disk_arg =
+  let doc =
+    "Add a dedicated log spindle: the write-ahead log (user setups) or the \
+     LFS checkpoint region (kernel setup) stops competing with data-disk \
+     traffic."
+  in
+  Arg.(value & flag & info [ "log-disk" ] ~doc)
+
+let with_disks ~ndisks ~log_disk (c : Config.t) =
+  { c with Config.fs = { c.Config.fs with Config.ndisks; log_disk } }
+
 let emit_bench ~name ~config json =
   let path = Expcommon.write_bench ~name ~config json in
   Printf.printf "wrote %s\n" path
@@ -140,10 +159,11 @@ let mpl_arg =
   Arg.(value & opt int 1 & info [ "mpl" ] ~docv:"N" ~doc)
 
 let tpcb_cmd =
-  let run setup scale txns seed mpl =
+  let run setup scale txns seed mpl ndisks log_disk =
     let setup = parse_setup setup in
     let config =
-      Config.scaled ~factor:(float_of_int scale /. 10.0) Config.default
+      with_disks ~ndisks ~log_disk
+        (Config.scaled ~factor:(float_of_int scale /. 10.0) Config.default)
     in
     let r =
       if mpl <= 1 then
@@ -170,7 +190,8 @@ let tpcb_cmd =
   Cmd.v
     (Cmd.info "tpcb" ~doc:"Run TPC-B on one configuration and report TPS")
     Term.(
-      const run $ setup_arg $ scale_arg $ txns_arg 10_000 $ seed_arg $ mpl_arg)
+      const run $ setup_arg $ scale_arg $ txns_arg 10_000 $ seed_arg $ mpl_arg
+      $ ndisks_arg $ log_disk_arg)
 
 (* MPL x group-commit sweep on the discrete-event scheduler. *)
 let mplsweep_cmd =
@@ -185,7 +206,7 @@ let mplsweep_cmd =
     in
     Arg.(value & opt string "1:0,4:50,8:100" & info [ "groups" ] ~docv:"LIST" ~doc)
   in
-  let run setup scale txns seed mpls groups json =
+  let run setup scale txns seed mpls groups json ndisks log_disk =
     let setup = parse_setup setup in
     let parse_list name conv s =
       List.map
@@ -206,7 +227,13 @@ let mplsweep_cmd =
           | _ -> failwith "expected size:timeout_ms")
         groups
     in
-    let s = Mplsweep.run ~tps_scale:scale ~txns ~seed ~mpls ~groups ~setup () in
+    let config =
+      with_disks ~ndisks ~log_disk
+        (Config.scaled ~factor:(float_of_int scale /. 10.0) Config.default)
+    in
+    let s =
+      Mplsweep.run ~config ~tps_scale:scale ~txns ~seed ~mpls ~groups ~setup ()
+    in
     Mplsweep.print s;
     if json then
       emit_bench ~name:"mplsweep" ~config:s.Mplsweep.config
@@ -220,7 +247,47 @@ let mplsweep_cmd =
           blocks and deadlocks")
     Term.(
       const run $ setup_arg $ scale_arg $ txns_arg 2_000 $ seed_arg $ mpls_arg
-      $ groups_arg $ json_arg)
+      $ groups_arg $ json_arg $ ndisks_arg $ log_disk_arg)
+
+(* Disk-placement sweep: dedicated log spindle and striped segments. *)
+let disksweep_cmd =
+  let mpls_arg =
+    let doc = "Comma-separated multiprogramming levels to sweep." in
+    Arg.(value & opt string "1,8" & info [ "mpls" ] ~docv:"LIST" ~doc)
+  in
+  (* Default to lfs-user: the WAL is where a dedicated log spindle pays
+     off. In lfs-kernel the LFS log IS the data, so the spindle only
+     carries checkpoints. *)
+  let setup_arg =
+    let doc = "Configuration: readopt-user, lfs-user, or lfs-kernel." in
+    Arg.(value & opt string "lfs-user" & info [ "setup" ] ~docv:"SETUP" ~doc)
+  in
+  let run setup scale txns seed mpls json =
+    let setup = parse_setup setup in
+    let mpls =
+      List.map
+        (fun item ->
+          try int_of_string (String.trim item)
+          with _ ->
+            prerr_endline ("disksweep: bad mpl element: " ^ item);
+            exit 2)
+        (String.split_on_char ',' mpls)
+    in
+    let s = Disksweep.run ~tps_scale:scale ~txns ~seed ~mpls ~setup () in
+    Disksweep.print s;
+    if json then
+      emit_bench ~name:"disksweep" ~config:s.Disksweep.config
+        (Disksweep.to_json s)
+  in
+  Cmd.v
+    (Cmd.info "disksweep"
+       ~doc:
+         "Sweep disk placement — one shared spindle, dedicated log spindle, \
+          2- and 4-wide segment stripes — under TPC-B and report TPS and \
+          per-disk utilization")
+    Term.(
+      const run $ setup_arg $ scale_arg $ txns_arg 1_000 $ seed_arg $ mpls_arg
+      $ json_arg)
 
 (* Event tracing: run TPC-B with the trace ring attached and dump it. *)
 let trace_cmd =
@@ -235,10 +302,11 @@ let trace_cmd =
     in
     Arg.(value & opt int 65_536 & info [ "cap" ] ~docv:"N" ~doc)
   in
-  let run setup scale txns seed out cap mpl =
+  let run setup scale txns seed out cap mpl ndisks log_disk =
     let setup = parse_setup setup in
     let config =
-      Config.scaled ~factor:(float_of_int scale /. 10.0) Config.default
+      with_disks ~ndisks ~log_disk
+        (Config.scaled ~factor:(float_of_int scale /. 10.0) Config.default)
     in
     let r =
       if mpl <= 1 then
@@ -269,7 +337,7 @@ let trace_cmd =
           captures multi-process interleavings")
     Term.(
       const run $ setup_arg $ scale_arg $ txns_arg 1_000 $ seed_arg $ out_arg
-      $ cap_arg $ mpl_arg)
+      $ cap_arg $ mpl_arg $ ndisks_arg $ log_disk_arg)
 
 (* Schema check for BENCH_*.json artifacts (used by CI to reject empty or
    malformed benchmark output). *)
@@ -414,6 +482,88 @@ let bench_check_cmd =
                   points)
             points
         end)
+      | _ -> ());
+      (* disksweep artifacts promise per-point placement fields, that the
+         dedicated log spindle and the stripe beat the shared single disk
+         at MPL 8, and that the stripe actually spreads the load. *)
+      (match Json.member "meta" doc with
+      | Some meta when Json.member "name" meta = Some (Json.Str "disksweep") ->
+        let points =
+          match Json.member "data" doc with
+          | Some data -> (
+            match Json.member "points" data with
+            | Some (Json.List ps) -> ps
+            | _ -> [])
+          | None -> []
+        in
+        if points = [] then err "disksweep: data.points missing or empty"
+        else begin
+          List.iter
+            (fun p ->
+              List.iter
+                (fun field ->
+                  if Json.member field p = None then
+                    err "disksweep point missing field %s" field)
+                [ "label"; "ndisks"; "log_disk"; "mpl"; "tps"; "disks" ])
+            points;
+          let num = function
+            | Some (Json.Float f) -> f
+            | Some (Json.Int i) -> float_of_int i
+            | _ -> 0.0
+          in
+          let at ~ndisks ~log_disk ~mpl =
+            List.find_opt
+              (fun p ->
+                num (Json.member "ndisks" p) = float_of_int ndisks
+                && Json.member "log_disk" p = Some (Json.Bool log_disk)
+                && num (Json.member "mpl" p) = float_of_int mpl)
+              points
+          in
+          let require_faster ~what a b =
+            if num (Json.member "tps" a) <= num (Json.member "tps" b) then
+              err "disksweep: TPS(%s) (%.2f) not above TPS(1 shared) (%.2f) \
+                   at MPL 8"
+                what
+                (num (Json.member "tps" a))
+                (num (Json.member "tps" b))
+          in
+          (match (at ~ndisks:1 ~log_disk:false ~mpl:8,
+                  at ~ndisks:1 ~log_disk:true ~mpl:8) with
+          | Some shared, Some dedicated ->
+            require_faster ~what:"1+log" dedicated shared
+          | _ -> ());
+          (match (at ~ndisks:1 ~log_disk:false ~mpl:8,
+                  at ~ndisks:4 ~log_disk:true ~mpl:8) with
+          | Some shared, Some stripe ->
+            require_faster ~what:"4+log" stripe shared
+          | _ -> ());
+          (* Per-disk busy times of a 4-wide stripe must lie within 2x of
+             each other — the round-robin layout has no hot spindle. *)
+          List.iter
+            (fun p ->
+              if num (Json.member "ndisks" p) = 4.0 then
+                match Json.member "disks" p with
+                | Some (Json.List ds) ->
+                  let busies =
+                    List.filter_map
+                      (fun d ->
+                        match Json.member "disk" d with
+                        | Some (Json.Str name) when name <> "disklog" ->
+                          Some (num (Json.member "busy_s" d))
+                        | _ -> None)
+                      ds
+                  in
+                  let hi = List.fold_left Float.max 0.0 busies in
+                  let lo = List.fold_left Float.min infinity busies in
+                  if busies <> [] && hi > 2.0 *. lo then
+                    err
+                      "disksweep: 4-disk stripe busy times unbalanced at MPL \
+                       %g (max %.2fs > 2x min %.2fs)"
+                      (num (Json.member "mpl" p))
+                      hi lo
+                | _ -> ())
+            points
+        end
       | _ -> ()));
     match !errors with
     | [] ->
@@ -441,8 +591,8 @@ let lfsdump_cmd =
     let cfg = Config.scaled ~factor:0.1 Config.default in
     let clock = Clock.create () in
     let stats = Stats.create () in
-    let disk = Disk.create clock stats cfg.Config.disk in
-    let fs = Lfs.format disk clock stats cfg in
+    let disks = Diskset.create clock stats cfg in
+    let fs = Lfs.format disks clock stats cfg in
     let v = Lfs.vfs fs in
     let rng = Rng.create ~seed:1 in
     for i = 0 to 19 do
@@ -491,8 +641,8 @@ let snapshot_cmd =
     let cfg = Config.scaled ~factor:0.1 Config.default in
     let clock = Clock.create () in
     let stats = Stats.create () in
-    let disk = Disk.create clock stats cfg.Config.disk in
-    let fs = Lfs.format disk clock stats cfg in
+    let disks = Diskset.create clock stats cfg in
+    let fs = Lfs.format disks clock stats cfg in
     let v = Lfs.vfs fs in
     let fd = v.Vfs.create "/journal" in
     v.Vfs.write fd ~off:0 (Bytes.of_string "day 1: all is well");
@@ -542,7 +692,8 @@ let faultsim_cmd =
     let doc = "Print every run's outcome, not just violations." in
     Arg.(value & flag & info [ "verbose" ] ~doc)
   in
-  let run backend workload txns seed points crash_point verbose mpl =
+  let run backend workload txns seed points crash_point verbose mpl ndisks
+      log_disk =
     let usage msg =
       prerr_endline ("txnlfs faultsim: " ^ msg);
       exit 2
@@ -554,14 +705,19 @@ let faultsim_cmd =
     in
     let one, swp =
       match (workload, mpl) with
-      | "pages", 1 -> (Sweep.run_one, Sweep.sweep)
+      | "pages", 1 ->
+        (Sweep.run_one ~ndisks ~log_disk, Sweep.sweep ~ndisks ~log_disk)
       | "pages", _ -> usage "--mpl applies to the tpcb workload only"
-      | "tpcb", 1 -> (Sweep.run_one_tpcb, Sweep.sweep_tpcb)
+      | "tpcb", 1 ->
+        ( Sweep.run_one_tpcb ~ndisks ~log_disk,
+          Sweep.sweep_tpcb ~ndisks ~log_disk )
       | "tpcb", _ ->
         ( (fun backend ~seed ~txns ?crash_point () ->
-            Sweep.run_one_tpcb_mpl backend ~seed ~txns ~mpl ?crash_point ()),
+            Sweep.run_one_tpcb_mpl ~ndisks ~log_disk backend ~seed ~txns ~mpl
+              ?crash_point ()),
           fun ?progress backend ~seed ~txns ~points ->
-            Sweep.sweep_tpcb_mpl ?progress backend ~seed ~txns ~mpl ~points )
+            Sweep.sweep_tpcb_mpl ?progress ~ndisks ~log_disk backend ~seed
+              ~txns ~mpl ~points )
       | w, _ -> usage ("unknown workload " ^ w ^ " (pages, tpcb)")
     in
     match crash_point with
@@ -587,7 +743,8 @@ let faultsim_cmd =
           durability oracle")
     Term.(
       const run $ backend_arg $ workload_arg $ txns_arg 25 $ seed_arg
-      $ points_arg $ crash_point_arg $ verbose_arg $ mpl_arg)
+      $ points_arg $ crash_point_arg $ verbose_arg $ mpl_arg $ ndisks_arg
+      $ log_disk_arg)
 
 let main =
   Cmd.group
@@ -603,6 +760,7 @@ let main =
       ablation_cmd;
       tpcb_cmd;
       mplsweep_cmd;
+      disksweep_cmd;
       trace_cmd;
       bench_check_cmd;
       lfsdump_cmd;

@@ -19,8 +19,8 @@ let user_level () =
   let clock = Clock.create () in
   let stats = Stats.create () in
   let config = cfg () in
-  let disk = Disk.create clock stats config.Config.disk in
-  let fs = Lfs.format disk clock stats config in
+  let disks = Diskset.create clock stats config in
+  let fs = Lfs.format disks clock stats config in
   let v = Lfs.vfs fs in
   let fd = v.Vfs.create "/data" in
   Lfs.sync fs;
@@ -40,7 +40,7 @@ let user_level () =
   print_endline "crash! (txn 2 uncommitted, its log records on disk)";
   Lfs.crash fs;
 
-  let fs = Lfs.mount disk clock stats config in
+  let fs = Lfs.mount disks clock stats config in
   let v = Lfs.vfs fs in
   let env = Libtp.open_env clock stats config v ~log_path:"/wal.log" () in
   Printf.printf "recovery undid %d loser transaction(s)\n"

@@ -97,6 +97,12 @@ let drop t f =
   Hashtbl.remove t.tbl (f.file, f.lblock);
   f.resident <- false
 
+let pin f = f.pins <- f.pins + 1
+
+let unpin f =
+  if f.pins <= 0 then invalid_arg "Cache.unpin: frame not pinned";
+  f.pins <- f.pins - 1
+
 let evict_one t =
   (* Walk from the LRU end for the first evictable frame. *)
   let rec find f =
@@ -107,15 +113,42 @@ let evict_one t =
   let victim = find t.lru.next in
   if victim.dirty then begin
     Stats.incr t.stats "cache.evict_dirty";
-    t.writeback victim;
-    victim.dirty <- false
+    (* Pin across the writeback: under the scheduler the hook can block
+       on the disk and yield, and no other fiber may pick this victim
+       (pins > 0 excludes it from the walk above) or drop it from the
+       cyclic list while its bytes are in flight. *)
+    let seq = victim.modseq in
+    pin victim;
+    Fun.protect
+      ~finally:(fun () -> unpin victim)
+      (fun () -> t.writeback victim);
+    (* Only mark clean if nobody re-dirtied the frame while the
+       writeback was parked — a newer modification is not on disk. *)
+    if victim.modseq = seq then victim.dirty <- false
   end
   else Stats.incr t.stats "cache.evict_clean";
-  drop t victim
+  (* Re-check after the potential yield: the victim may have been
+     invalidated, pinned or re-dirtied by another fiber meanwhile. If it
+     is no longer droppable the caller's capacity loop simply evicts
+     another frame. *)
+  if victim.resident && victim.pins = 0 && not victim.dirty then drop t victim
 
 let insert t ~file ~lblock data =
   (match Hashtbl.find_opt t.tbl (file, lblock) with
-  | Some old -> drop t old
+  | Some old ->
+    if old.pins > 0 || old.txn >= 0 then
+      invalid_arg "Cache.insert: replacing a pinned or transaction-owned frame";
+    if old.dirty then begin
+      (* Replacing a dirty frame must not lose its bytes: push them to
+         the backing store first (the hook may clean other frames too,
+         hence the re-checks below). *)
+      Stats.incr t.stats "cache.insert_writeback";
+      let seq = old.modseq in
+      pin old;
+      Fun.protect ~finally:(fun () -> unpin old) (fun () -> t.writeback old);
+      if old.modseq = seq then old.dirty <- false
+    end;
+    if old.resident then drop t old
   | None -> ());
   while Hashtbl.length t.tbl >= t.cap do
     evict_one t
@@ -147,12 +180,6 @@ let mark_dirty t f =
   end;
   t.seq <- t.seq + 1;
   f.modseq <- t.seq
-
-let pin f = f.pins <- f.pins + 1
-
-let unpin f =
-  if f.pins <= 0 then invalid_arg "Cache.unpin: frame not pinned";
-  f.pins <- f.pins - 1
 
 let set_txn _t f txn = f.txn <- txn
 

@@ -52,7 +52,10 @@ val lookup : t -> file:int -> lblock:int -> frame option
 val insert : t -> file:int -> lblock:int -> bytes -> frame
 (** Bring a block into the cache (evicting if needed) and return its
     frame. The byte contents are copied in. Any previous frame for the
-    same key is replaced.
+    same key is replaced; if it was dirty its contents are written back
+    through the {!set_writeback} hook first, never silently discarded.
+    @raise Invalid_argument if the previous frame is pinned or owned by
+    a kernel transaction.
     @raise Cache_full if no frame can be evicted. *)
 
 val mark_dirty : t -> frame -> unit

@@ -2,7 +2,7 @@ type system = {
   config : Config.t;
   clock : Clock.t;
   stats : Stats.t;
-  disk : Disk.t;
+  disk : Diskset.t;
   lfs : Lfs.t;
   ktxn : Ktxn.t;
 }
@@ -10,7 +10,9 @@ type system = {
 let boot ?(config = Config.default) () =
   let clock = Clock.create () in
   let stats = Stats.create () in
-  let disk = Disk.create clock stats config.Config.disk in
+  (* The facade is the kernel-embedded architecture: no file system ever
+     occupies a dedicated log spindle, so the checkpoint region may use it. *)
+  let disk = Diskset.create ~route_checkpoints:true clock stats config in
   let lfs = Lfs.format disk clock stats config in
   { config; clock; stats; disk; lfs; ktxn = Ktxn.create lfs }
 

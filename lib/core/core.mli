@@ -21,7 +21,7 @@ type system = {
   config : Config.t;
   clock : Clock.t;
   stats : Stats.t;
-  disk : Disk.t;
+  disk : Diskset.t;  (** one or more spindles, per [config.fs.ndisks] *)
   lfs : Lfs.t;
   ktxn : Ktxn.t;
 }

@@ -19,40 +19,92 @@ type pending = {
   p_cond : Sched.cond;
 }
 
+(* Stat keys, precomputed from the prefix at create time so multi-disk
+   machines report per-spindle counters ("disk0.busy", "disklog.seek",
+   ...) without per-op string building. The default prefix "disk" keeps
+   every single-disk name bit-for-bit identical to before. *)
+type keys = {
+  k_busy : string;
+  k_seek : string;
+  k_seek_queued : string;
+  k_seeks : string;
+  k_requests : string;
+  k_blocks_written : string;
+  k_blocks_read : string;
+  k_read_service : string;
+  k_write_service : string;
+  k_rotation : string;
+  k_transfer : string;
+  k_read_qwait : string;
+  k_read_retries : string;
+  k_queue_enqueued : string;
+  k_queue_depth : string;
+  k_op : string;
+}
+
+let make_keys pfx =
+  {
+    k_busy = pfx ^ ".busy";
+    k_seek = pfx ^ ".seek";
+    k_seek_queued = pfx ^ ".seek.queued";
+    k_seeks = pfx ^ ".seeks";
+    k_requests = pfx ^ ".requests";
+    k_blocks_written = pfx ^ ".blocks_written";
+    k_blocks_read = pfx ^ ".blocks_read";
+    k_read_service = pfx ^ ".read.service";
+    k_write_service = pfx ^ ".write.service";
+    k_rotation = pfx ^ ".rotation";
+    k_transfer = pfx ^ ".transfer";
+    k_read_qwait = pfx ^ ".read.qwait";
+    k_read_retries = pfx ^ ".read_retries";
+    k_queue_enqueued = pfx ^ ".queue.enqueued";
+    k_queue_depth = pfx ^ ".queue.depth";
+    k_op = pfx ^ ".op";
+  }
+
 type t = {
   data : bytes;
   cfg : Config.disk;
   clock : Clock.t;
   stats : Stats.t;
+  keys : keys;
   mutable head : int;
   mutable injector : injector option;
   mutable queue : pending list;
   mutable serving : bool;
+  mutable busy_until : float;
+      (* device occupancy horizon under the discrete-event scheduler:
+         a request issued from a process waits until the arm is free.
+         Meaningless (always in the past) on the legacy paths. *)
 }
 
-let create clock stats (cfg : Config.disk) =
+let create ?(prefix = "disk") clock stats (cfg : Config.disk) =
   if cfg.nblocks <= 0 || cfg.block_size <= 0 then
     invalid_arg "Disk.create: bad geometry";
+  let keys = make_keys prefix in
   (* Per-op latency histograms exist from boot so every benchmark
      artifact carries them, samples or not. *)
   List.iter (Stats.declare stats)
     [
-      "disk.read.service";
-      "disk.write.service";
-      "disk.seek";
-      "disk.rotation";
-      "disk.transfer";
-      "disk.read.qwait";
+      keys.k_read_service;
+      keys.k_write_service;
+      keys.k_seek;
+      keys.k_seek_queued;
+      keys.k_rotation;
+      keys.k_transfer;
+      keys.k_read_qwait;
     ];
   {
     data = Bytes.make (cfg.nblocks * cfg.block_size) '\000';
     cfg;
     clock;
     stats;
+    keys;
     head = 0;
     injector = None;
     queue = [];
     serving = false;
+    busy_until = 0.0;
   }
 
 let set_injector t inj = t.injector <- inj
@@ -91,8 +143,28 @@ let service_time t blkno ~nblocks =
   let rotation = if seek = 0.0 && blkno = t.head then 0.0 else rotation_time t in
   seek +. rotation +. transfer_time t nblocks
 
+(* Block the calling process until the arm is free. Loop: several
+   waiters can wake at the same horizon and only the first to run gets
+   the device (it pushes [busy_until] out again). *)
+let wait_device t sched =
+  while t.busy_until > Clock.now t.clock do
+    Sched.sleep_until sched t.busy_until
+  done
+
 let serve ?(queued = false) t blkno ~nblocks ~write =
   check_range t blkno nblocks;
+  (* Under the discrete-event scheduler each spindle is a real shared
+     resource: a synchronous request issued from a process waits for the
+     arm, then holds it for its service time while other processes (on
+     other spindles) keep running. Outside the scheduler the clock just
+     jumps, exactly as before. Positioning costs are computed only after
+     the wait — the head may have moved while we queued. *)
+  let sched =
+    match Sched.of_clock t.clock with
+    | Some s when Sched.in_process s -> Some s
+    | _ -> None
+  in
+  (match sched with Some s -> wait_device t s | None -> ());
   let seek = seek_time t ~from:t.head ~target:blkno in
   let seek_c, rot_c =
     if queued then (0.3 *. seek, 0.75 *. rotation_time t)
@@ -102,22 +174,32 @@ let serve ?(queued = false) t blkno ~nblocks ~write =
   in
   let xfer = transfer_time t nblocks in
   let dt = seek_c +. rot_c +. xfer in
-  Clock.advance t.clock dt;
-  Stats.add_time t.stats "disk.busy" dt;
-  Stats.add_time t.stats "disk.seek" seek_c;
-  if seek > 0.0 then Stats.incr t.stats "disk.seeks";
-  Stats.incr t.stats "disk.requests";
+  (match sched with
+  | Some s ->
+    t.busy_until <- Clock.now t.clock +. dt;
+    Sched.delay s dt
+  | None -> Clock.advance t.clock dt);
+  Stats.add_time t.stats t.keys.k_busy dt;
+  Stats.add_time t.stats t.keys.k_seek seek_c;
+  (* Count the seek actually charged: a queued request pays a discounted
+     seek, so the counter condition must test [seek_c], and its samples
+     go to their own histogram so the elevator's benefit stays visible
+     next to the cold-seek distribution. *)
+  if seek_c > 0.0 then Stats.incr t.stats t.keys.k_seeks;
+  Stats.incr t.stats t.keys.k_requests;
   Stats.add t.stats
-    (if write then "disk.blocks_written" else "disk.blocks_read")
+    (if write then t.keys.k_blocks_written else t.keys.k_blocks_read)
     nblocks;
   Stats.observe t.stats
-    (if write then "disk.write.service" else "disk.read.service")
+    (if write then t.keys.k_write_service else t.keys.k_read_service)
     dt;
-  Stats.observe t.stats "disk.seek" seek_c;
-  Stats.observe t.stats "disk.rotation" rot_c;
-  Stats.observe t.stats "disk.transfer" xfer;
+  Stats.observe t.stats
+    (if queued then t.keys.k_seek_queued else t.keys.k_seek)
+    seek_c;
+  Stats.observe t.stats t.keys.k_rotation rot_c;
+  Stats.observe t.stats t.keys.k_transfer xfer;
   if Stats.tracing t.stats then
-    Stats.emit t.stats ~time:(Clock.now t.clock) "disk.op"
+    Stats.emit t.stats ~time:(Clock.now t.clock) t.keys.k_op
       [
         ("rw", Trace.S (if write then "w" else "r"));
         ("blkno", Trace.I blkno);
@@ -136,8 +218,8 @@ let retry_reads t blkno n =
   | Some inj ->
     while inj.on_read ~blkno ~nblocks:n do
       Clock.advance t.clock (2.0 *. rotation_time t);
-      Stats.add_time t.stats "disk.busy" (2.0 *. rotation_time t);
-      Stats.incr t.stats "disk.read_retries"
+      Stats.add_time t.stats t.keys.k_busy (2.0 *. rotation_time t);
+      Stats.incr t.stats t.keys.k_read_retries
     done
 
 let read t blkno =
@@ -197,7 +279,14 @@ let write_run t blkno data = write_blocks t blkno data
 let rec serve_queue t sched =
   match t.queue with
   | [] -> t.serving <- false
-  | reqs ->
+  | _ ->
+    (* Respect the occupancy horizon a synchronous request may have set,
+       and pick only after the wait — the queue and head position can
+       both change while the daemon is parked. *)
+    wait_device t sched;
+    (match t.queue with
+     | [] -> t.serving <- false
+     | reqs ->
     let pick =
       match
         Elevator.order Elevator.Elevator ~head:t.head
@@ -213,22 +302,23 @@ let rec serve_queue t sched =
     in
     let xfer = transfer_time t pick.p_nblocks in
     let dt = seek +. rot +. xfer in
+    t.busy_until <- Clock.now t.clock +. dt;
     Sched.delay sched dt;
-    Stats.add_time t.stats "disk.busy" dt;
-    Stats.add_time t.stats "disk.seek" seek;
-    if seek > 0.0 then Stats.incr t.stats "disk.seeks";
-    Stats.incr t.stats "disk.requests";
-    Stats.add t.stats "disk.blocks_read" pick.p_nblocks;
-    Stats.observe t.stats "disk.read.service" dt;
-    Stats.observe t.stats "disk.seek" seek;
-    Stats.observe t.stats "disk.rotation" rot;
-    Stats.observe t.stats "disk.transfer" xfer;
+    Stats.add_time t.stats t.keys.k_busy dt;
+    Stats.add_time t.stats t.keys.k_seek seek;
+    if seek > 0.0 then Stats.incr t.stats t.keys.k_seeks;
+    Stats.incr t.stats t.keys.k_requests;
+    Stats.add t.stats t.keys.k_blocks_read pick.p_nblocks;
+    Stats.observe t.stats t.keys.k_read_service dt;
+    Stats.observe t.stats t.keys.k_seek seek;
+    Stats.observe t.stats t.keys.k_rotation rot;
+    Stats.observe t.stats t.keys.k_transfer xfer;
     t.head <- pick.p_blkno + pick.p_nblocks;
     retry_reads t pick.p_blkno pick.p_nblocks;
-    Stats.observe t.stats "disk.read.qwait"
+    Stats.observe t.stats t.keys.k_read_qwait
       (Clock.now t.clock -. pick.p_submitted);
     if Stats.tracing t.stats then
-      Stats.emit t.stats ~time:(Clock.now t.clock) "disk.op"
+      Stats.emit t.stats ~time:(Clock.now t.clock) t.keys.k_op
         [
           ("rw", Trace.S "r");
           ("blkno", Trace.I pick.p_blkno);
@@ -239,7 +329,7 @@ let rec serve_queue t sched =
         ];
     pick.p_done <- true;
     Sched.broadcast sched pick.p_cond;
-    serve_queue t sched
+    serve_queue t sched)
 
 let read_async t blkno =
   match Sched.of_clock t.clock with
@@ -257,8 +347,8 @@ let read_async t blkno =
       }
     in
     t.queue <- t.queue @ [ p ];
-    Stats.incr t.stats "disk.queue.enqueued";
-    Stats.record_max t.stats "disk.queue.depth"
+    Stats.incr t.stats t.keys.k_queue_enqueued;
+    Stats.record_max t.stats t.keys.k_queue_depth
       (float_of_int (List.length t.queue + if t.serving then 1 else 0));
     if not t.serving then begin
       t.serving <- true;

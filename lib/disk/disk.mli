@@ -38,9 +38,14 @@ type injector = {
           eventually answer [false] for the same request. *)
 }
 
-val create : Clock.t -> Stats.t -> Config.disk -> t
+val create : ?prefix:string -> Clock.t -> Stats.t -> Config.disk -> t
 (** A zero-filled device with the head parked at block 0. [Clock] and
-    [Stats] may be shared with other components of the same machine. *)
+    [Stats] may be shared with other components of the same machine.
+    [prefix] (default ["disk"]) names this spindle's stat keys
+    ([<prefix>.busy], [<prefix>.seek], ...), so the members of a
+    multi-disk set report per-disk counters and histograms. Queued
+    (sorted-write) seeks are recorded under [<prefix>.seek.queued],
+    separate from the cold-seek histogram [<prefix>.seek]. *)
 
 val set_injector : t -> injector option -> unit
 (** Arm or disarm fault injection. [None] restores fault-free service.

@@ -1,0 +1,154 @@
+(* Multiple spindles behind the Disk API. Logical block numbers are
+   remapped per request: the 3-block LFS boot region stays on data disk 0
+   (checkpoint blocks optionally on the log spindle), and above it whole
+   segments go round-robin across the data disks. With stripe unit =
+   segment size, an LFS segment write or cleaner read is always one
+   contiguous extent on one spindle; the generic extent splitter below
+   still handles arbitrary runs for safety. *)
+
+(* Blocks 0..2: superblock + two checkpoint slots (Tx_lfs.Layout uses the
+   same constant as its data_start). *)
+let reserved = 3
+
+type t = {
+  data : Disk.t array;
+  log : Disk.t option;
+  chunk : int; (* stripe unit in blocks = segment size *)
+  logical_nblocks : int;
+  route_cp : bool; (* checkpoint blocks 1,2 live on the log spindle *)
+}
+
+let create ?(route_checkpoints = false) clock stats (cfg : Config.t) =
+  let n = cfg.Config.fs.Config.ndisks in
+  if n < 1 then invalid_arg "Diskset.create: ndisks must be >= 1";
+  let chunk = cfg.Config.fs.Config.segment_blocks in
+  let data =
+    if n = 1 then [| Disk.create clock stats cfg.Config.disk |]
+    else
+      Array.init n (fun i ->
+          Disk.create
+            ~prefix:(Printf.sprintf "disk%d" i)
+            clock stats cfg.Config.disk)
+  in
+  let log =
+    if cfg.Config.fs.Config.log_disk then
+      Some (Disk.create ~prefix:"disklog" clock stats cfg.Config.disk)
+    else None
+  in
+  let logical_nblocks =
+    if n = 1 then cfg.Config.disk.Config.nblocks
+    else begin
+      let psegs = (cfg.Config.disk.Config.nblocks - reserved) / chunk in
+      if psegs < 1 then
+        invalid_arg "Diskset.create: spindle too small for one segment";
+      reserved + (n * psegs * chunk)
+    end
+  in
+  { data; log; chunk; logical_nblocks; route_cp = route_checkpoints && log <> None }
+
+let wrap d =
+  {
+    data = [| d |];
+    log = None;
+    chunk = 1;
+    logical_nblocks = Disk.nblocks d;
+    route_cp = false;
+  }
+
+let ndisks t = Array.length t.data
+let primary t = t.data.(0)
+let log_disk t = t.log
+let nblocks t = t.logical_nblocks
+let block_size t = Disk.block_size t.data.(0)
+
+let members t =
+  let data =
+    if Array.length t.data = 1 then [ ("disk", t.data.(0)) ]
+    else
+      Array.to_list
+        (Array.mapi (fun i d -> (Printf.sprintf "disk%d" i, d)) t.data)
+  in
+  match t.log with None -> data | Some ld -> data @ [ ("disklog", ld) ]
+
+let check_range t blkno n =
+  if blkno < 0 || n < 0 || blkno + n > t.logical_nblocks then
+    invalid_arg
+      (Printf.sprintf "Diskset: blocks [%d..%d) out of range [0..%d)" blkno
+         (blkno + n) t.logical_nblocks)
+
+(* Logical block -> (spindle, physical block). *)
+let locate t blkno =
+  check_range t blkno 1;
+  match t.log with
+  | Some ld when t.route_cp && (blkno = 1 || blkno = 2) -> (ld, blkno)
+  | _ ->
+    let n = Array.length t.data in
+    if n = 1 || blkno < reserved then (t.data.(0), blkno)
+    else
+      let seg = (blkno - reserved) / t.chunk in
+      let off = (blkno - reserved) mod t.chunk in
+      (t.data.(seg mod n), reserved + (seg / n * t.chunk) + off)
+
+(* Cut [blkno, blkno+n) into maximal extents that are contiguous on one
+   spindle and feed them to [k] in logical order. *)
+let split t blkno n k =
+  check_range t blkno n;
+  let rec go blkno n =
+    if n > 0 then begin
+      let d, phys = locate t blkno in
+      let len = ref 1 in
+      (try
+         while !len < n do
+           let d', p' = locate t (blkno + !len) in
+           if d' == d && p' = phys + !len then incr len else raise Exit
+         done
+       with Exit -> ());
+      k d phys !len;
+      go (blkno + !len) (n - !len)
+    end
+  in
+  go blkno n
+
+let read t blkno =
+  let d, phys = locate t blkno in
+  Disk.read d phys
+
+let read_run t blkno n =
+  let bs = block_size t in
+  let out = Bytes.create (n * bs) in
+  let cursor = ref 0 in
+  split t blkno n (fun d phys len ->
+      let part = Disk.read_run d phys len in
+      Bytes.blit part 0 out (!cursor * bs) (len * bs);
+      cursor := !cursor + len);
+  out
+
+let read_async t blkno =
+  let d, phys = locate t blkno in
+  Disk.read_async d phys
+
+let write t blkno data =
+  let d, phys = locate t blkno in
+  Disk.write d phys data
+
+let write_run t blkno data =
+  let bs = block_size t in
+  let len = Bytes.length data in
+  if len = 0 || len mod bs <> 0 then
+    invalid_arg "Diskset.write_run: data must be a positive whole number of blocks";
+  let cursor = ref 0 in
+  split t blkno (len / bs) (fun d phys n ->
+      Disk.write_run d phys (Bytes.sub data (!cursor * bs) (n * bs));
+      cursor := !cursor + n)
+
+let peek t blkno =
+  let d, phys = locate t blkno in
+  Disk.peek d phys
+
+let poke t blkno data =
+  let d, phys = locate t blkno in
+  Disk.poke d phys data
+
+let set_injector t inj =
+  Array.iter (fun d -> Disk.set_injector d inj) t.data;
+  match t.log with None -> () | Some ld -> Disk.set_injector ld inj

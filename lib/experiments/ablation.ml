@@ -104,7 +104,7 @@ let coalescing ?config ?(tps_scale = 4) ?(txns = 15_000) () =
   let scale = Tpcb.scale_for_tps tps_scale in
   let m = Expcommon.machine config in
   let rng = Rng.create ~seed:1 in
-  let fs = Lfs.format m.Expcommon.disk m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg in
+  let fs = Lfs.format m.Expcommon.disks m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg in
   let v = Lfs.vfs fs in
   let db = Tpcb.build m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg v ~rng ~scale in
   let env =
@@ -156,7 +156,7 @@ let multiprogramming ?config ?(tps_scale = 4) ?(txns = 8_000) () =
   let row mpl =
     let m = Expcommon.machine config in
     let rng = Rng.create ~seed:1 in
-    let fs = Lfs.format m.Expcommon.disk m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg in
+    let fs = Lfs.format m.Expcommon.disks m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg in
     let v = Lfs.vfs fs in
     let db = Tpcb.build m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg v ~rng ~scale in
     let k = Ktxn.create fs in

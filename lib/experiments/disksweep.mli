@@ -1,0 +1,62 @@
+(** Disk-placement sweep: what the paper's single-spindle testbed could
+    not measure.
+
+    Section 4 attributes much of LIBTP-on-LFS's shortfall to the log and
+    the database sharing one disk arm: every commit force drags the head
+    away from the data. {!Diskset} lets the sweep separate them — a
+    dedicated log spindle — and stripe LFS segments round-robin across
+    several data spindles. Each configuration runs TPC-B at MPL 1 and 8
+    (group commit sized to the MPL) and reports throughput plus per-disk
+    utilization, so the artifact shows both the speedup and how evenly
+    the stripe spreads the load. *)
+
+type disk_stat = {
+  prefix : string;  (** stat prefix: [disk], [disk0].., or [disklog] *)
+  busy_s : float;
+  seek_s : float;
+  seeks : int;
+  requests : int;
+  blocks_read : int;
+  blocks_written : int;
+}
+
+type point = {
+  label : string;  (** e.g. ["1-shared"], ["1+log"], ["4+log"] *)
+  ndisks : int;
+  log_disk : bool;
+  mpl : int;
+  run : Expcommon.tpcb_run;
+  multi : Tpcb.multi_result;
+  disks : disk_stat list;  (** one entry per spindle, data then log *)
+}
+
+type t = {
+  points : point list;
+  scale : Tpcb.scale;
+  txns : int;
+  config : Config.t;  (** the base (single shared disk) configuration *)
+  setup : Expcommon.setup;
+}
+
+val default_setups : (string * int * bool) list
+(** [(label, ndisks, log_disk)]: one shared disk, one disk plus log
+    spindle, and 2- and 4-wide stripes plus log spindle. *)
+
+val default_mpls : int list
+
+val run :
+  ?tps_scale:int ->
+  ?txns:int ->
+  ?seed:int ->
+  ?mpls:int list ->
+  ?setups:(string * int * bool) list ->
+  ?setup:Expcommon.setup ->
+  unit ->
+  t
+
+val to_json : t -> Json.t
+(** The [data] block of [BENCH_disksweep.json]; every point carries its
+    per-disk busy/seek summary and the machine's full stats (including
+    the per-spindle seek histograms). *)
+
+val print : t -> unit

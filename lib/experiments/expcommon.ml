@@ -2,13 +2,26 @@ type machine = {
   cfg : Config.t;
   clock : Clock.t;
   stats : Stats.t;
-  disk : Disk.t;
+  disks : Diskset.t;
 }
 
-let machine cfg =
+let machine ?route_checkpoints cfg =
   let clock = Clock.create () in
   let stats = Stats.create () in
-  { cfg; clock; stats; disk = Disk.create clock stats cfg.Config.disk }
+  { cfg; clock; stats; disks = Diskset.create ?route_checkpoints clock stats cfg }
+
+(* Open the WAL environment. With a dedicated log spindle the log lives
+   in a small FFS formatted on that spindle (so commit forces never move
+   the data heads); otherwise it is a file in the data file system. *)
+let wal_env m data_vfs ~pool_pages =
+  match Diskset.log_disk m.disks with
+  | None ->
+    Libtp.open_env m.clock m.stats m.cfg data_vfs ~pool_pages
+      ~log_path:"/tpcb/log" ()
+  | Some ld ->
+    let logfs = Ffs.format ld m.clock m.stats m.cfg in
+    Libtp.open_env m.clock m.stats m.cfg data_vfs ~log_vfs:(Ffs.vfs logfs)
+      ~pool_pages ~log_path:"/log" ()
 
 type setup = Readopt_user | Lfs_user | Lfs_kernel
 
@@ -32,7 +45,9 @@ type tpcb_run = {
 }
 
 let run_tpcb ?(pool_pages = 1024) ?trace ~config ~scale ~txns ~seed setup =
-  let m = machine config in
+  (* Only the kernel-embedded setup leaves the log spindle (if any) free
+     of a file system, so only there may the LFS checkpoint region use it. *)
+  let m = machine ~route_checkpoints:(setup = Lfs_kernel) config in
   (match trace with
   | Some cap -> Stats.set_trace m.stats (Some (Trace.create ~capacity:cap ()))
   | None -> ());
@@ -40,25 +55,21 @@ let run_tpcb ?(pool_pages = 1024) ?trace ~config ~scale ~txns ~seed setup =
   let vfs, backend =
     match setup with
     | Readopt_user ->
-      let fs = Ffs.format m.disk m.clock m.stats m.cfg in
+      let fs = Ffs.format (Diskset.primary m.disks) m.clock m.stats m.cfg in
       let v = Ffs.vfs fs in
       let db = Tpcb.build m.clock m.stats m.cfg v ~rng ~scale in
       ignore db;
-      let env =
-        Libtp.open_env m.clock m.stats m.cfg v ~pool_pages ~log_path:"/tpcb/log" ()
-      in
+      let env = wal_env m v ~pool_pages in
       (v, Tpcb.User env)
     | Lfs_user ->
-      let fs = Lfs.format m.disk m.clock m.stats m.cfg in
+      let fs = Lfs.format m.disks m.clock m.stats m.cfg in
       let v = Lfs.vfs fs in
       let db = Tpcb.build m.clock m.stats m.cfg v ~rng ~scale in
       ignore db;
-      let env =
-        Libtp.open_env m.clock m.stats m.cfg v ~pool_pages ~log_path:"/tpcb/log" ()
-      in
+      let env = wal_env m v ~pool_pages in
       (v, Tpcb.User env)
     | Lfs_kernel ->
-      let fs = Lfs.format m.disk m.clock m.stats m.cfg in
+      let fs = Lfs.format m.disks m.clock m.stats m.cfg in
       let v = Lfs.vfs fs in
       let db = Tpcb.build m.clock m.stats m.cfg v ~rng ~scale in
       ignore db;
@@ -82,7 +93,7 @@ let run_tpcb ?(pool_pages = 1024) ?trace ~config ~scale ~txns ~seed setup =
 
 let run_tpcb_mpl ?(pool_pages = 1024) ?trace ~config ~scale ~txns ~seed ~mpl
     setup =
-  let m = machine config in
+  let m = machine ~route_checkpoints:(setup = Lfs_kernel) config in
   (match trace with
   | Some cap -> Stats.set_trace m.stats (Some (Trace.create ~capacity:cap ()))
   | None -> ());
@@ -95,25 +106,19 @@ let run_tpcb_mpl ?(pool_pages = 1024) ?trace ~config ~scale ~txns ~seed ~mpl
   let vfs, backend, lfs =
     match setup with
     | Readopt_user ->
-      let fs = Ffs.format m.disk m.clock m.stats m.cfg in
+      let fs = Ffs.format (Diskset.primary m.disks) m.clock m.stats m.cfg in
       let v = Ffs.vfs fs in
       ignore (Tpcb.build m.clock m.stats m.cfg v ~rng ~scale);
-      let env =
-        Libtp.open_env m.clock m.stats m.cfg v ~pool_pages
-          ~log_path:"/tpcb/log" ()
-      in
+      let env = wal_env m v ~pool_pages in
       (v, Tpcb.User env, None)
     | Lfs_user ->
-      let fs = Lfs.format m.disk m.clock m.stats m.cfg in
+      let fs = Lfs.format m.disks m.clock m.stats m.cfg in
       let v = Lfs.vfs fs in
       ignore (Tpcb.build m.clock m.stats m.cfg v ~rng ~scale);
-      let env =
-        Libtp.open_env m.clock m.stats m.cfg v ~pool_pages
-          ~log_path:"/tpcb/log" ()
-      in
+      let env = wal_env m v ~pool_pages in
       (v, Tpcb.User env, Some fs)
     | Lfs_kernel ->
-      let fs = Lfs.format m.disk m.clock m.stats m.cfg in
+      let fs = Lfs.format m.disks m.clock m.stats m.cfg in
       let v = Lfs.vfs fs in
       let db = Tpcb.build m.clock m.stats m.cfg v ~rng ~scale in
       let k = Ktxn.create fs in
@@ -205,6 +210,8 @@ let config_json (c : Config.t) =
             ("lfs_user_cleaner", Json.Bool fs.Config.lfs_user_cleaner);
             ("group_commit_timeout_s", Json.Float fs.Config.group_commit_timeout_s);
             ("group_commit_size", Json.Int fs.Config.group_commit_size);
+            ("ndisks", Json.Int fs.Config.ndisks);
+            ("log_disk", Json.Bool fs.Config.log_disk);
           ] );
     ]
 

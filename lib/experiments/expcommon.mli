@@ -7,10 +7,13 @@ type machine = {
   cfg : Config.t;
   clock : Clock.t;
   stats : Stats.t;
-  disk : Disk.t;
+  disks : Diskset.t;  (** spindles per [cfg.fs.ndisks] / [cfg.fs.log_disk] *)
 }
 
-val machine : Config.t -> machine
+val machine : ?route_checkpoints:bool -> Config.t -> machine
+(** Boot clock, stats and the disk set of [cfg]. [route_checkpoints]
+    (default false) is passed to {!Diskset.create}: only set it when the
+    log spindle will not host a file system of its own. *)
 
 (** The three measured configurations of Figure 4. *)
 type setup =

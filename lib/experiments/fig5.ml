@@ -15,7 +15,7 @@ let elapsed_of phases = List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 phases
    and without the embedded transaction manager compiled in. *)
 let measure config bench =
   let m = Expcommon.machine config in
-  let fs = Lfs.format m.Expcommon.disk m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg in
+  let fs = Lfs.format m.Expcommon.disks m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg in
   let v = Lfs.vfs fs in
   (bench m v, m.Expcommon.stats)
 

@@ -22,10 +22,10 @@ let run ?config ?(tps_scale = 4) ?(txns = 20_000) ?(seed = 1) () =
     let v, contiguity =
       match which with
       | `Readopt ->
-        let fs = Ffs.format m.Expcommon.disk m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg in
+        let fs = Ffs.format (Diskset.primary m.Expcommon.disks) m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg in
         (Ffs.vfs fs, fun () -> Some (Ffs.contiguity fs "/tpcb/account"))
       | `Lfs ->
-        let fs = Lfs.format m.Expcommon.disk m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg in
+        let fs = Lfs.format m.Expcommon.disks m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg in
         (Lfs.vfs fs, fun () -> None)
     in
     let db = Tpcb.build m.Expcommon.clock m.Expcommon.stats m.Expcommon.cfg v ~rng ~scale in

@@ -8,7 +8,7 @@
    the identical failure, block for block. *)
 
 type t = {
-  disk : Disk.t;
+  disks : Diskset.t;
   crash_after : int option;
   read_error_rate : float;
   rng : Rng.t option;
@@ -44,12 +44,12 @@ let on_read t ~blkno:_ ~nblocks:_ =
     t.last_read_failed <- false;
     false
 
-let arm ?crash_after ?(read_error_rate = 0.0) ?rng disk =
+let arm ?crash_after ?(read_error_rate = 0.0) ?rng disks =
   if read_error_rate > 0.0 && rng = None then
     invalid_arg "Faultsim.arm: read errors need an rng";
   let t =
     {
-      disk;
+      disks;
       crash_after;
       read_error_rate;
       rng;
@@ -58,7 +58,11 @@ let arm ?crash_after ?(read_error_rate = 0.0) ?rng disk =
       last_read_failed = false;
     }
   in
-  Disk.set_injector disk
+  (* One injector closure shared by every spindle: the write counter
+     advances in global issue order across the whole set, so a crash
+     point means "the Nth block the machine persisted", wherever it
+     landed. *)
+  Diskset.set_injector disks
     (Some
        {
          Disk.on_write = (fun ~blkno ~nblocks -> on_write t ~blkno ~nblocks);
@@ -66,4 +70,4 @@ let arm ?crash_after ?(read_error_rate = 0.0) ?rng disk =
        });
   t
 
-let disarm t = Disk.set_injector t.disk None
+let disarm t = Diskset.set_injector t.disks None

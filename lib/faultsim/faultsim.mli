@@ -1,6 +1,6 @@
 (** Deterministic fault injection over a simulated disk.
 
-    Arming wraps a {!Disk.t} with an injector that kills the machine
+    Arming wraps every spindle of a {!Diskset.t} with one shared injector that kills the machine
     after exactly the Nth block write since arming (tearing a
     multi-block request at that boundary, so only its leading blocks
     persist) and injects seeded transient read errors. Every behaviour
@@ -9,7 +9,7 @@
 
 type t
 
-val arm : ?crash_after:int -> ?read_error_rate:float -> ?rng:Rng.t -> Disk.t -> t
+val arm : ?crash_after:int -> ?read_error_rate:float -> ?rng:Rng.t -> Diskset.t -> t
 (** Install the injector. [crash_after n] raises {!Disk.Injected_crash}
     out of the write that performs the [n+1]th block since arming; a
     request straddling the boundary persists exactly its first

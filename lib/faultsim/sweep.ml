@@ -21,7 +21,7 @@ let backend_of_string = function
    take part, a cache smaller than the data, and — essential for the
    oracle — group commit disabled, so a commit's acknowledgement implies
    its flush completed. *)
-let config backend =
+let config ?(ndisks = 1) ?(log_disk = false) backend =
   let d = Config.default in
   {
     d with
@@ -37,8 +37,45 @@ let config backend =
         checkpoint_segments = 4;
         syncer_interval_s = 1.0;
         group_commit_timeout_s = 0.0;
+        ndisks;
+        log_disk;
       };
   }
+
+(* Boot the spindles for a sweep machine. Only the kernel backend leaves
+   a dedicated log spindle bare (no WAL file system), so only it may
+   route the LFS checkpoint region there. *)
+let sweep_disks backend clock stats cfg =
+  Diskset.create ~route_checkpoints:(backend = Lfs_kernel) clock stats cfg
+
+let fsck_or_fail label fs' =
+  let rep = Ffs.fsck fs' in
+  if rep.Ffs.cross_allocated > 0 then
+    failwith
+      (Printf.sprintf "%s: %d cross-allocated blocks" label
+         rep.Ffs.cross_allocated)
+
+(* The WAL's home file system: a small FFS on the dedicated log spindle
+   when the config grants one (user backends only — the kernel backend
+   has no WAL), else the data file system itself. [remount] replays a
+   crash on the spindle: mount + bitmap rebuild, like any FFS. *)
+type log_home = { log_fs : Ffs.t ref; log_spindle : Disk.t }
+
+let make_log_home backend clock stats cfg disks =
+  match (backend, Diskset.log_disk disks) with
+  | Lfs_kernel, _ | _, None -> None
+  | _, Some ld -> Some { log_fs = ref (Ffs.format ld clock stats cfg); log_spindle = ld }
+
+let crash_log_home = function
+  | None -> ()
+  | Some h -> Ffs.crash !(h.log_fs)
+
+let remount_log_home clock stats cfg = function
+  | None -> ()
+  | Some h ->
+    let fs' = Ffs.mount h.log_spindle clock stats cfg in
+    fsck_or_fail "log fsck" fs';
+    h.log_fs := fs'
 
 type outcome = {
   backend : backend;
@@ -133,9 +170,9 @@ let setup_pages oracle model fresh_page (v : Vfs.t) ps =
     files;
   ignore ps
 
-let session_lfs_kernel clock stats disk cfg oracle model fresh_page =
+let session_lfs_kernel clock stats disks cfg oracle model fresh_page =
   let ps = cfg.Config.disk.block_size in
-  let fs = Lfs.format disk clock stats cfg in
+  let fs = Lfs.format disks clock stats cfg in
   let v = Lfs.vfs fs in
   setup_pages oracle model fresh_page v ps;
   let kt = Ktxn.create fs in
@@ -158,51 +195,44 @@ let session_lfs_kernel clock stats disk cfg oracle model fresh_page =
     recover =
       (fun () ->
         Lfs.crash fs;
-        let fs' = Lfs.mount disk clock stats cfg in
+        let fs' = Lfs.mount disks clock stats cfg in
         vfs_reader ps (Lfs.vfs fs') (fun () -> Lfs.check fs'));
   }
 
-let session_libtp clock stats disk cfg oracle model fresh_page ~on_lfs =
+let session_libtp backend clock stats disks cfg oracle model fresh_page ~on_lfs =
   let ps = cfg.Config.disk.block_size in
-  let log_path = "/wal.log" in
+  let home = make_log_home backend clock stats cfg disks in
+  let log_path = match home with None -> "/wal.log" | Some _ -> "/log" in
   let open_env v =
-    Libtp.open_env clock stats cfg v ~pool_pages:16 ~checkpoint_every:25
-      ~log_path ()
+    let log_vfs = Option.map (fun h -> Ffs.vfs !(h.log_fs)) home in
+    Libtp.open_env clock stats cfg v ?log_vfs ~pool_pages:16
+      ~checkpoint_every:25 ~log_path ()
   in
   let crash_fs, mount_fs, v =
     if on_lfs then begin
-      let fs = Lfs.format disk clock stats cfg in
+      let fs = Lfs.format disks clock stats cfg in
       ( (fun () -> Lfs.crash fs),
         (fun () ->
-          let fs' = Lfs.mount disk clock stats cfg in
+          let fs' = Lfs.mount disks clock stats cfg in
           (Lfs.vfs fs', fun () -> Lfs.check fs')),
         Lfs.vfs fs )
     end
     else begin
-      let fs = Ffs.format disk clock stats cfg in
+      let fs = Ffs.format (Diskset.primary disks) clock stats cfg in
       ( (fun () -> Ffs.crash fs),
         (fun () ->
-          let fs' = Ffs.mount disk clock stats cfg in
+          let fs' = Ffs.mount (Diskset.primary disks) clock stats cfg in
           (* The on-disk bitmap is stale after any crash (delayed
              writes); rebuild it from the inodes before anything
              allocates. Cross-allocation would be real corruption. *)
-          let rep = Ffs.fsck fs' in
-          if rep.Ffs.cross_allocated > 0 then
-            failwith
-              (Printf.sprintf "fsck: %d cross-allocated blocks"
-                 rep.Ffs.cross_allocated);
-          ( Ffs.vfs fs',
-            fun () ->
-              let rep = Ffs.fsck fs' in
-              if rep.Ffs.cross_allocated > 0 then
-                failwith
-                  (Printf.sprintf "fsck: %d cross-allocated blocks"
-                     rep.Ffs.cross_allocated) )),
+          fsck_or_fail "fsck" fs';
+          (Ffs.vfs fs', fun () -> fsck_or_fail "fsck" fs')),
         Ffs.vfs fs )
     end
   in
   setup_pages oracle model fresh_page v ps;
   v.Vfs.sync ();
+  (match home with Some h -> (Ffs.vfs !(h.log_fs)).Vfs.sync () | None -> ());
   let env = open_env v in
   let fd = List.map (fun f -> (f, v.Vfs.open_file f)) files in
   let fd f = List.assoc f fd in
@@ -221,6 +251,8 @@ let session_libtp clock stats disk cfg oracle model fresh_page ~on_lfs =
     recover =
       (fun () ->
         crash_fs ();
+        crash_log_home home;
+        remount_log_home clock stats cfg home;
         let v', structural = mount_fs () in
         (* Re-opening the environment replays the log: redo committed
            updates, undo losers, checkpoint (which flushes the pool, so
@@ -229,11 +261,15 @@ let session_libtp clock stats disk cfg oracle model fresh_page ~on_lfs =
         vfs_reader ps v' structural);
   }
 
-let make_session backend clock stats disk cfg oracle model fresh_page =
+let make_session backend clock stats disks cfg oracle model fresh_page =
   match backend with
-  | Lfs_kernel -> session_lfs_kernel clock stats disk cfg oracle model fresh_page
-  | Lfs_user -> session_libtp clock stats disk cfg oracle model fresh_page ~on_lfs:true
-  | Ffs_user -> session_libtp clock stats disk cfg oracle model fresh_page ~on_lfs:false
+  | Lfs_kernel -> session_lfs_kernel clock stats disks cfg oracle model fresh_page
+  | Lfs_user ->
+    session_libtp backend clock stats disks cfg oracle model fresh_page
+      ~on_lfs:true
+  | Ffs_user ->
+    session_libtp backend clock stats disks cfg oracle model fresh_page
+      ~on_lfs:false
 
 (* One transaction mixes a few page writes with reads that are verified
    live against the acknowledged model (committed state + own writes) —
@@ -282,11 +318,11 @@ let run_pages session oracle rng fresh_page model ~ps ~txns =
     end
   done
 
-let run_one backend ~seed ~txns ?crash_point () =
-  let cfg = config backend in
+let run_one ?ndisks ?log_disk backend ~seed ~txns ?crash_point () =
+  let cfg = config ?ndisks ?log_disk backend in
   let clock = Clock.create () in
   let stats = Stats.create () in
-  let disk = Disk.create clock stats cfg.Config.disk in
+  let disks = sweep_disks backend clock stats cfg in
   let rng = Rng.create ~seed in
   let ps = cfg.Config.disk.block_size in
   let stamp = ref 0 in
@@ -296,10 +332,10 @@ let run_one backend ~seed ~txns ?crash_point () =
   in
   let oracle = Oracle.create ~page_size:ps in
   let model = Hashtbl.create 64 in
-  let session = make_session backend clock stats disk cfg oracle model fresh_page in
+  let session = make_session backend clock stats disks cfg oracle model fresh_page in
   let arm =
     Faultsim.arm ?crash_after:crash_point ~read_error_rate:0.02
-      ~rng:(Rng.split rng) disk
+      ~rng:(Rng.split rng) disks
   in
   let crashed, workload_err =
     match run_pages session oracle rng fresh_page model ~ps ~txns with
@@ -332,21 +368,29 @@ let run_one backend ~seed ~txns ?crash_point () =
    system's structural checker. *)
 let tpcb_scale = { Tpcb.accounts = 200; tellers = 10; branches = 2 }
 
-let run_one_tpcb backend ~seed ~txns ?crash_point () =
-  let cfg = config backend in
+let run_one_tpcb ?ndisks ?log_disk backend ~seed ~txns ?crash_point () =
+  let cfg = config ?ndisks ?log_disk backend in
   let clock = Clock.create () in
   let stats = Stats.create () in
-  let disk = Disk.create clock stats cfg.Config.disk in
+  let disks = sweep_disks backend clock stats cfg in
   let rng = Rng.create ~seed in
   let scale = tpcb_scale in
+  let home = make_log_home backend clock stats cfg disks in
   let open_env v =
-    Libtp.open_env clock stats cfg v ~pool_pages:64 ~checkpoint_every:50
-      ~log_path:"/tpcb.log" ()
+    let log_vfs = Option.map (fun h -> Ffs.vfs !(h.log_fs)) home in
+    Libtp.open_env clock stats cfg v ?log_vfs ~pool_pages:64
+      ~checkpoint_every:50
+      ~log_path:(match home with None -> "/tpcb.log" | Some _ -> "/log")
+      ()
+  in
+  let recover_log () =
+    crash_log_home home;
+    remount_log_home clock stats cfg home
   in
   let bh, db, recover =
     match backend with
     | Lfs_kernel ->
-      let fs = Lfs.format disk clock stats cfg in
+      let fs = Lfs.format disks clock stats cfg in
       let db = Tpcb.build clock stats cfg (Lfs.vfs fs) ~rng ~scale in
       let kt = Ktxn.create fs in
       Tpcb.protect_all db kt;
@@ -354,10 +398,10 @@ let run_one_tpcb backend ~seed ~txns ?crash_point () =
         db,
         fun () ->
           Lfs.crash fs;
-          let fs' = Lfs.mount disk clock stats cfg in
+          let fs' = Lfs.mount disks clock stats cfg in
           (Lfs.vfs fs', fun () -> Lfs.check fs') )
     | Lfs_user ->
-      let fs = Lfs.format disk clock stats cfg in
+      let fs = Lfs.format disks clock stats cfg in
       let v = Lfs.vfs fs in
       let db = Tpcb.build clock stats cfg v ~rng ~scale in
       let env = open_env v in
@@ -365,12 +409,13 @@ let run_one_tpcb backend ~seed ~txns ?crash_point () =
         db,
         fun () ->
           Lfs.crash fs;
-          let fs' = Lfs.mount disk clock stats cfg in
+          recover_log ();
+          let fs' = Lfs.mount disks clock stats cfg in
           let v' = Lfs.vfs fs' in
           ignore (open_env v');
           (v', fun () -> Lfs.check fs') )
     | Ffs_user ->
-      let fs = Ffs.format disk clock stats cfg in
+      let fs = Ffs.format (Diskset.primary disks) clock stats cfg in
       let v = Ffs.vfs fs in
       let db = Tpcb.build clock stats cfg v ~rng ~scale in
       let env = open_env v in
@@ -378,19 +423,16 @@ let run_one_tpcb backend ~seed ~txns ?crash_point () =
         db,
         fun () ->
           Ffs.crash fs;
-          let fs' = Ffs.mount disk clock stats cfg in
-          let rep = Ffs.fsck fs' in
-          if rep.Ffs.cross_allocated > 0 then
-            failwith
-              (Printf.sprintf "fsck: %d cross-allocated blocks"
-                 rep.Ffs.cross_allocated);
+          recover_log ();
+          let fs' = Ffs.mount (Diskset.primary disks) clock stats cfg in
+          fsck_or_fail "fsck" fs';
           let v' = Ffs.vfs fs' in
           ignore (open_env v');
           (v', fun () -> ()) )
   in
   let arm =
     Faultsim.arm ?crash_after:crash_point ~read_error_rate:0.02
-      ~rng:(Rng.split rng) disk
+      ~rng:(Rng.split rng) disks
   in
   let acked = ref 0 in
   let crashed, workload_err =
@@ -435,8 +477,8 @@ let run_one_tpcb backend ~seed ~txns ?crash_point () =
    only after its batch's force), so every acknowledged commit must
    survive recovery; beyond them at most [mpl] in-flight transactions
    may have landed. *)
-let run_one_tpcb_mpl backend ~seed ~txns ~mpl ?crash_point () =
-  let cfg = config backend in
+let run_one_tpcb_mpl ?ndisks ?log_disk backend ~seed ~txns ~mpl ?crash_point () =
+  let cfg = config ?ndisks ?log_disk backend in
   (* Group commit on — the rendezvous is the point of this sweep. *)
   let cfg =
     {
@@ -451,18 +493,26 @@ let run_one_tpcb_mpl backend ~seed ~txns ~mpl ?crash_point () =
   in
   let clock = Clock.create () in
   let stats = Stats.create () in
-  let disk = Disk.create clock stats cfg.Config.disk in
+  let disks = sweep_disks backend clock stats cfg in
   let sched = Sched.create clock in
   let rng = Rng.create ~seed in
   let scale = tpcb_scale in
+  let home = make_log_home backend clock stats cfg disks in
   let open_env v =
-    Libtp.open_env clock stats cfg v ~pool_pages:64 ~checkpoint_every:50
-      ~log_path:"/tpcb.log" ()
+    let log_vfs = Option.map (fun h -> Ffs.vfs !(h.log_fs)) home in
+    Libtp.open_env clock stats cfg v ?log_vfs ~pool_pages:64
+      ~checkpoint_every:50
+      ~log_path:(match home with None -> "/tpcb.log" | Some _ -> "/log")
+      ()
+  in
+  let recover_log () =
+    crash_log_home home;
+    remount_log_home clock stats cfg home
   in
   let bh, db, vfs, recover =
     match backend with
     | Lfs_kernel ->
-      let fs = Lfs.format disk clock stats cfg in
+      let fs = Lfs.format disks clock stats cfg in
       let v = Lfs.vfs fs in
       let db = Tpcb.build clock stats cfg v ~rng ~scale in
       let kt = Ktxn.create fs in
@@ -473,10 +523,10 @@ let run_one_tpcb_mpl backend ~seed ~txns ~mpl ?crash_point () =
         v,
         fun () ->
           Lfs.crash fs;
-          let fs' = Lfs.mount disk clock stats cfg in
+          let fs' = Lfs.mount disks clock stats cfg in
           (Lfs.vfs fs', fun () -> Lfs.check fs') )
     | Lfs_user ->
-      let fs = Lfs.format disk clock stats cfg in
+      let fs = Lfs.format disks clock stats cfg in
       let v = Lfs.vfs fs in
       let db = Tpcb.build clock stats cfg v ~rng ~scale in
       let env = open_env v in
@@ -486,12 +536,13 @@ let run_one_tpcb_mpl backend ~seed ~txns ~mpl ?crash_point () =
         v,
         fun () ->
           Lfs.crash fs;
-          let fs' = Lfs.mount disk clock stats cfg in
+          recover_log ();
+          let fs' = Lfs.mount disks clock stats cfg in
           let v' = Lfs.vfs fs' in
           ignore (open_env v');
           (v', fun () -> Lfs.check fs') )
     | Ffs_user ->
-      let fs = Ffs.format disk clock stats cfg in
+      let fs = Ffs.format (Diskset.primary disks) clock stats cfg in
       let v = Ffs.vfs fs in
       let db = Tpcb.build clock stats cfg v ~rng ~scale in
       let env = open_env v in
@@ -500,19 +551,16 @@ let run_one_tpcb_mpl backend ~seed ~txns ~mpl ?crash_point () =
         v,
         fun () ->
           Ffs.crash fs;
-          let fs' = Ffs.mount disk clock stats cfg in
-          let rep = Ffs.fsck fs' in
-          if rep.Ffs.cross_allocated > 0 then
-            failwith
-              (Printf.sprintf "fsck: %d cross-allocated blocks"
-                 rep.Ffs.cross_allocated);
+          recover_log ();
+          let fs' = Ffs.mount (Diskset.primary disks) clock stats cfg in
+          fsck_or_fail "fsck" fs';
           let v' = Ffs.vfs fs' in
           ignore (open_env v');
           (v', fun () -> ()) )
   in
   let arm =
     Faultsim.arm ?crash_after:crash_point ~read_error_rate:0.02
-      ~rng:(Rng.split rng) disk
+      ~rng:(Rng.split rng) disks
   in
   let crashed, workload_err =
     match Tpcb.run_sched clock stats cfg db bh ~vfs ~rng ~n:txns ~mpl with
@@ -579,18 +627,22 @@ let sweep_runs ?(progress = fun (_ : outcome) -> ()) run ~points =
     { total_writes = total; points_run = List.length pts; failures }
   end
 
-let sweep ?progress backend ~seed ~txns ~points =
-  sweep_runs ?progress
-    (fun ?crash_point () -> run_one backend ~seed ~txns ?crash_point ())
-    ~points
-
-let sweep_tpcb ?progress backend ~seed ~txns ~points =
-  sweep_runs ?progress
-    (fun ?crash_point () -> run_one_tpcb backend ~seed ~txns ?crash_point ())
-    ~points
-
-let sweep_tpcb_mpl ?progress backend ~seed ~txns ~mpl ~points =
+let sweep ?progress ?ndisks ?log_disk backend ~seed ~txns ~points =
   sweep_runs ?progress
     (fun ?crash_point () ->
-      run_one_tpcb_mpl backend ~seed ~txns ~mpl ?crash_point ())
+      run_one ?ndisks ?log_disk backend ~seed ~txns ?crash_point ())
+    ~points
+
+let sweep_tpcb ?progress ?ndisks ?log_disk backend ~seed ~txns ~points =
+  sweep_runs ?progress
+    (fun ?crash_point () ->
+      run_one_tpcb ?ndisks ?log_disk backend ~seed ~txns ?crash_point ())
+    ~points
+
+let sweep_tpcb_mpl ?progress ?ndisks ?log_disk backend ~seed ~txns ~mpl ~points
+    =
+  sweep_runs ?progress
+    (fun ?crash_point () ->
+      run_one_tpcb_mpl ?ndisks ?log_disk backend ~seed ~txns ~mpl ?crash_point
+        ())
     ~points

@@ -28,19 +28,40 @@ type outcome = {
 val describe : outcome -> string
 (** One human-readable report; violations include the replay recipe. *)
 
-val run_one : backend -> seed:int -> txns:int -> ?crash_point:int -> unit -> outcome
+val run_one :
+  ?ndisks:int ->
+  ?log_disk:bool ->
+  backend ->
+  seed:int ->
+  txns:int ->
+  ?crash_point:int ->
+  unit ->
+  outcome
 (** Run the page-level workload once: random page-sized transactional
     writes mixed with live-verified reads and occasional aborts, crash
     after [crash_point] block writes (never, if omitted), recover, and
-    check the oracle. Transient read errors are always injected. *)
+    check the oracle. Transient read errors are always injected.
+    [ndisks]/[log_disk] (defaults 1/false) select the multi-disk
+    placement of {!Diskset}: for the user backends a dedicated log
+    spindle carries a small FFS holding the WAL, which is crashed,
+    remounted and fsck'd along with the data file system. *)
 
 val run_one_tpcb :
-  backend -> seed:int -> txns:int -> ?crash_point:int -> unit -> outcome
+  ?ndisks:int ->
+  ?log_disk:bool ->
+  backend ->
+  seed:int ->
+  txns:int ->
+  ?crash_point:int ->
+  unit ->
+  outcome
 (** Same, driving [txns] TPC-B transactions on a small database; after
     recovery the balance-consistency identity must hold and the history
     count must lie in [acked, acked+1]. *)
 
 val run_one_tpcb_mpl :
+  ?ndisks:int ->
+  ?log_disk:bool ->
   backend ->
   seed:int ->
   txns:int ->
@@ -63,15 +84,21 @@ type sweep_result = {
 
 val sweep :
   ?progress:(outcome -> unit) ->
+  ?ndisks:int ->
+  ?log_disk:bool ->
   backend -> seed:int -> txns:int -> points:int -> sweep_result
 (** Sweep the page workload. [points <= 0] (or >= the write count) runs
     every crash point; otherwise [points] evenly spaced ones. *)
 
 val sweep_tpcb :
   ?progress:(outcome -> unit) ->
+  ?ndisks:int ->
+  ?log_disk:bool ->
   backend -> seed:int -> txns:int -> points:int -> sweep_result
 
 val sweep_tpcb_mpl :
   ?progress:(outcome -> unit) ->
+  ?ndisks:int ->
+  ?log_disk:bool ->
   backend -> seed:int -> txns:int -> mpl:int -> points:int -> sweep_result
 (** Sweep {!run_one_tpcb_mpl}. *)

@@ -10,7 +10,7 @@ type usage_entry = {
 }
 
 type t = {
-  disk : Disk.t;
+  disk : Diskset.t;
   clock : Clock.t;
   stats : Stats.t;
   cfg : Config.t;
@@ -119,7 +119,7 @@ let iget_opt t inum =
       let addr = t.imap_addr.(inum) in
       if addr = 0 then None (* allocated but never written: lost *)
       else begin
-        let block = Disk.read t.disk addr in
+        let block = Diskset.read t.disk addr in
         match Inode.decode block (t.imap_slot.(inum) * Layout.inode_size) with
         | None -> None
         | Some ino ->
@@ -127,7 +127,7 @@ let iget_opt t inum =
           let nind = Inode.indirect_count ino ~block_size:bs in
           if nind > 1 && ino.Inode.dbl_addr <> 0 then
             Inode.decode_double ino ~block_size:bs
-              (Disk.read t.disk ino.Inode.dbl_addr);
+              (Diskset.read t.disk ino.Inode.dbl_addr);
           for idx = 0 to nind - 1 do
             let a =
               if idx < Array.length ino.Inode.ind_addrs then
@@ -135,7 +135,7 @@ let iget_opt t inum =
               else 0
             in
             if a <> 0 then
-              Inode.decode_indirect ino ~block_size:bs idx (Disk.read t.disk a)
+              Inode.decode_indirect ino ~block_size:bs idx (Diskset.read t.disk a)
           done;
           Hashtbl.replace t.inodes inum ino;
           Some ino
@@ -450,7 +450,7 @@ let write_partial ?(defer_meta = false) ?(more = false) t ~ditems ~inodes
       entries;
     };
   Bytes.blit summary_bytes 0 buf 0 bs;
-  Disk.write_run t.disk base buf;
+  Diskset.write_run t.disk base buf;
   Stats.incr t.stats "lfs.partials";
   Stats.add t.stats "lfs.blocks_logged" nblocks;
   t.write_seq <- Int64.succ t.write_seq;
@@ -591,7 +591,7 @@ let checkpoint t =
   Layout.write_checkpoint b cp;
   let r0, r1 = Layout.checkpoint_blknos in
   let region = if Int64.rem t.cp_seq 2L = 0L then r0 else r1 in
-  Disk.write t.disk region b;
+  Diskset.write t.disk region b;
   t.segs_since_cp <- 0;
   t.pending_cp <- false;
   Stats.incr t.stats "lfs.checkpoints";
@@ -622,7 +622,7 @@ let clean_victim t victim =
     let live0 = u.live in
     Stats.add t.stats "cleaner.victim_live" u.live;
     let seg_blocks = t.cfg.fs.segment_blocks in
-    let run = Disk.read_run t.disk (seg_base t victim) seg_blocks in
+    let run = Diskset.read_run t.disk (seg_base t victim) seg_blocks in
     let block i = Bytes.sub run (i * bs) bs in
     let ditems = ref [] in
     let extra = ref [] in
@@ -870,14 +870,14 @@ let get_page t ~inum ~lblock =
       (* Cache miss under the scheduler: the read joins the live disk
          queue and this process parks. LFS maintenance paths stay on the
          synchronous branch — they must not yield mid-write. *)
-      let data = Disk.read_async t.disk addr in
+      let data = Diskset.read_async t.disk addr in
       (* Another process may have brought the page in (and dirtied it)
          while we were parked: never clobber a present frame. *)
       (match Cache.lookup t.cache ~file:inum ~lblock with
       | Some f -> f
       | None -> Cache.insert t.cache ~file:inum ~lblock data)
     | _ ->
-      let data = if addr = 0 then zero_block t else Disk.read t.disk addr in
+      let data = if addr = 0 then zero_block t else Diskset.read t.disk addr in
       Cache.insert t.cache ~file:inum ~lblock data)
 
 let new_page t ~inum ~lblock =
@@ -1134,17 +1134,17 @@ let format disk clock stats (cfg : Config.t) =
   let sb =
     {
       Layout.block_size = cfg.disk.block_size;
-      nblocks = Disk.nblocks disk;
+      nblocks = Diskset.nblocks disk;
       segment_blocks = cfg.fs.segment_blocks;
       nsegments =
         Layout.nsegments_of ~block_size:cfg.disk.block_size
-          ~nblocks:(Disk.nblocks disk) ~segment_blocks:cfg.fs.segment_blocks;
+          ~nblocks:(Diskset.nblocks disk) ~segment_blocks:cfg.fs.segment_blocks;
       max_inodes;
     }
   in
   let b = Bytes.make cfg.disk.block_size '\000' in
   Layout.write_superblock b sb;
-  Disk.write disk Layout.superblock_blkno b;
+  Diskset.write disk Layout.superblock_blkno b;
   let t = make_empty disk clock stats cfg sb in
   t.usage.(0).state <- Current;
   t.usage.(1).state <- Current;
@@ -1160,8 +1160,8 @@ let format disk clock stats (cfg : Config.t) =
 
 let load_checkpoint t =
   let r0, r1 = Layout.checkpoint_blknos in
-  let cp0 = Layout.read_checkpoint (Disk.read t.disk r0) in
-  let cp1 = Layout.read_checkpoint (Disk.read t.disk r1) in
+  let cp0 = Layout.read_checkpoint (Diskset.read t.disk r0) in
+  let cp1 = Layout.read_checkpoint (Diskset.read t.disk r1) in
   match (cp0, cp1) with
   | None, None -> Vfs.error Invalid "LFS mount: no valid checkpoint"
   | Some cp, None | None, Some cp -> cp
@@ -1218,7 +1218,7 @@ let roll_forward t =
     ||
     let n = List.length s.Layout.entries in
     n = 0
-    || Layout.checksum (Disk.read_run t.disk (blkno + 1) n) = s.Layout.payload_ck
+    || Layout.checksum (Diskset.read_run t.disk (blkno + 1) n) = s.Layout.payload_ck
   in
   let expected = ref t.write_seq in
   let seg = ref t.cur_seg and off = ref t.cur_off in
@@ -1235,7 +1235,7 @@ let roll_forward t =
       off := 0
     end;
     let blkno = seg_base t !seg + !off in
-    match Layout.read_summary (Disk.read t.disk blkno) with
+    match Layout.read_summary (Diskset.read t.disk blkno) with
     | Some s when Int64.equal s.Layout.seq !expected && payload_ok blkno s ->
       if !batch = [] then batch_start := Some (!seg, !off, !next, !expected);
       batch := (blkno, s) :: !batch;
@@ -1251,7 +1251,7 @@ let roll_forward t =
       if !off > 0 then begin
         (* Maybe the writer moved to the next segment early. *)
         let blkno' = seg_base t !next in
-        match Layout.read_summary (Disk.read t.disk blkno') with
+        match Layout.read_summary (Diskset.read t.disk blkno') with
         | Some s when Int64.equal s.Layout.seq !expected ->
           seg := !next;
           off := 0
@@ -1278,9 +1278,9 @@ let roll_forward t =
      recovery could mistake it for a live continuation of the log. *)
   let zero = Bytes.make (block_size t) '\000' in
   let scrub blkno =
-    match Layout.read_summary (Disk.read t.disk blkno) with
+    match Layout.read_summary (Diskset.read t.disk blkno) with
     | Some s when Int64.compare s.Layout.seq !expected >= 0 ->
-      Disk.write t.disk blkno zero
+      Diskset.write t.disk blkno zero
     | _ -> ()
   in
   for o = !off to t.cfg.fs.segment_blocks - 1 do
@@ -1329,7 +1329,7 @@ let recompute_usage t =
   t.usage.(t.next_seg).state <- Current
 
 let mount disk clock stats (cfg : Config.t) =
-  let sb = Layout.read_superblock (Disk.read disk Layout.superblock_blkno) in
+  let sb = Layout.read_superblock (Diskset.read disk Layout.superblock_blkno) in
   if sb.Layout.block_size <> cfg.disk.block_size then
     Vfs.error Invalid "LFS mount: block size mismatch";
   let t = make_empty disk clock stats { cfg with fs = { cfg.fs with segment_blocks = sb.Layout.segment_blocks } } sb in
@@ -1348,7 +1348,7 @@ let mount disk clock stats (cfg : Config.t) =
   Array.iteri
     (fun chunk addr ->
       if addr <> 0 then begin
-        let b = Disk.read t.disk addr in
+        let b = Diskset.read t.disk addr in
         let lo = chunk * imap_per_chunk t in
         for i = 0 to imap_per_chunk t - 1 do
           let inum = lo + i in
@@ -1365,7 +1365,7 @@ let mount disk clock stats (cfg : Config.t) =
   Array.iteri
     (fun chunk addr ->
       if addr <> 0 then begin
-        let b = Disk.read t.disk addr in
+        let b = Diskset.read t.disk addr in
         let lo = chunk * usage_per_chunk t in
         for i = 0 to usage_per_chunk t - 1 do
           let seg = lo + i in
@@ -1424,7 +1424,7 @@ let coalesce_file t inum =
             | _ ->
               (* Either uncached or pinned by a live transaction: the
                  on-disk copy is the committed version. *)
-              `Raw (Disk.read t.disk (Inode.get_addr ino b))
+              `Raw (Diskset.read t.disk (Inode.get_addr ino b))
           in
           ditems := { d_inum = inum; d_lblock = b; d_src = src } :: !ditems
         end
@@ -1681,7 +1681,7 @@ let snapshot_view t s =
   Array.iteri
     (fun chunk addr ->
       if addr <> 0 then begin
-        let b = Disk.read view.disk addr in
+        let b = Diskset.read view.disk addr in
         let lo = chunk * imap_per_chunk view in
         for i = 0 to imap_per_chunk view - 1 do
           let inum = lo + i in

@@ -24,12 +24,12 @@ exception Crashed
     re-mounted. *)
 
 val format :
-  Disk.t -> Clock.t -> Stats.t -> Config.t -> t
+  Diskset.t -> Clock.t -> Stats.t -> Config.t -> t
 (** Write a fresh file system (superblock, empty root directory, initial
     checkpoint) and return it mounted. *)
 
 val mount :
-  Disk.t -> Clock.t -> Stats.t -> Config.t -> t
+  Diskset.t -> Clock.t -> Stats.t -> Config.t -> t
 (** Recover an existing image: load the newest valid checkpoint, roll
     forward through segments written after it, and rebuild the inode map
     and segment usage table. *)

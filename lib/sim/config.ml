@@ -36,6 +36,8 @@ type fs = {
   lfs_user_cleaner : bool;
   group_commit_timeout_s : float;
   group_commit_size : int;
+  ndisks : int;
+  log_disk : bool;
 }
 
 type t = { disk : disk; cpu : cpu; fs : fs }
@@ -88,6 +90,8 @@ let default_fs =
     lfs_user_cleaner = false;
     group_commit_timeout_s = 0.0 (* 0 = force at every commit *);
     group_commit_size = 4;
+    ndisks = 1;
+    log_disk = false;
   }
 
 let default = { disk = default_disk; cpu = default_cpu; fs = default_fs }

@@ -70,6 +70,12 @@ type fs = {
           files being cleaned *)
   group_commit_timeout_s : float;  (** max wait before forcing a commit *)
   group_commit_size : int;  (** commits that justify an immediate flush *)
+  ndisks : int;
+      (** data spindles; above 1 the LFS stripes segments round-robin
+          across them (see {!Tx_disk.Diskset}); default 1 *)
+  log_disk : bool;
+      (** give the write-ahead log (and the LFS checkpoint region) a
+          dedicated spindle instead of sharing the data disk(s) *)
 }
 
 type t = { disk : disk; cpu : cpu; fs : fs }

@@ -19,6 +19,7 @@ type t = {
   mutable sum : float;
   mutable vmin : float;
   mutable vmax : float;
+  mutable invalid : int; (* NaN/negative samples, excluded from the rest *)
 }
 
 let create () =
@@ -28,6 +29,7 @@ let create () =
     sum = 0.0;
     vmin = infinity;
     vmax = neg_infinity;
+    invalid = 0;
   }
 
 (* Smallest bucket whose upper bound is >= v (binary search). *)
@@ -44,15 +46,23 @@ let index v =
     !b
   end
 
+(* A sample the distribution accepts. NaN, infinities and negative
+   values used to be coerced to 0.0, silently inflating the first bucket
+   and dragging p50 down; they are now counted separately and dropped. *)
+let is_valid v = Float.is_finite v && v >= 0.0
+
 let add t v =
-  let v = if Float.is_finite v then Float.max 0.0 v else 0.0 in
-  t.counts.(index v) <- t.counts.(index v) + 1;
-  t.n <- t.n + 1;
-  t.sum <- t.sum +. v;
-  if v < t.vmin then t.vmin <- v;
-  if v > t.vmax then t.vmax <- v
+  if not (is_valid v) then t.invalid <- t.invalid + 1
+  else begin
+    t.counts.(index v) <- t.counts.(index v) + 1;
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. v;
+    if v < t.vmin then t.vmin <- v;
+    if v > t.vmax then t.vmax <- v
+  end
 
 let count t = t.n
+let invalid t = t.invalid
 let sum t = t.sum
 let min_value t = if t.n = 0 then 0.0 else t.vmin
 let max_value t = if t.n = 0 then 0.0 else t.vmax
@@ -84,6 +94,7 @@ let merge_into ~src ~dst =
   Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
   dst.n <- dst.n + src.n;
   dst.sum <- dst.sum +. src.sum;
+  dst.invalid <- dst.invalid + src.invalid;
   if src.n > 0 then begin
     if src.vmin < dst.vmin then dst.vmin <- src.vmin;
     if src.vmax > dst.vmax then dst.vmax <- src.vmax
@@ -101,6 +112,7 @@ let to_json t =
   Json.Obj
     [
       ("count", Json.Int t.n);
+      ("invalid", Json.Int t.invalid);
       ("sum", Json.Float t.sum);
       ("min", Json.Float (min_value t));
       ("mean", Json.Float (mean t));

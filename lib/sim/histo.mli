@@ -11,9 +11,18 @@ type t
 
 val create : unit -> t
 val add : t -> float -> unit
-(** Record one sample. Negative and non-finite values count as 0. *)
+(** Record one sample. Negative and non-finite values are rejected: they
+    are excluded from the distribution (and from count/sum/extrema) and
+    tallied in {!invalid} instead. *)
+
+val is_valid : float -> bool
+(** Whether {!add} would accept the sample into the distribution. *)
 
 val count : t -> int
+
+val invalid : t -> int
+(** Number of rejected (NaN, infinite or negative) samples. *)
+
 val sum : t -> float
 val mean : t -> float
 val min_value : t -> float
@@ -31,6 +40,6 @@ val buckets : t -> ([ `Le of float ] * int) list
     overflow bucket reports [`Le infinity]. *)
 
 val to_json : t -> Json.t
-(** [{count, sum, min, mean, p50, p95, p99, max, buckets}]. *)
+(** [{count, invalid, sum, min, mean, p50, p95, p99, max, buckets}]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -61,7 +61,12 @@ let histo_cell t key =
 
 let declare t key = ignore (histo_cell t key)
 
-let observe t key v = Histo.add (histo_cell t key) v
+let observe t key v =
+  (* Invalid samples (NaN, negative) are dropped by the histogram; keep
+     them visible as a counter so an instrumentation bug upstream shows
+     up in artifacts instead of silently thinning a distribution. *)
+  if not (Histo.is_valid v) then incr t "histo.invalid";
+  Histo.add (histo_cell t key) v
 
 let histo t key = Hashtbl.find_opt t.histos key
 

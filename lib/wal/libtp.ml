@@ -255,9 +255,12 @@ let recover t =
   (* Make the recovered state durable and reset the log. *)
   checkpoint t
 
-let open_env clock stats (cfg : Config.t) vfs ?(pool_pages = 1024)
+let open_env clock stats (cfg : Config.t) vfs ?log_vfs ?(pool_pages = 1024)
     ?(checkpoint_every = 500) ~log_path () =
-  let log = Logmgr.open_log clock stats cfg vfs ~path:log_path in
+  (* The WAL may live in a different file system than the data — on a
+     dedicated log spindle, commit forces never move the data heads. *)
+  let log_home = Option.value log_vfs ~default:vfs in
+  let log = Logmgr.open_log clock stats cfg log_home ~path:log_path in
   let pool = Bufpool.create clock stats cfg vfs log ~pages:pool_pages in
   let locks = Lockmgr.create clock stats cfg.cpu in
   let t =

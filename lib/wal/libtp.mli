@@ -31,6 +31,7 @@ val open_env :
   Stats.t ->
   Config.t ->
   Vfs.t ->
+  ?log_vfs:Vfs.t ->
   ?pool_pages:int ->
   ?checkpoint_every:int ->
   log_path:string ->
@@ -39,6 +40,9 @@ val open_env :
 (** Open a transaction environment. If the log file already contains
     records (an unclean shutdown), crash recovery runs first: redo all
     durable updates, undo loser transactions, checkpoint.
+    [log_vfs] (default: the data [Vfs.t]) is the file system holding
+    [log_path] — pass the file system of a dedicated log spindle to
+    separate WAL forces from data traffic.
     [checkpoint_every] (default 500) is the number of committed
     transactions between sharp checkpoints. *)
 

@@ -138,6 +138,97 @@ let test_modseq_monotone () =
   Alcotest.(check bool) "monotone" true (s0 < s1 && s1 < s2);
   Alcotest.(check int) "frame carries latest" s2 f.Cache.modseq
 
+(* Regression: insert over an existing *dirty* frame used to drop it
+   without invoking the writeback hook, silently losing the dirty bytes.
+   The old contents must reach the backing store before the replacement
+   lands. *)
+let test_insert_over_dirty_writes_back () =
+  let _, _, c = mk () in
+  let store = Hashtbl.create 8 in
+  Cache.set_writeback c (fun f ->
+      Hashtbl.replace store (f.Cache.file, f.Cache.lblock)
+        (Bytes.to_string f.Cache.data));
+  let f = Cache.insert c ~file:1 ~lblock:0 (block 'a') in
+  Cache.mark_dirty c f;
+  let f' = Cache.insert c ~file:1 ~lblock:0 (block 'b') in
+  Alcotest.(check string) "old dirty bytes reached the backing store"
+    (Bytes.to_string (block 'a'))
+    (Hashtbl.find store (1, 0));
+  Alcotest.(check bool) "replacement is resident" true
+    (match Cache.lookup c ~file:1 ~lblock:0 with
+    | Some g -> g == f' && Bytes.to_string g.Cache.data = Bytes.to_string (block 'b')
+    | None -> false);
+  Alcotest.(check int) "no duplicate frames" 1 (Cache.resident c)
+
+let test_insert_over_pinned_rejected () =
+  let _, _, c = mk () in
+  Cache.set_writeback c (fun _ -> ());
+  let f = Cache.insert c ~file:1 ~lblock:0 (block 'a') in
+  Cache.pin f;
+  Alcotest.(check bool) "pinned frame cannot be replaced" true
+    (match Cache.insert c ~file:1 ~lblock:0 (block 'b') with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Cache.unpin f;
+  Cache.set_txn c f 3;
+  Alcotest.(check bool) "txn-owned frame cannot be replaced" true
+    (match Cache.insert c ~file:1 ~lblock:0 (block 'b') with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* A frame re-dirtied while its writeback is in flight holds newer bytes
+   than the ones on their way to disk: it must stay dirty (and get a
+   second writeback) rather than be marked clean and dropped. *)
+let test_redirty_during_writeback () =
+  let _, _, c = mk ~capacity:1 () in
+  let writes = ref 0 in
+  let redirtied = ref false in
+  Cache.set_writeback c (fun f ->
+      incr writes;
+      if not !redirtied then begin
+        redirtied := true;
+        Cache.mark_dirty c f
+      end);
+  let f = Cache.insert c ~file:1 ~lblock:0 (block 'a') in
+  Cache.mark_dirty c f;
+  ignore (Cache.insert c ~file:1 ~lblock:1 (block 'b'));
+  Alcotest.(check int) "written back again after the re-dirty" 2 !writes;
+  Alcotest.(check bool) "old frame gone" true
+    (Cache.lookup c ~file:1 ~lblock:0 = None)
+
+(* Regression for the scheduled-path race: the writeback hook can block
+   on the disk and yield, letting another fiber run eviction against the
+   same LRU list. The victim is pinned across the writeback, so the
+   second fiber must pick a different victim, every dirty frame is
+   written back exactly once, and the cyclic list stays consistent. *)
+let test_evict_race_two_fibers () =
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  let c = Cache.create clock stats Config.default.Config.cpu ~capacity:2 in
+  let sched = Sched.create clock in
+  let written = ref [] in
+  Cache.set_writeback c (fun f ->
+      (* Park the writeback: the other fiber's eviction runs meanwhile. *)
+      Sched.delay sched 0.01;
+      written := (f.Cache.file, f.Cache.lblock) :: !written);
+  Cache.mark_dirty c (Cache.insert c ~file:1 ~lblock:0 (block 'a'));
+  Cache.mark_dirty c (Cache.insert c ~file:1 ~lblock:1 (block 'b'));
+  Sched.spawn sched (fun () -> ignore (Cache.insert c ~file:1 ~lblock:2 (block 'c')));
+  Sched.spawn sched (fun () -> ignore (Cache.insert c ~file:1 ~lblock:3 (block 'd')));
+  Sched.run sched;
+  Sched.detach sched;
+  Alcotest.(check (list (pair int int)))
+    "each dirty frame written back exactly once"
+    [ (1, 0); (1, 1) ]
+    (List.sort compare !written);
+  Alcotest.(check bool) "old frames gone" true
+    (Cache.lookup c ~file:1 ~lblock:0 = None
+    && Cache.lookup c ~file:1 ~lblock:1 = None);
+  Alcotest.(check bool) "new frames resident" true
+    (Cache.lookup c ~file:1 ~lblock:2 <> None
+    && Cache.lookup c ~file:1 ~lblock:3 <> None);
+  Alcotest.(check bool) "within capacity" true (Cache.resident c <= 2)
+
 let prop_never_exceeds_capacity =
   Tutil.qtest "resident <= capacity"
     QCheck2.Gen.(list (pair (int_bound 3) (int_bound 10)))
@@ -165,6 +256,14 @@ let () =
           Alcotest.test_case "invalidate" `Quick test_invalidate;
           Alcotest.test_case "file frames" `Quick test_file_frames;
           Alcotest.test_case "modseq" `Quick test_modseq_monotone;
+          Alcotest.test_case "insert over dirty writes back" `Quick
+            test_insert_over_dirty_writes_back;
+          Alcotest.test_case "insert over pinned rejected" `Quick
+            test_insert_over_pinned_rejected;
+          Alcotest.test_case "re-dirty during writeback" `Quick
+            test_redirty_during_writeback;
+          Alcotest.test_case "scheduled eviction race" `Quick
+            test_evict_race_two_fibers;
           prop_never_exceeds_capacity;
         ] );
     ]

@@ -90,7 +90,7 @@ let test_btree_persistence () =
   done;
   Lfs.sync fs;
   Lfs.crash fs;
-  let fs = Lfs.mount m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let fs = Lfs.mount m.Tutil.disks m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
   let v' = Lfs.vfs fs in
   let fd = v'.Vfs.open_file "/db" in
   ignore v;
@@ -223,7 +223,7 @@ let test_btree_delete_persists () =
   done;
   Lfs.sync fs;
   Lfs.crash fs;
-  let fs = Lfs.mount m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let fs = Lfs.mount m.Tutil.disks m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
   let v = Lfs.vfs fs in
   let bt = attach_btree m (Pager.plain v (v.Vfs.open_file "/db")) in
   Alcotest.(check int) "half remain" 50 (Btree.count bt);
@@ -238,7 +238,7 @@ let test_hash_persistence () =
   done;
   Lfs.sync fs;
   Lfs.crash fs;
-  let fs = Lfs.mount m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let fs = Lfs.mount m.Tutil.disks m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
   let v = Lfs.vfs fs in
   let h =
     Hashdb.attach m.Tutil.clock m.Tutil.stats m.Tutil.cfg.Config.cpu
@@ -306,7 +306,7 @@ let test_btree_wal_crash_recovery () =
   done;
   Logmgr.force (Libtp.log env) ~upto:(Logmgr.next_lsn (Libtp.log env) - 1);
   Lfs.crash fs;
-  let fs = Lfs.mount m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let fs = Lfs.mount m.Tutil.disks m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
   let v = Lfs.vfs fs in
   let env =
     Libtp.open_env m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~pool_pages:64

@@ -159,6 +159,158 @@ let prop_elevator_single_sweep =
       in
       match out with [] -> true | x :: rest -> descents x rest <= 1)
 
+(* Regression: a queued request pays a discounted (0.3x) seek. The seeks
+   counter must test the *charged* value, and the discounted samples go
+   to their own "disk.seek.queued" histogram instead of polluting the
+   cold-seek distribution. *)
+let test_queued_seek_accounting () =
+  let histo m key =
+    match Stats.histo m.Tutil.stats key with
+    | Some h -> h
+    | None -> Alcotest.failf "missing histogram %s" key
+  in
+  let unqueued =
+    let m = Tutil.machine () in
+    Disk.write m.Tutil.disk 4000 (Bytes.make (Disk.block_size m.Tutil.disk) 'x');
+    m
+  in
+  let queued =
+    let m = Tutil.machine () in
+    Disk.write_queued m.Tutil.disk 4000
+      (Bytes.make (Disk.block_size m.Tutil.disk) 'x');
+    m
+  in
+  Alcotest.(check int) "unqueued sample in disk.seek" 1
+    (Histo.count (histo unqueued "disk.seek"));
+  Alcotest.(check int) "unqueued leaves disk.seek.queued empty" 0
+    (Histo.count (histo unqueued "disk.seek.queued"));
+  Alcotest.(check int) "unqueued seek counted" 1
+    (Stats.count unqueued.Tutil.stats "disk.seeks");
+  Alcotest.(check int) "queued sample in disk.seek.queued" 1
+    (Histo.count (histo queued "disk.seek.queued"));
+  Alcotest.(check int) "queued leaves disk.seek empty" 0
+    (Histo.count (histo queued "disk.seek"));
+  Alcotest.(check int) "queued seek counted" 1
+    (Stats.count queued.Tutil.stats "disk.seeks");
+  Alcotest.(check (float 1e-12)) "queued seek charged at 0.3x"
+    (0.3 *. Histo.sum (histo unqueued "disk.seek"))
+    (Histo.sum (histo queued "disk.seek.queued"));
+  (* Zero-distance queued request: rotation is charged but no seek, so
+     the counter must not tick. *)
+  let m = Tutil.machine () in
+  Disk.write_queued m.Tutil.disk 0
+    (Bytes.make (Disk.block_size m.Tutil.disk) 'x');
+  Alcotest.(check int) "zero-seek queued request not counted" 0
+    (Stats.count m.Tutil.stats "disk.seeks")
+
+(* Diskset: multi-spindle mapping behind the Disk API. *)
+
+let stripe_cfg ?(ndisks = 2) ?(log_disk = false) () =
+  let cfg = Tutil.small_config () in
+  { cfg with Config.fs = { cfg.Config.fs with Config.ndisks; log_disk } }
+
+let test_diskset_passthrough () =
+  let m = Tutil.machine () in
+  let ds = m.Tutil.disks in
+  Alcotest.(check int) "same geometry" (Disk.nblocks m.Tutil.disk)
+    (Diskset.nblocks ds);
+  Alcotest.(check (list string)) "single member, historical name" [ "disk" ]
+    (List.map fst (Diskset.members ds));
+  let b = Tutil.payload 7 (Diskset.block_size ds) in
+  Diskset.write ds 42 b;
+  Tutil.check_bytes "write forwarded verbatim" b (Disk.peek m.Tutil.disk 42);
+  Tutil.check_bytes "read back" b (Diskset.read ds 42)
+
+let test_diskset_stripe_mapping () =
+  let cfg = stripe_cfg ~ndisks:2 ~log_disk:true () in
+  let m = Tutil.machine ~cfg () in
+  let ds = m.Tutil.disks in
+  let chunk = cfg.Config.fs.Config.segment_blocks in
+  let bs = Diskset.block_size ds in
+  let psegs = (cfg.Config.disk.Config.nblocks - 3) / chunk in
+  Alcotest.(check int) "logical geometry spans both spindles"
+    (3 + (2 * psegs * chunk))
+    (Diskset.nblocks ds);
+  let members = Diskset.members ds in
+  Alcotest.(check (list string)) "member names"
+    [ "disk0"; "disk1"; "disklog" ]
+    (List.map fst members);
+  (* The boot region stays on data disk 0. *)
+  let b0 = Tutil.payload 1 bs in
+  Diskset.write ds 0 b0;
+  Tutil.check_bytes "superblock on disk0" b0
+    (Disk.peek (List.assoc "disk0" members) 0);
+  (* Logical segment i -> data disk (i mod 2), physical slot (i / 2). *)
+  List.iter
+    (fun seg ->
+      let off = 5 in
+      let b = Tutil.payload (100 + seg) bs in
+      Diskset.write ds (3 + (seg * chunk) + off) b;
+      let phys = 3 + (seg / 2 * chunk) + off in
+      Tutil.check_bytes
+        (Printf.sprintf "segment %d on disk%d slot %d" seg (seg mod 2) (seg / 2))
+        b
+        (Disk.peek (List.assoc (Printf.sprintf "disk%d" (seg mod 2)) members) phys);
+      Tutil.check_bytes "round-trip" b (Diskset.read ds (3 + (seg * chunk) + off)))
+    [ 0; 1; 2; 3 ]
+
+let test_diskset_run_split () =
+  let cfg = stripe_cfg ~ndisks:2 () in
+  let m = Tutil.machine ~cfg () in
+  let ds = m.Tutil.disks in
+  let chunk = cfg.Config.fs.Config.segment_blocks in
+  let bs = Diskset.block_size ds in
+  (* A run crossing a stripe boundary spans two spindles and must still
+     round-trip; its tail lands at the start of disk1's first slot. *)
+  let start = 3 + chunk - 2 in
+  let data = Tutil.payload 9 (4 * bs) in
+  Diskset.write_run ds start data;
+  Tutil.check_bytes "run across the stripe boundary" data
+    (Diskset.read_run ds start 4);
+  Tutil.check_bytes "tail block on disk1"
+    (Bytes.sub data (2 * bs) bs)
+    (Disk.peek (List.assoc "disk1" (Diskset.members ds)) 3)
+
+let test_diskset_checkpoint_routing () =
+  let cfg = stripe_cfg ~ndisks:1 ~log_disk:true () in
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  let ds = Diskset.create ~route_checkpoints:true clock stats cfg in
+  let members = Diskset.members ds in
+  let bs = Diskset.block_size ds in
+  let cp = Tutil.payload 11 bs in
+  Diskset.write ds 1 cp;
+  Tutil.check_bytes "checkpoint block on the log spindle" cp
+    (Disk.peek (List.assoc "disklog" members) 1);
+  let sb = Tutil.payload 12 bs in
+  Diskset.write ds 0 sb;
+  Tutil.check_bytes "superblock stays on the data spindle" sb
+    (Disk.peek (List.assoc "disk" members) 0);
+  (* Without the routing flag, checkpoints stay on the data spindle even
+     when a log spindle exists (it hosts a file system of its own). *)
+  let ds' = Diskset.create clock stats cfg in
+  let cp' = Tutil.payload 13 bs in
+  Diskset.write ds' 1 cp';
+  Tutil.check_bytes "unrouted checkpoint on the data spindle" cp'
+    (Disk.peek (List.assoc "disk" (Diskset.members ds')) 1)
+
+let prop_diskset_roundtrip =
+  Tutil.qtest "diskset round-trips any block"
+    QCheck2.Gen.(pair (int_range 1 4) (list_size (int_range 1 20) (int_bound 5000)))
+    (fun (ndisks, blknos) ->
+      let cfg = stripe_cfg ~ndisks ~log_disk:(ndisks mod 2 = 0) () in
+      let clock = Clock.create () in
+      let stats = Stats.create () in
+      let ds = Diskset.create clock stats cfg in
+      let bs = Diskset.block_size ds in
+      List.for_all
+        (fun blkno ->
+          let blkno = blkno mod Diskset.nblocks ds in
+          let b = Tutil.payload blkno bs in
+          Diskset.write ds blkno b;
+          Bytes.equal b (Diskset.read ds blkno))
+        blknos)
+
 let () =
   Alcotest.run "tx_disk"
     [
@@ -176,6 +328,19 @@ let () =
           Alcotest.test_case "range checks" `Quick test_out_of_range;
           Alcotest.test_case "peek/poke" `Quick test_peek_poke_free;
           Alcotest.test_case "queued reads" `Quick test_read_async_queue;
+          Alcotest.test_case "queued seek accounting" `Quick
+            test_queued_seek_accounting;
+        ] );
+      ( "diskset",
+        [
+          Alcotest.test_case "single-disk passthrough" `Quick
+            test_diskset_passthrough;
+          Alcotest.test_case "stripe mapping" `Quick test_diskset_stripe_mapping;
+          Alcotest.test_case "run split across spindles" `Quick
+            test_diskset_run_split;
+          Alcotest.test_case "checkpoint routing" `Quick
+            test_diskset_checkpoint_routing;
+          prop_diskset_roundtrip;
         ] );
       ( "elevator",
         [

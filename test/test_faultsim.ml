@@ -13,7 +13,7 @@ let full = Sys.getenv_opt "FAULTSIM_FULL" <> None
 let test_tear_multiblock_write () =
   let m = Tutil.machine () in
   let bs = m.Tutil.cfg.Config.disk.block_size in
-  let f = Faultsim.arm ~crash_after:5 m.Tutil.disk in
+  let f = Faultsim.arm ~crash_after:5 m.Tutil.disks in
   let first = Tutil.payload 1 (3 * bs) in
   Disk.write_run m.Tutil.disk 100 first;
   let torn = Tutil.payload 2 (4 * bs) in
@@ -41,7 +41,7 @@ let test_read_errors_are_transient () =
   let data = Tutil.payload 3 bs in
   Disk.write m.Tutil.disk 50 data;
   let rng = Rng.create ~seed:42 in
-  let f = Faultsim.arm ~read_error_rate:1.0 ~rng m.Tutil.disk in
+  let f = Faultsim.arm ~read_error_rate:1.0 ~rng m.Tutil.disks in
   for _ = 1 to 6 do
     Tutil.check_bytes "read survives transient errors" data
       (Disk.read m.Tutil.disk 50)
@@ -52,7 +52,7 @@ let test_read_errors_are_transient () =
 
 let test_rate_without_rng_rejected () =
   let m = Tutil.machine () in
-  match Faultsim.arm ~read_error_rate:0.5 m.Tutil.disk with
+  match Faultsim.arm ~read_error_rate:0.5 m.Tutil.disks with
   | _ -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
 
@@ -118,6 +118,21 @@ let sweep_tpcb_mpl2 () =
     assert_clean
       (Sweep.sweep_tpcb_mpl Sweep.Lfs_kernel ~seed:3 ~txns:6 ~mpl:2 ~points:10)
 
+(* Multi-spindle crash coverage: two striped data disks plus a dedicated
+   log spindle, MPL 2. A crash now interrupts I/O that spans spindles —
+   segment writes striped across the data disks and WAL flushes on the
+   log disk — and recovery must roll forward from a log whose home file
+   system itself went through crash/remount/fsck. *)
+let sweep_tpcb_multidisk () =
+  if full then
+    assert_clean
+      (Sweep.sweep_tpcb_mpl ~ndisks:2 ~log_disk:true Sweep.Lfs_user ~seed:5
+         ~txns:20 ~mpl:2 ~points:0)
+  else
+    assert_clean
+      (Sweep.sweep_tpcb_mpl ~ndisks:2 ~log_disk:true Sweep.Lfs_user ~seed:5
+         ~txns:6 ~mpl:2 ~points:10)
+
 (* Negative control: disable the roll-forward payload verification and
    the sweep must catch torn partial-segment writes that the hardened
    recovery path would have rejected. A harness that cannot detect a
@@ -155,6 +170,8 @@ let () =
           Alcotest.test_case "tpcb / lfs-user" `Slow sweep_tpcb_lfs_user;
           Alcotest.test_case "tpcb / ffs-user" `Slow sweep_tpcb_ffs;
           Alcotest.test_case "tpcb / lfs-kernel at MPL 2" `Slow sweep_tpcb_mpl2;
+          Alcotest.test_case "tpcb / lfs-user 2+log at MPL 2" `Slow
+            sweep_tpcb_multidisk;
           Alcotest.test_case "broken recovery is caught" `Slow
             test_broken_recovery_is_caught;
         ] );

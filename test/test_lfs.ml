@@ -4,11 +4,11 @@
 
 let remount (m : Tutil.machine) fs =
   Lfs.crash fs;
-  Lfs.mount m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg
+  Lfs.mount m.Tutil.disks m.Tutil.clock m.Tutil.stats m.Tutil.cfg
 
 let make_harness () =
   let m = Tutil.machine () in
-  let fs = ref (Lfs.format m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg) in
+  let fs = ref (Lfs.format m.Tutil.disks m.Tutil.clock m.Tutil.stats m.Tutil.cfg) in
   {
     Conformance.vfs = (fun () -> Lfs.vfs !fs);
     sync_remount =

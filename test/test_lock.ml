@@ -303,6 +303,97 @@ let prop_release_all_empties =
       List.iter (fun txn -> Lockmgr.release_all lm ~txn) [ 1; 2; 3; 4 ];
       Lockmgr.locked_objects lm = 0)
 
+(* Targeted interleaving property for [release_all] chain ordering: while
+   walking the releasing transaction's chain, revalidating the waiters of
+   a *later* object must not resurrect a wait entry that the *first*
+   released object already cleared. Observable invariant, checked after
+   every single operation of a random acquire/release_all interleaving:
+   (a) nobody's blocker list ever names a transaction that holds nothing,
+   and (b) a transaction whose pending request conflicts with no current
+   holder is not waiting at all — i.e. no stale waits-for edges, in
+   either direction, at any interleaving point. *)
+let prop_release_all_no_stale_edges =
+  let txns = [ 1; 2; 3; 4; 5 ] in
+  Tutil.qtest ~count:500 "release_all interleavings leave no stale edges"
+    QCheck2.Gen.(
+      list_size (int_range 1 50)
+        (tup4 (int_range 1 5) (int_bound 5) bool (int_bound 6)))
+    (fun ops ->
+      let _, lm = mk () in
+      (* Track the holder table ourselves so "holds nothing" and "no
+         conflict" are judged against ground truth, not the unit under
+         test. *)
+      let holders : ((int * int), (int * Lockmgr.mode) list) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      let holds_nothing t =
+        not (Hashtbl.fold (fun _ hs acc -> acc || List.mem_assoc t hs) holders false)
+      in
+      let pending : (int, (int * int) * Lockmgr.mode) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      let conflicts t =
+        match Hashtbl.find_opt pending t with
+        | None -> []
+        | Some (obj, mode) ->
+          List.filter
+            (fun (h, hm) ->
+              h <> t && not (mode = Lockmgr.Shared && hm = Lockmgr.Shared))
+            (try Hashtbl.find holders obj with Not_found -> [])
+      in
+      let invariant () =
+        List.for_all
+          (fun t ->
+            List.for_all (fun b -> not (holds_nothing b)) (Lockmgr.blockers lm ~txn:t)
+            && ((not (Lockmgr.waiting lm ~txn:t)) || conflicts t <> []))
+          txns
+      in
+      List.for_all
+        (fun (txn, page, excl, action) ->
+          (* Bias toward acquires; release_all fires on ~2/7 of the ops so
+             chains of several objects build up before a release walks
+             them. *)
+          (if action >= 5 then begin
+             Lockmgr.release_all lm ~txn;
+             Hashtbl.remove pending txn;
+             Hashtbl.iter
+               (fun obj hs ->
+                 Hashtbl.replace holders obj
+                   (List.filter (fun (h, _) -> h <> txn) hs))
+               (Hashtbl.copy holders)
+           end
+           else
+             let obj = (0, page) in
+             let mode = if excl then Lockmgr.Exclusive else Lockmgr.Shared in
+             let held =
+               List.assoc_opt txn (try Hashtbl.find holders obj with Not_found -> [])
+             in
+             let noop =
+               held = Some Lockmgr.Exclusive
+               || (held = Some Lockmgr.Shared && mode = Lockmgr.Shared)
+             in
+             match Lockmgr.acquire lm ~txn obj mode with
+             | `Granted when noop ->
+               (* Re-entrant no-op: the lock table is untouched, so any
+                  pending request elsewhere stays pending. *)
+               ()
+             | `Granted ->
+               let hs =
+                 (try Hashtbl.find holders obj with Not_found -> [])
+                 |> List.filter (fun (h, _) -> h <> txn)
+               in
+               let granted =
+                 match Lockmgr.holds lm ~txn obj with
+                 | Some m -> m
+                 | None -> mode
+               in
+               Hashtbl.replace holders obj ((txn, granted) :: hs);
+               Hashtbl.remove pending txn
+             | `Would_block _ -> Hashtbl.replace pending txn (obj, mode)
+             | `Deadlock -> ());
+          invariant ())
+        ops)
+
 let prop_shared_never_conflicts =
   Tutil.qtest "readers never conflict"
     QCheck2.Gen.(list (pair (int_range 1 6) (int_bound 10)))
@@ -329,6 +420,7 @@ let () =
           Alcotest.test_case "stale edge after release_all" `Quick
             test_release_all_prunes_other_waiters;
           prop_model_deadlock_iff_live_cycle;
+          prop_release_all_no_stale_edges;
           prop_release_all_empties;
           prop_shared_never_conflicts;
         ] );

@@ -86,17 +86,51 @@ let test_histo_percentiles () =
 let test_histo_outliers_and_merge () =
   let h = Histo.create () in
   Histo.add h (-1.0);
-  (* clamped to 0, still counted *)
+  (* invalid: dropped from the distribution, counted separately *)
   Histo.add h 1e9;
   (* overflow bucket *)
-  Alcotest.(check int) "both counted" 2 (Histo.count h);
-  Alcotest.(check (float 1e-12)) "min clamped" 0.0 (Histo.min_value h);
+  Alcotest.(check int) "only the valid sample counted" 1 (Histo.count h);
+  Alcotest.(check int) "negative counted as invalid" 1 (Histo.invalid h);
+  Alcotest.(check (float 0.0)) "min is the valid sample" 1e9 (Histo.min_value h);
   Alcotest.(check (float 0.0)) "max exact" 1e9 (Histo.max_value h);
   let dst = Histo.create () in
   Histo.add dst 0.5;
   Histo.merge_into ~src:h ~dst;
-  Alcotest.(check int) "merged count" 3 (Histo.count dst);
+  Alcotest.(check int) "merged count" 2 (Histo.count dst);
+  Alcotest.(check int) "merged invalid" 1 (Histo.invalid dst);
   Alcotest.(check (float 0.0)) "merged max" 1e9 (Histo.max_value dst)
+
+(* Regression: a stream polluted with NaN and negative samples used to be
+   coerced to 0.0, inflating the first bucket and dragging every
+   percentile toward zero. Now the distribution reflects only the valid
+   samples and the pollution is tallied in [invalid] (and, through
+   [Stats.observe], in the "histo.invalid" counter). *)
+let test_histo_nan_stream () =
+  let h = Histo.create () in
+  for _ = 1 to 50 do
+    Histo.add h Float.nan;
+    Histo.add h (-0.5);
+    Histo.add h Float.neg_infinity;
+    Histo.add h 1.0
+  done;
+  Alcotest.(check int) "valid samples" 50 (Histo.count h);
+  Alcotest.(check int) "invalid samples" 150 (Histo.invalid h);
+  Alcotest.(check (float 1e-12)) "p50 undisturbed" 1.0 (Histo.percentile h 0.50);
+  Alcotest.(check (float 1e-12)) "min undisturbed" 1.0 (Histo.min_value h);
+  Alcotest.(check (float 1e-12)) "mean undisturbed" 1.0 (Histo.mean h);
+  (* Every bucketed sample is a valid one. *)
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 (Histo.buckets h) in
+  Alcotest.(check int) "buckets hold only valid samples" 50 total;
+  (* The stats layer surfaces the same tally as a counter. *)
+  let stats = Stats.create () in
+  Stats.observe stats "lat" Float.nan;
+  Stats.observe stats "lat" 0.25;
+  Alcotest.(check int) "histo.invalid counter" 1 (Stats.count stats "histo.invalid");
+  match Stats.histo stats "lat" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+    Alcotest.(check int) "stats histo count" 1 (Histo.count h);
+    Alcotest.(check int) "stats histo invalid" 1 (Histo.invalid h)
 
 let prop_histo_percentile_bounded =
   Tutil.qtest "percentiles stay within [min, max]"
@@ -427,6 +461,7 @@ let () =
           Alcotest.test_case "basics" `Quick test_histo_basics;
           Alcotest.test_case "percentiles" `Quick test_histo_percentiles;
           Alcotest.test_case "outliers/merge" `Quick test_histo_outliers_and_merge;
+          Alcotest.test_case "nan stream dropped" `Quick test_histo_nan_stream;
           prop_histo_percentile_bounded;
         ] );
       ( "json",

@@ -12,7 +12,7 @@ let test_cfg () =
 
 let build_lfs () =
   let m = Tutil.machine ~cfg:(test_cfg ()) () in
-  let fs = Lfs.format m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let fs = Lfs.format m.Tutil.disks m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
   let v = Lfs.vfs fs in
   let rng = Rng.create ~seed:1 in
   let db = Tpcb.build m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~rng ~scale:small_scale in
@@ -78,7 +78,7 @@ let test_kernel_crash_consistency () =
   let inum = Tpcb.account_fd db in
   Ktxn.write_page k txn ~inum ~page:1 (Bytes.make 4096 'J');
   Lfs.crash fs;
-  let fs = Lfs.mount m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let fs = Lfs.mount m.Tutil.disks m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
   let v = Lfs.vfs fs in
   let db = Tpcb.open_db v ~scale:small_scale in
   (* The database is consistent: committed transactions all present, the
@@ -91,7 +91,7 @@ let test_user_crash_consistency () =
   let m, fs, v, db = build_lfs () in
   ignore (run_user m v db 60);
   Lfs.crash fs;
-  let fs = Lfs.mount m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let fs = Lfs.mount m.Tutil.disks m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
   let v = Lfs.vfs fs in
   (* Recovery happens inside open_env. *)
   let _env =
@@ -170,7 +170,7 @@ let test_multi_user_contention () =
      complete with a consistent outcome. *)
   let tiny = { Tpcb.accounts = 8; tellers = 4; branches = 2 } in
   let m = Tutil.machine ~cfg:(test_cfg ()) () in
-  let fs = Lfs.format m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let fs = Lfs.format m.Tutil.disks m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
   let v = Lfs.vfs fs in
   let rng = Rng.create ~seed:4 in
   let db = Tpcb.build m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~rng ~scale:tiny in
@@ -199,7 +199,7 @@ let test_multi_user_matches_single_user_invariants () =
   (* Crash right after: everything committed must survive. *)
   ignore r;
   Lfs.crash fs;
-  let fs = Lfs.mount m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let fs = Lfs.mount m.Tutil.disks m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
   let v' = Lfs.vfs fs in
   ignore v;
   let db = Tpcb.open_db v' ~scale:small_scale in
@@ -229,7 +229,7 @@ let test_andrew_runs_on_both () =
   in
   let lfs_time =
     run_one (fun m ->
-        Lfs.vfs (Lfs.format m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg))
+        Lfs.vfs (Lfs.format m.Tutil.disks m.Tutil.clock m.Tutil.stats m.Tutil.cfg))
   in
   let ffs_time =
     run_one (fun m ->
@@ -239,7 +239,7 @@ let test_andrew_runs_on_both () =
 
 let test_bigfile () =
   let m = Tutil.machine ~cfg:(test_cfg ()) () in
-  let fs = Lfs.format m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let fs = Lfs.format m.Tutil.disks m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
   let v = Lfs.vfs fs in
   let rng = Rng.create ~seed:3 in
   let phases =

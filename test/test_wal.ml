@@ -4,7 +4,7 @@
 
 let mk_env ?(cfg = Tutil.small_config ()) () =
   let m = Tutil.machine ~cfg () in
-  let fs = Lfs.format m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let fs = Lfs.format m.Tutil.disks m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
   let v = Lfs.vfs fs in
   let env =
     Libtp.open_env m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~pool_pages:32
@@ -15,7 +15,7 @@ let mk_env ?(cfg = Tutil.small_config ()) () =
 (* Crash the machine and bring the environment back up, running recovery. *)
 let crash_recover (m : Tutil.machine) fs =
   Lfs.crash fs;
-  let fs = Lfs.mount m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let fs = Lfs.mount m.Tutil.disks m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
   let v = Lfs.vfs fs in
   let env =
     Libtp.open_env m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~pool_pages:32
@@ -301,7 +301,7 @@ let test_wal_rule_on_eviction () =
   (* Evicting a dirty page must force the log that covers its update
      first. Use a 2-page pool so the eviction is immediate. *)
   let m = Tutil.machine () in
-  let fs = Lfs.format m.Tutil.disk m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let fs = Lfs.format m.Tutil.disks m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
   let v = Lfs.vfs fs in
   let env =
     Libtp.open_env m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~pool_pages:2

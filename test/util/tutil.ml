@@ -21,19 +21,20 @@ let small_config () =
 type machine = {
   clock : Clock.t;
   stats : Stats.t;
-  disk : Disk.t;
+  disks : Diskset.t;
+  disk : Disk.t; (* primary spindle, for tests that drive the device raw *)
   cfg : Config.t;
 }
 
 let machine ?(cfg = small_config ()) () =
   let clock = Clock.create () in
   let stats = Stats.create () in
-  let disk = Disk.create clock stats cfg.Config.disk in
-  { clock; stats; disk; cfg }
+  let disks = Diskset.create clock stats cfg in
+  { clock; stats; disks; disk = Diskset.primary disks; cfg }
 
 let fresh_lfs ?cfg () =
   let m = machine ?cfg () in
-  let fs = Lfs.format m.disk m.clock m.stats m.cfg in
+  let fs = Lfs.format m.disks m.clock m.stats m.cfg in
   (m, fs)
 
 (* Deterministic pseudo-random payload of [len] bytes seeded by [tag]. *)
