@@ -89,7 +89,10 @@ let micro_tests () =
     Test.make ~name:"lockmgr.acquire+release_all"
       (Staged.stage (fun () ->
            incr i;
-           ignore (Lockmgr.acquire lm ~txn:1 (0, !i land 1023) Lockmgr.Exclusive);
+           ignore
+             (Lockmgr.acquire lm ~txn:1
+                (Lockmgr.Page (0, !i land 1023))
+                Lockmgr.Exclusive);
            Lockmgr.release_all lm ~txn:1))
   in
   let logrec_codec =

@@ -48,6 +48,23 @@ let log_disk_arg =
 let with_disks ~ndisks ~log_disk (c : Config.t) =
   { c with Config.fs = { c.Config.fs with Config.ndisks; log_disk } }
 
+let lock_grain_arg =
+  let doc =
+    "Two-phase locking granularity: $(b,page) (classic page locks) or \
+     $(b,record) (hierarchical record locks with intention modes; see the \
+     lock manager docs)."
+  in
+  Arg.(value & opt string "page" & info [ "lock-grain" ] ~docv:"G" ~doc)
+
+let parse_grain s =
+  try Mplsweep.grain_of_string s
+  with Invalid_argument _ ->
+    prerr_endline ("unknown lock grain " ^ s ^ " (page, record)");
+    exit 2
+
+let with_grain grain (c : Config.t) =
+  { c with Config.fs = { c.Config.fs with Config.lock_grain = grain } }
+
 let emit_bench ~name ~config json =
   let path = Expcommon.write_bench ~name ~config json in
   Printf.printf "wrote %s\n" path
@@ -159,11 +176,12 @@ let mpl_arg =
   Arg.(value & opt int 1 & info [ "mpl" ] ~docv:"N" ~doc)
 
 let tpcb_cmd =
-  let run setup scale txns seed mpl ndisks log_disk =
+  let run setup scale txns seed mpl ndisks log_disk grain =
     let setup = parse_setup setup in
     let config =
-      with_disks ~ndisks ~log_disk
-        (Config.scaled ~factor:(float_of_int scale /. 10.0) Config.default)
+      with_grain (parse_grain grain)
+        (with_disks ~ndisks ~log_disk
+           (Config.scaled ~factor:(float_of_int scale /. 10.0) Config.default))
     in
     let r =
       if mpl <= 1 then
@@ -191,7 +209,7 @@ let tpcb_cmd =
     (Cmd.info "tpcb" ~doc:"Run TPC-B on one configuration and report TPS")
     Term.(
       const run $ setup_arg $ scale_arg $ txns_arg 10_000 $ seed_arg $ mpl_arg
-      $ ndisks_arg $ log_disk_arg)
+      $ ndisks_arg $ log_disk_arg $ lock_grain_arg)
 
 (* MPL x group-commit sweep on the discrete-event scheduler. *)
 let mplsweep_cmd =
@@ -206,7 +224,17 @@ let mplsweep_cmd =
     in
     Arg.(value & opt string "1:0,4:50,8:100" & info [ "groups" ] ~docv:"LIST" ~doc)
   in
-  let run setup scale txns seed mpls groups json ndisks log_disk =
+  let setup_arg =
+    (* lfs-user, not the shared default: record granularity changes
+       behaviour end to end only in the user-level system. *)
+    let doc = "Configuration: readopt-user, lfs-user, or lfs-kernel." in
+    Arg.(value & opt string "lfs-user" & info [ "setup" ] ~docv:"SETUP" ~doc)
+  in
+  let grains_arg =
+    let doc = "Comma-separated lock granularities to sweep (page, record)." in
+    Arg.(value & opt string "page,record" & info [ "grains" ] ~docv:"LIST" ~doc)
+  in
+  let run setup scale txns seed mpls groups grains json ndisks log_disk =
     let setup = parse_setup setup in
     let parse_list name conv s =
       List.map
@@ -218,6 +246,7 @@ let mplsweep_cmd =
         (String.split_on_char ',' s)
     in
     let mpls = parse_list "mpls" int_of_string mpls in
+    let grains = parse_list "grains" Mplsweep.grain_of_string grains in
     let groups =
       parse_list "groups"
         (fun item ->
@@ -232,7 +261,8 @@ let mplsweep_cmd =
         (Config.scaled ~factor:(float_of_int scale /. 10.0) Config.default)
     in
     let s =
-      Mplsweep.run ~config ~tps_scale:scale ~txns ~seed ~mpls ~groups ~setup ()
+      Mplsweep.run ~config ~tps_scale:scale ~txns ~seed ~mpls ~groups ~grains
+        ~setup ()
     in
     Mplsweep.print s;
     if json then
@@ -242,12 +272,12 @@ let mplsweep_cmd =
   Cmd.v
     (Cmd.info "mplsweep"
        ~doc:
-         "Sweep multiprogramming level x group-commit configuration on the \
-          discrete-event scheduler and report TPS, commit batch sizes, lock \
-          blocks and deadlocks")
+         "Sweep multiprogramming level x group-commit configuration x lock \
+          granularity on the discrete-event scheduler and report TPS, commit \
+          batch sizes, lock blocks and deadlocks")
     Term.(
       const run $ setup_arg $ scale_arg $ txns_arg 2_000 $ seed_arg $ mpls_arg
-      $ groups_arg $ json_arg $ ndisks_arg $ log_disk_arg)
+      $ groups_arg $ grains_arg $ json_arg $ ndisks_arg $ log_disk_arg)
 
 (* Disk-placement sweep: dedicated log spindle and striped segments. *)
 let disksweep_cmd =
@@ -302,11 +332,12 @@ let trace_cmd =
     in
     Arg.(value & opt int 65_536 & info [ "cap" ] ~docv:"N" ~doc)
   in
-  let run setup scale txns seed out cap mpl ndisks log_disk =
+  let run setup scale txns seed out cap mpl ndisks log_disk grain =
     let setup = parse_setup setup in
     let config =
-      with_disks ~ndisks ~log_disk
-        (Config.scaled ~factor:(float_of_int scale /. 10.0) Config.default)
+      with_grain (parse_grain grain)
+        (with_disks ~ndisks ~log_disk
+           (Config.scaled ~factor:(float_of_int scale /. 10.0) Config.default))
     in
     let r =
       if mpl <= 1 then
@@ -337,7 +368,7 @@ let trace_cmd =
           captures multi-process interleavings")
     Term.(
       const run $ setup_arg $ scale_arg $ txns_arg 1_000 $ seed_arg $ out_arg
-      $ cap_arg $ mpl_arg $ ndisks_arg $ log_disk_arg)
+      $ cap_arg $ mpl_arg $ ndisks_arg $ log_disk_arg $ lock_grain_arg)
 
 (* Schema check for BENCH_*.json artifacts (used by CI to reject empty or
    malformed benchmark output). *)
@@ -430,9 +461,11 @@ let bench_check_cmd =
                   "mpl";
                   "group_size";
                   "group_timeout_s";
+                  "lock_grain";
                   "tps";
                   "mean_commit_batch";
                   "group_flushes";
+                  "lock_wait_p99_s";
                 ])
             points;
           let num = function
@@ -456,8 +489,9 @@ let bench_check_cmd =
             err
               "mplsweep: no point achieved a mean commit batch > 1 despite \
                MPL > 1 and group size > 1";
-          (* Where both endpoints exist for a grouped configuration, MPL 8
-             must beat MPL 1. *)
+          (* Where both endpoints exist for a grouped configuration (at
+             the same lock granularity — legacy artifacts carry none and
+             still match), MPL 8 must beat MPL 1. *)
           List.iter
             (fun p8 ->
               if
@@ -470,6 +504,8 @@ let bench_check_cmd =
                       num (Json.member "mpl" p1) = 1.0
                       && Json.member "group_size" p1
                          = Json.member "group_size" p8
+                      && Json.member "lock_grain" p1
+                         = Json.member "lock_grain" p8
                       && num (Json.member "tps" p8)
                          <= num (Json.member "tps" p1)
                     then
@@ -479,6 +515,33 @@ let bench_check_cmd =
                         (num (Json.member "tps" p8))
                         (num (Json.member "tps" p1))
                         (num (Json.member "group_size" p8)))
+                  points)
+            points;
+          (* Record granularity is the point of hierarchical locking:
+             where both grains were swept, record must out-run page at
+             MPL 16 (the contention end of the sweep). *)
+          let grain_at g p =
+            Json.member "lock_grain" p = Some (Json.Str g)
+            && num (Json.member "mpl" p) = 16.0
+          in
+          List.iter
+            (fun pr ->
+              if grain_at "record" pr then
+                List.iter
+                  (fun pp ->
+                    if
+                      grain_at "page" pp
+                      && Json.member "group_size" pp
+                         = Json.member "group_size" pr
+                      && num (Json.member "tps" pr)
+                         <= num (Json.member "tps" pp)
+                    then
+                      err
+                        "mplsweep: record-grain TPS at MPL 16 (%.2f) not \
+                         above page grain (%.2f) for group size %g"
+                        (num (Json.member "tps" pr))
+                        (num (Json.member "tps" pp))
+                        (num (Json.member "group_size" pr)))
                   points)
             points
         end)
@@ -693,7 +756,7 @@ let faultsim_cmd =
     Arg.(value & flag & info [ "verbose" ] ~doc)
   in
   let run backend workload txns seed points crash_point verbose mpl ndisks
-      log_disk =
+      log_disk grain =
     let usage msg =
       prerr_endline ("txnlfs faultsim: " ^ msg);
       exit 2
@@ -712,14 +775,17 @@ let faultsim_cmd =
         ( Sweep.run_one_tpcb ~ndisks ~log_disk,
           Sweep.sweep_tpcb ~ndisks ~log_disk )
       | "tpcb", _ ->
+        let lock_grain = parse_grain grain in
         ( (fun backend ~seed ~txns ?crash_point () ->
-            Sweep.run_one_tpcb_mpl ~ndisks ~log_disk backend ~seed ~txns ~mpl
-              ?crash_point ()),
+            Sweep.run_one_tpcb_mpl ~ndisks ~log_disk ~lock_grain backend ~seed
+              ~txns ~mpl ?crash_point ()),
           fun ?progress backend ~seed ~txns ~points ->
-            Sweep.sweep_tpcb_mpl ?progress ~ndisks ~log_disk backend ~seed
-              ~txns ~mpl ~points )
+            Sweep.sweep_tpcb_mpl ?progress ~ndisks ~log_disk ~lock_grain
+              backend ~seed ~txns ~mpl ~points )
       | w, _ -> usage ("unknown workload " ^ w ^ " (pages, tpcb)")
     in
+    if parse_grain grain = `Record && (workload <> "tpcb" || mpl = 1) then
+      usage "--lock-grain record applies to the tpcb workload at --mpl > 1";
     match crash_point with
     | Some p ->
       let o = one backend ~seed ~txns ~crash_point:p () in
@@ -744,7 +810,7 @@ let faultsim_cmd =
     Term.(
       const run $ backend_arg $ workload_arg $ txns_arg 25 $ seed_arg
       $ points_arg $ crash_point_arg $ verbose_arg $ mpl_arg $ ndisks_arg
-      $ log_disk_arg)
+      $ log_disk_arg $ lock_grain_arg)
 
 let main =
   Cmd.group

@@ -41,7 +41,9 @@ let create lfs =
       clock;
       stats;
       cfg;
-      locks = Lockmgr.create clock stats cfg.Config.cpu;
+      locks =
+        Lockmgr.create ~escalation:cfg.Config.fs.lock_escalation clock stats
+          cfg.Config.cpu;
       active_tbl = Hashtbl.create 16;
       next_id = 1;
       pending_commits = [];
@@ -125,7 +127,9 @@ let rec block_lock t sched txn obj mode =
   let t0 = Clock.now t.clock in
   Sched.wait sched c;
   Hashtbl.remove t.parked txn.id;
-  Stats.add_time t.stats "ktxn.lock_wait" (Clock.now t.clock -. t0);
+  let dt = Clock.now t.clock -. t0 in
+  Stats.add_time t.stats "ktxn.lock_wait" dt;
+  Stats.observe t.stats "ktxn.lock_wait" dt;
   match Lockmgr.acquire t.locks ~txn:txn.id obj mode with
   | `Granted -> ()
   | `Would_block _ -> block_lock t sched txn obj mode
@@ -133,14 +137,14 @@ let rec block_lock t sched txn obj mode =
     do_abort t txn;
     raise (Deadlock_abort txn.id)
 
-let lock t txn ~inum ~page mode =
+let lock_obj t txn obj mode =
   kmutex t;
-  match Lockmgr.acquire t.locks ~txn:txn.id (inum, page) mode with
+  match Lockmgr.acquire t.locks ~txn:txn.id obj mode with
   | `Granted -> ()
   | `Would_block blockers -> (
     match Sched.of_clock t.clock with
     | Some sched when Sched.in_process sched ->
-      block_lock t sched txn (inum, page) mode
+      block_lock t sched txn obj mode
     | _ ->
       (* The process would be descheduled and left sleeping
          (Section 4.2); at MPL 1 we charge the switch and bounce the
@@ -150,6 +154,8 @@ let lock t txn ~inum ~page mode =
   | `Deadlock ->
     do_abort t txn;
     raise (Deadlock_abort txn.id)
+
+let lock t txn ~inum ~page mode = lock_obj t txn (Lockmgr.Page (inum, page)) mode
 
 let read_page t txn ~inum ~page =
   check_live txn;
@@ -281,9 +287,28 @@ let txn_abort t txn =
   kmutex t;
   do_abort t txn
 
+(* The kernel pager keeps page-exclusive writes even at record grain:
+   abort works by invalidating this transaction's dirty frames (the
+   no-overwrite policy exposes the before-image), which cannot tolerate
+   two transactions sharing one dirty frame, and group commit forces
+   whole frames. Record grain therefore only adds shared record locks
+   (with their intention-mode ancestors) on the read path; the physical
+   page locks taken by [get]/[put] already serialize structure changes,
+   so the latch hooks stay no-ops. *)
 let pager t txn ~inum =
-  {
-    Pager.page_size = (Lfs.vfs t.lfs).Vfs.block_size;
-    get = (fun page -> read_page t txn ~inum ~page);
-    put = (fun page data -> write_page t txn ~inum ~page data);
-  }
+  let base =
+    Pager.nohooks
+      ~page_size:(Lfs.vfs t.lfs).Vfs.block_size
+      (fun page -> read_page t txn ~inum ~page)
+      (fun page data -> write_page t txn ~inum ~page data)
+  in
+  if t.cfg.Config.fs.lock_grain = `Page then base
+  else
+    {
+      base with
+      Pager.record_grain = true;
+      lock_rec =
+        (fun ~page ~recno ~write ->
+          if (not write) && Lfs.is_protected t.lfs inum then
+            lock_obj t txn (Lockmgr.Rec (inum, page, recno)) Lockmgr.Shared);
+    }

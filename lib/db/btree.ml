@@ -146,6 +146,34 @@ let charge t kind = Cpu.charge t.clock t.stats t.cpu kind
 
 let max_entry t = (t.pager.Pager.page_size - 7) / 4
 
+(* Record-grain machinery ------------------------------------------------- *)
+
+(* Lock name of one key: records are named by the leaf page that holds
+   them plus a key hash. A leaf split changes a record's name, but a
+   split must take an exclusive lock on the old leaf page first, which
+   conflicts with the intention mode every record-lock holder keeps on
+   that page — so names can only change when nobody holds them. *)
+let rec_id key = Hashtbl.hash key land 0xFFFFFF
+
+let refresh_meta t =
+  match read_meta (t.pager.Pager.get 0) with
+  | Some m ->
+    t.meta.root <- m.root;
+    t.meta.npages <- m.npages;
+    t.meta.nrecords <- m.nrecords;
+    t.meta.tree_height <- m.tree_height;
+    t.meta_dirty <- false
+  | None -> ()
+
+(* Operation prologue at record grain: the shared file latch freezes the
+   tree structure for the duration of the operation (structure modifiers
+   drain us with an exclusive file latch); the meta pulse waits out any
+   uncommitted structure modifier; then a fresh meta can be trusted. *)
+let begin_op t =
+  t.pager.Pager.latch_file ~write:false;
+  t.pager.Pager.lock_meta ~write:false;
+  refresh_meta t
+
 (* Search ------------------------------------------------------------------ *)
 
 (* Child of an internal node that covers [key]. *)
@@ -162,11 +190,24 @@ let rec descend t page key =
   | Node { child0; items } -> descend t (child_for items child0 key) key
 
 let find t key =
-  charge t Cpu.Record_op;
-  let _, leaf = descend t t.meta.root key in
-  match leaf with
-  | Leaf { items; _ } -> List.assoc_opt key items
-  | Node _ -> assert false
+  Pager.with_op t.pager (fun () ->
+      charge t Cpu.Record_op;
+      if not t.pager.Pager.record_grain then begin
+        let _, leaf = descend t t.meta.root key in
+        match leaf with
+        | Leaf { items; _ } -> List.assoc_opt key items
+        | Node _ -> assert false
+      end
+      else begin
+        begin_op t;
+        let page, _ = descend t t.meta.root key in
+        (* Lock, then re-read: the value is only trusted once the record
+           lock is held (a lock that had to wait restarts the op). *)
+        t.pager.Pager.lock_rec ~page ~recno:(rec_id key) ~write:false;
+        match read_node t page with
+        | Leaf { items; _ } -> List.assoc_opt key items
+        | Node _ -> assert false
+      end)
 
 (* Insert ------------------------------------------------------------------ *)
 
@@ -262,10 +303,11 @@ let rec insert_rec t page key value =
         | [] -> assert false
       end)
 
-let insert t key value =
-  charge t Cpu.Record_op;
-  if 4 + String.length key + String.length value > max_entry t then
-    raise Entry_too_large;
+(* The classic whole-tree insert: recursive descent, splits propagating
+   up, root split growing the tree. At record grain this only runs with
+   the meta and the whole descent path locked exclusively and concurrent
+   operations drained. *)
+let insert_locked t key value =
   (match insert_rec t t.meta.root key value with
   | None -> ()
   | Some (sep, right) ->
@@ -276,26 +318,122 @@ let insert t key value =
     t.meta_dirty <- true);
   if t.meta_dirty then write_meta t
 
+let insert t key value =
+  Pager.with_op t.pager (fun () ->
+      charge t Cpu.Record_op;
+      if 4 + String.length key + String.length value > max_entry t then
+        raise Entry_too_large;
+      if not t.pager.Pager.record_grain then insert_locked t key value
+      else begin
+        begin_op t;
+        let page, leaf = descend t t.meta.root key in
+        let gated =
+          (* Only an insert that can change the tree shape needs the
+             structure-modification path: a new key, or a value whose
+             size changes (an equal-size replacement can never overflow
+             the leaf). The decision is stable: a concurrent size change
+             would need a record lock that conflicts with ours below. *)
+          match leaf with
+          | Leaf { items; _ } -> (
+            match List.assoc_opt key items with
+            | Some v -> String.length v <> String.length value
+            | None -> true)
+          | Node _ -> assert false
+        in
+        if not gated then begin
+          t.pager.Pager.lock_rec ~page ~recno:(rec_id key) ~write:true;
+          t.pager.Pager.latch_page ~page ~write:true;
+          match read_node t page with
+          | Leaf { next; items }
+            when (match List.assoc_opt key items with
+                 | Some v -> String.length v = String.length value
+                 | None -> false) ->
+            write_node t page
+              (Leaf { next; items = insert_sorted_leaf items key value })
+          | _ ->
+            (* The leaf changed in the instant before the lock landed;
+               re-run against a fresh view. *)
+            raise Pager.Op_restart
+        end
+        else begin
+          (* Structure-modification path: two-phase-lock the meta, every
+             page on the descent path and the record before writing
+             anything, then drain concurrent operations with an
+             exclusive file latch. Blocking on any of these locks drops
+             the latches and restarts, so no partial split is ever
+             abandoned mid-flight. *)
+          t.pager.Pager.lock_meta ~write:true;
+          let rec lock_path page =
+            t.pager.Pager.lock_page page;
+            match read_node t page with
+            | Leaf _ -> page
+            | Node { child0; items } -> lock_path (child_for items child0 key)
+          in
+          let leaf_page = lock_path t.meta.root in
+          t.pager.Pager.lock_rec ~page:leaf_page ~recno:(rec_id key) ~write:true;
+          t.pager.Pager.latch_file ~write:true;
+          insert_locked t key value
+        end
+      end)
+
 (* Delete (lazy, as in db(3): pages are never merged) ---------------------- *)
 
 let delete t key =
-  charge t Cpu.Record_op;
-  let page, leaf = descend t t.meta.root key in
-  match leaf with
-  | Leaf { next; items } ->
-    if List.mem_assoc key items then begin
-      write_node t page (Leaf { next; items = List.remove_assoc key items });
-      t.meta.nrecords <- t.meta.nrecords - 1;
-      t.meta_dirty <- true;
-      write_meta t;
-      true
-    end
-    else false
-  | Node _ -> assert false
+  Pager.with_op t.pager (fun () ->
+      charge t Cpu.Record_op;
+      if not t.pager.Pager.record_grain then begin
+        let page, leaf = descend t t.meta.root key in
+        match leaf with
+        | Leaf { next; items } ->
+          if List.mem_assoc key items then begin
+            write_node t page (Leaf { next; items = List.remove_assoc key items });
+            t.meta.nrecords <- t.meta.nrecords - 1;
+            t.meta_dirty <- true;
+            write_meta t;
+            true
+          end
+          else false
+        | Node _ -> assert false
+      end
+      else begin
+        begin_op t;
+        let page, leaf = descend t t.meta.root key in
+        let present =
+          match leaf with
+          | Leaf { items; _ } -> List.mem_assoc key items
+          | Node _ -> assert false
+        in
+        if not present then begin
+          (* Lock the (absent) record's name anyway so the verdict holds
+             to commit, then re-check under the lock. *)
+          t.pager.Pager.lock_rec ~page ~recno:(rec_id key) ~write:false;
+          match read_node t page with
+          | Leaf { items; _ } when List.mem_assoc key items ->
+            raise Pager.Op_restart
+          | _ -> false
+        end
+        else begin
+          (* Deletes change the meta (record count), so they take the
+             structure-modification locks; pages are never merged, so
+             the leaf alone (not the whole path) needs the page lock. *)
+          t.pager.Pager.lock_meta ~write:true;
+          t.pager.Pager.lock_page page;
+          t.pager.Pager.lock_rec ~page ~recno:(rec_id key) ~write:true;
+          t.pager.Pager.latch_page ~page ~write:true;
+          match read_node t page with
+          | Leaf { next; items } when List.mem_assoc key items ->
+            write_node t page (Leaf { next; items = List.remove_assoc key items });
+            t.meta.nrecords <- t.meta.nrecords - 1;
+            t.meta_dirty <- true;
+            write_meta t;
+            true
+          | _ -> raise Pager.Op_restart
+        end
+      end)
 
 (* Cursor ------------------------------------------------------------------ *)
 
-let iter t ?from f =
+let iter_body t ?from f =
   let start_key = Option.value from ~default:"" in
   let rec leftmost page =
     match read_node t page with
@@ -323,9 +461,25 @@ let iter t ?from f =
   in
   walk (leftmost t.meta.root) start_key
 
+(* A scan locks the whole file (shared): one lock at the top of the
+   hierarchy instead of a lock per record, conflicting with every
+   writer's intention-exclusive mode. *)
+let scan_prologue t =
+  if t.pager.Pager.record_grain then begin
+    begin_op t;
+    t.pager.Pager.lock_file ~write:false
+  end
+
+let iter t ?from f =
+  Pager.with_op t.pager (fun () ->
+      scan_prologue t;
+      iter_body t ?from f)
+
 (* Invariant check ---------------------------------------------------------- *)
 
 let check t =
+  Pager.with_op t.pager (fun () ->
+  scan_prologue t;
   let ps = t.pager.Pager.page_size in
   let counted = ref 0 in
   (* Verify key ordering and separator bounds over the whole tree. *)
@@ -371,9 +525,9 @@ let check t =
          t.meta.nrecords);
   (* Leaf chain must be sorted globally. *)
   let prev = ref None in
-  iter t (fun k _ ->
+  iter_body t (fun k _ ->
       (match !prev with
       | Some p when p >= k -> failwith "leaf chain out of order"
       | _ -> ());
       prev := Some k;
-      true)
+      true))

@@ -87,23 +87,56 @@ let encode_bucket ps items overflow =
 let bucket_bytes items =
   List.fold_left (fun acc (k, v) -> acc + 4 + String.length k + String.length v) 6 items
 
+(* Record-grain protocol. A record is named by its bucket-chain head
+   page (stable under overflow growth) and the key hash. Readers take
+   only the shared record lock: page writes apply atomically, writers
+   only rearrange entries they hold exclusively, so the locked key's
+   bytes are trustworthy wherever they sit in the chain. Writers
+   serialize on an exclusive meta lock held to commit — the hash file
+   is not on the TPC-B path, so trading writer concurrency for a
+   latch-free structure is the right simplicity. *)
+let refresh t =
+  if t.pager.Pager.record_grain then begin
+    let meta = t.pager.Pager.get 0 in
+    if Enc.get_u32 meta 0 = magic then begin
+      t.npages <- Enc.get_u32 meta 8;
+      t.n <- Enc.get_u32 meta 12
+    end
+  end
+
+let rec_id key = hash key land 0xFFFFFF
+
 let find t key =
-  charge t Cpu.Record_op;
-  let rec probe page =
-    if page = 0 then None
-    else
-      let items, overflow = decode_bucket (t.pager.Pager.get page) in
-      match List.assoc_opt key items with
-      | Some v -> Some v
-      | None -> probe overflow
-  in
-  probe (bucket_page t key)
+  Pager.with_op t.pager (fun () ->
+      charge t Cpu.Record_op;
+      let head = bucket_page t key in
+      if t.pager.Pager.record_grain then
+        t.pager.Pager.lock_rec ~page:head ~recno:(rec_id key) ~write:false;
+      let rec probe page =
+        if page = 0 then None
+        else
+          let items, overflow = decode_bucket (t.pager.Pager.get page) in
+          match List.assoc_opt key items with
+          | Some v -> Some v
+          | None -> probe overflow
+      in
+      probe head)
+
+let lock_write t key =
+  if t.pager.Pager.record_grain then begin
+    t.pager.Pager.lock_meta ~write:true;
+    refresh t;
+    t.pager.Pager.lock_rec ~page:(bucket_page t key) ~recno:(rec_id key)
+      ~write:true
+  end
 
 let insert t key value =
+  Pager.with_op t.pager (fun () ->
   charge t Cpu.Record_op;
   let ps = t.pager.Pager.page_size in
   if 4 + String.length key + String.length value > (ps - 6) / 2 then
     raise Entry_too_large;
+  lock_write t key;
   (* Replace in whichever chain page holds the key; otherwise add to the
      first page with room, extending the chain if none has any. *)
   let rec replace page =
@@ -134,10 +167,12 @@ let insert t key value =
     add (bucket_page t key);
     t.n <- t.n + 1;
     write_meta t
-  end
+  end)
 
 let delete t key =
+  Pager.with_op t.pager (fun () ->
   charge t Cpu.Record_op;
+  lock_write t key;
   let ps = t.pager.Pager.page_size in
   let rec probe page =
     if page = 0 then false
@@ -151,9 +186,14 @@ let delete t key =
       end
       else probe overflow
   in
-  probe (bucket_page t key)
+  probe (bucket_page t key))
 
 let iter t f =
+  Pager.with_op t.pager (fun () ->
+  if t.pager.Pager.record_grain then begin
+    t.pager.Pager.lock_file ~write:false;
+    refresh t
+  end;
   let rec chain page =
     if page = 0 then true
     else
@@ -169,4 +209,4 @@ let iter t f =
   in
   let rec buckets i = if i > t.buckets then () else if chain i then buckets (i + 1)
   in
-  buckets 1
+  buckets 1)

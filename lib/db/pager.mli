@@ -10,19 +10,73 @@
     Contract: [get] returns bytes the caller must not mutate; changed
     pages are produced fresh and handed to [put] whole (the WAL pager
     diffs them to log only the changed range, Section 3's byte-range
-    logging). *)
+    logging).
+
+    When [record_grain] is set the pager exposes the hierarchical
+    locking hooks of the record-grain protocol: the access methods lock
+    individual records to commit ([lock_rec]), hold short-term physical
+    latches only across page edits ([latch_file]/[latch_page], released
+    by [end_op]), and wrap each logical operation in {!with_op}, which
+    retries the body whenever a blocking lock acquisition forced the
+    latches to be dropped ({!Op_restart}). *)
+
+exception Op_restart
+(** Raised (by the lock hooks) when a lock acquisition had to park the
+    process after releasing its latches: any page buffers read so far
+    may be stale, so the whole operation must re-run. {!with_op}
+    catches it. *)
 
 type t = {
   page_size : int;
   get : int -> bytes;
   put : int -> bytes -> unit;
+  record_grain : bool;
+  put_sys : int -> bytes -> unit;
+      (** Redo-only "system" write, logged outside the transaction: the
+          update survives even if the enclosing transaction aborts (used
+          for the recno record-count, which is protected by a latch, not
+          a lock). Falls back to [put] when the substrate has no such
+          distinction. *)
+  lock_rec : page:int -> recno:int -> write:bool -> unit;
+      (** Record lock, held to commit. May raise {!Op_restart}. *)
+  lock_meta : write:bool -> unit;
+      (** [write:true]: exclusive meta-page lock to commit (taken by
+          structure-modifying operations). [write:false]: the meta
+          "pulse" — acquire and immediately drop a shared meta lock, so
+          the operation waits out any uncommitted structure modifier
+          before trusting the meta it reads. May raise {!Op_restart}. *)
+  lock_page : int -> unit;
+      (** Exclusive page lock to commit (structure-modification path).
+          May raise {!Op_restart}. *)
+  lock_file : write:bool -> unit;
+      (** Whole-file lock to commit — the scan lock of hierarchical
+          locking (a shared file lock conflicts with every writer's IX).
+          May raise {!Op_restart}. *)
+  latch_file : write:bool -> unit;
+      (** File latch: shared for ordinary operations, exclusive to drain
+          them before rewriting the structure. Blocks; never restarts. *)
+  latch_page : page:int -> write:bool -> unit;
+      (** Page latch around a read-modify-write of one page. *)
+  end_op : unit -> unit;  (** Release every latch the operation holds. *)
 }
+
+val nohooks : page_size:int -> (int -> bytes) -> (int -> bytes -> unit) -> t
+(** Build a pager from bare [get]/[put] with every record-grain hook a
+    no-op and [record_grain] false (substrate constructors start here
+    and override what they support). *)
+
+val with_op : t -> (unit -> 'a) -> 'a
+(** Run one logical access-method operation, releasing latches on every
+    exit and re-running the body on {!Op_restart}. A no-op wrapper when
+    [record_grain] is false. *)
 
 val plain : Vfs.t -> Vfs.fd -> t
 (** Direct, non-transactional paging (used to bulk-load databases and by
     non-transactional applications). *)
 
 val wal : Libtp.t -> Libtp.txn -> Vfs.fd -> t
-(** User-level transactional paging: [get] takes a shared page lock,
-    [put] an exclusive one and logs before/after images. The pager is
-    bound to one transaction. *)
+(** User-level transactional paging bound to one transaction. At page
+    grain, [get] takes a shared page lock and [put] an exclusive one and
+    logs before/after images. At record grain the page locks disappear:
+    [get]/[put] move bytes under the latches the access method holds,
+    and isolation comes from [lock_rec]/[lock_meta]/[lock_page]. *)

@@ -80,12 +80,17 @@ let run ?(tps_scale = 2) ?(txns = 1_000) ?(seed = 1) ?(mpls = default_mpls)
           (fun mpl ->
             (* Group commit sized to the offered concurrency, as in the
                fault sweeps: MPL 1 forces every commit, MPL 8 batches up
-               to 8 with a short rendezvous. *)
+               to 8 with a short rendezvous. Record-grain locking so the
+               committers genuinely overlap — under page grain the
+               shared history tail page serializes them (DESIGN.md §13)
+               and the placement question disappears behind the lock
+               queue. *)
             let fs =
               {
                 base.Config.fs with
                 Config.ndisks;
                 log_disk;
+                lock_grain = `Record;
                 group_commit_size = mpl;
                 group_commit_timeout_s = (if mpl > 1 then 0.02 else 0.0);
               }

@@ -129,7 +129,7 @@ let run_tpcb_mpl ?(pool_pages = 1024) ?trace ~config ~scale ~txns ~seed ~mpl
   let db = Tpcb.open_db vfs ~scale in
   let stall0 = Stats.time m.stats "cleaner.stall" in
   let multi =
-    Tpcb.run_sched m.clock m.stats m.cfg db backend ~vfs ~rng ~n:txns ~mpl
+    Tpcb.run_sched m.clock m.stats m.cfg db backend ~rng ~n:txns ~mpl
   in
   Sched.detach sched;
   ( {
@@ -212,6 +212,12 @@ let config_json (c : Config.t) =
             ("group_commit_size", Json.Int fs.Config.group_commit_size);
             ("ndisks", Json.Int fs.Config.ndisks);
             ("log_disk", Json.Bool fs.Config.log_disk);
+            ( "lock_grain",
+              Json.Str
+                (match fs.Config.lock_grain with
+                | `Page -> "page"
+                | `Record -> "record") );
+            ("lock_escalation", Json.Int fs.Config.lock_escalation);
           ] );
     ]
 

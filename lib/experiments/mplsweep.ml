@@ -9,11 +9,13 @@ type point = {
   mpl : int;
   group_size : int;
   group_timeout_s : float;
+  lock_grain : [ `Page | `Record ];
   run : Expcommon.tpcb_run;
   multi : Tpcb.multi_result;
   mean_batch : float;
   group_flushes : int;
   group_commit_wait_s : float;
+  lock_wait_p99_s : float;
 }
 
 type t = {
@@ -28,6 +30,7 @@ type t = {
 }
 
 let default_mpls = [ 1; 2; 4; 8; 16 ]
+let default_grains = [ `Page; `Record ]
 (* Timeouts are sized against the per-transaction service time (tens of
    milliseconds on the simulated disk): a timeout well below it never
    sees a second committer arrive. *)
@@ -55,6 +58,16 @@ let with_group config (size, timeout) =
   in
   { config with Config.fs }
 
+let with_grain config grain =
+  { config with Config.fs = { config.Config.fs with Config.lock_grain = grain } }
+
+let grain_key = function `Page -> "page" | `Record -> "record"
+
+let grain_of_string = function
+  | "page" -> `Page
+  | "record" -> `Record
+  | s -> invalid_arg ("Mplsweep: unknown lock grain " ^ s)
+
 let batch_key = function
   | Expcommon.Lfs_kernel -> "ktxn.commit_batch"
   | Expcommon.Lfs_user | Expcommon.Readopt_user -> "log.commit_batch"
@@ -67,9 +80,17 @@ let wait_key = function
   | Expcommon.Lfs_kernel -> "ktxn.group_commit_wait"
   | Expcommon.Lfs_user | Expcommon.Readopt_user -> "log.group_commit_wait"
 
+let lock_wait_key = function
+  | Expcommon.Lfs_kernel -> "ktxn.lock_wait"
+  | Expcommon.Lfs_user | Expcommon.Readopt_user -> "txn.lock_wait"
+
+(* Default setup is the user-level system: that is where record-grain
+   locking changes transaction behaviour end to end (the embedded kernel
+   manager keeps page-exclusive writes — its abort works by invalidating
+   whole cached frames — and only relaxes read locks). *)
 let run ?config ?(tps_scale = 2) ?(txns = 2_000) ?(seed = 1)
     ?(mpls = default_mpls) ?(groups = default_groups)
-    ?(setup = Expcommon.Lfs_kernel) () =
+    ?(grains = default_grains) ?(setup = Expcommon.Lfs_user) () =
   let base =
     match config with
     | Some c -> c
@@ -79,31 +100,42 @@ let run ?config ?(tps_scale = 2) ?(txns = 2_000) ?(seed = 1)
   let scale = spread_scale tps_scale in
   let points =
     List.concat_map
-      (fun (gsize, gtimeout) ->
-        let cfg = with_group base (gsize, gtimeout) in
-        List.map
-          (fun mpl ->
-            let run, multi =
-              Expcommon.run_tpcb_mpl ~config:cfg ~scale ~txns ~seed ~mpl setup
-            in
-            let stats = run.Expcommon.stats in
-            let mean_batch =
-              match Stats.histo stats (batch_key setup) with
-              | Some h when Histo.count h > 0 -> Histo.mean h
-              | _ -> 1.0
-            in
-            {
-              mpl;
-              group_size = gsize;
-              group_timeout_s = gtimeout;
-              run;
-              multi;
-              mean_batch;
-              group_flushes = Stats.count stats (flush_key setup);
-              group_commit_wait_s = Stats.time stats (wait_key setup);
-            })
-          mpls)
-      groups
+      (fun grain ->
+        List.concat_map
+          (fun (gsize, gtimeout) ->
+            let cfg = with_grain (with_group base (gsize, gtimeout)) grain in
+            List.map
+              (fun mpl ->
+                let run, multi =
+                  Expcommon.run_tpcb_mpl ~config:cfg ~scale ~txns ~seed ~mpl
+                    setup
+                in
+                let stats = run.Expcommon.stats in
+                let mean_batch =
+                  match Stats.histo stats (batch_key setup) with
+                  | Some h when Histo.count h > 0 -> Histo.mean h
+                  | _ -> 1.0
+                in
+                let lock_wait_p99_s =
+                  match Stats.histo stats (lock_wait_key setup) with
+                  | Some h when Histo.count h > 0 -> Histo.percentile h 0.99
+                  | _ -> 0.0
+                in
+                {
+                  mpl;
+                  group_size = gsize;
+                  group_timeout_s = gtimeout;
+                  lock_grain = grain;
+                  run;
+                  multi;
+                  mean_batch;
+                  group_flushes = Stats.count stats (flush_key setup);
+                  group_commit_wait_s = Stats.time stats (wait_key setup);
+                  lock_wait_p99_s;
+                })
+              mpls)
+          groups)
+      grains
   in
   (* Same configurations through the legacy MPL-1 driver: the scheduler
      at MPL 1 must land within a small epsilon of these. *)
@@ -123,6 +155,7 @@ let point_json p =
       ("mpl", Json.Int p.mpl);
       ("group_size", Json.Int p.group_size);
       ("group_timeout_s", Json.Float p.group_timeout_s);
+      ("lock_grain", Json.Str (grain_key p.lock_grain));
       ("tps", Json.Float p.run.Expcommon.result.Tpcb.tps);
       ("elapsed_s", Json.Float p.run.Expcommon.result.Tpcb.elapsed_s);
       ("txns", Json.Int p.run.Expcommon.result.Tpcb.txns);
@@ -131,6 +164,7 @@ let point_json p =
       ("group_flushes", Json.Int p.group_flushes);
       ("group_commit_wait_s", Json.Float p.group_commit_wait_s);
       ("lock_blocks", Json.Int p.multi.Tpcb.conflicts);
+      ("lock_wait_p99_s", Json.Float p.lock_wait_p99_s);
       ("deadlocks", Json.Int p.multi.Tpcb.deadlocks);
       ("restarts", Json.Int p.multi.Tpcb.restarts);
       ("cleaner_stall_s", Json.Float p.run.Expcommon.cleaner_stall_s);
@@ -170,14 +204,14 @@ let print t =
        "MPL sweep: %s, TPC-B, %d accounts, %d txns per point"
        (Expcommon.setup_label t.setup)
        t.scale.Tpcb.accounts t.txns);
-  Printf.printf "%4s %6s %10s %8s %10s %8s %8s %8s %9s\n" "mpl" "gsize"
-    "timeout" "TPS" "mean" "flushes" "blocks" "dlocks" "gc wait";
-  Printf.printf "%4s %6s %10s %8s %10s %8s %8s %8s %9s\n" "" "" "(ms)" ""
-    "batch" "" "" "" "(s)";
+  Printf.printf "%6s %4s %6s %10s %8s %10s %8s %8s %8s %9s\n" "grain" "mpl"
+    "gsize" "timeout" "TPS" "mean" "flushes" "blocks" "dlocks" "gc wait";
+  Printf.printf "%6s %4s %6s %10s %8s %10s %8s %8s %8s %9s\n" "" "" "" "(ms)"
+    "" "batch" "" "" "" "(s)";
   List.iter
     (fun p ->
-      Printf.printf "%4d %6d %10.1f %8.2f %10.2f %8d %8d %8d %9.2f\n" p.mpl
-        p.group_size
+      Printf.printf "%6s %4d %6d %10.1f %8.2f %10.2f %8d %8d %8d %9.2f\n"
+        (grain_key p.lock_grain) p.mpl p.group_size
         (1000.0 *. p.group_timeout_s)
         p.run.Expcommon.result.Tpcb.tps p.mean_batch p.group_flushes
         p.multi.Tpcb.conflicts p.multi.Tpcb.deadlocks p.group_commit_wait_s)
@@ -188,11 +222,17 @@ let print t =
       Printf.printf "  gsize %d timeout %.1fms: %.2f TPS\n" gsize
         (1000.0 *. gtimeout) tps)
     t.legacy_mpl1;
-  (* Headline: does group commit do real work once MPL > 1? *)
-  let find mpl gsize =
-    List.find_opt (fun p -> p.mpl = mpl && p.group_size = gsize) t.points
+  (* Headline: does group commit do real work once MPL > 1, and does
+     record granularity beat page granularity under contention? *)
+  let find grain mpl gsize =
+    List.find_opt
+      (fun p -> p.lock_grain = grain && p.mpl = mpl && p.group_size = gsize)
+      t.points
   in
-  match (find 1 8, find 8 8) with
+  let first_grain =
+    match t.points with [] -> `Page | p :: _ -> p.lock_grain
+  in
+  (match (find first_grain 1 8, find first_grain 8 8) with
   | Some p1, Some p8 ->
     Printf.printf
       "\nshape: gsize 8, MPL 8 vs MPL 1: %+.1f%% TPS (batch %.2f vs %.2f)\n"
@@ -201,4 +241,12 @@ let print t =
            /. p1.run.Expcommon.result.Tpcb.tps)
          -. 1.0))
       p8.mean_batch p1.mean_batch
+  | _ -> ());
+  match (find `Page 16 8, find `Record 16 8) with
+  | Some pp, Some pr ->
+    Printf.printf
+      "shape: gsize 8, MPL 16, record vs page grain: %+.1f%% TPS\n"
+      (100.0
+      *. ((pr.run.Expcommon.result.Tpcb.tps /. pp.run.Expcommon.result.Tpcb.tps)
+         -. 1.0))
   | _ -> ()

@@ -4,21 +4,24 @@
     commit provides no benefit" there (Section 4.4). On the
     discrete-event scheduler this experiment sweeps MPL over
     [{1,2,4,8,16}] crossed with group-commit [(size, timeout)]
-    configurations and reports, per point: throughput, the mean commit
-    batch size actually achieved, flush/force counts, lock blocks,
-    deadlocks and rendezvous wait time. A legacy MPL-1 run per
-    configuration is included as the epsilon reference for the
-    refactor's safety net. *)
+    configurations crossed with the locking granularity
+    ([`Page] vs [`Record], see {!Lockmgr}) and reports, per point:
+    throughput, the mean commit batch size actually achieved,
+    flush/force counts, lock blocks, deadlocks, rendezvous wait time and
+    the p99 lock wait. A legacy MPL-1 run per group configuration is
+    included as the epsilon reference for the refactor's safety net. *)
 
 type point = {
   mpl : int;
   group_size : int;
   group_timeout_s : float;
+  lock_grain : [ `Page | `Record ];
   run : Expcommon.tpcb_run;
   multi : Tpcb.multi_result;
   mean_batch : float;  (** mean committers per flush (1.0 if no sample) *)
   group_flushes : int;
   group_commit_wait_s : float;
+  lock_wait_p99_s : float;  (** p99 time a transaction spent parked on a lock *)
 }
 
 type t = {
@@ -32,6 +35,10 @@ type t = {
 
 val default_mpls : int list
 val default_groups : (int * float) list
+val default_grains : [ `Page | `Record ] list
+
+val grain_key : [ `Page | `Record ] -> string
+val grain_of_string : string -> [ `Page | `Record ]
 
 val run :
   ?config:Config.t ->
@@ -40,9 +47,13 @@ val run :
   ?seed:int ->
   ?mpls:int list ->
   ?groups:(int * float) list ->
+  ?grains:[ `Page | `Record ] list ->
   ?setup:Expcommon.setup ->
   unit ->
   t
+(** Default [setup] is {!Expcommon.Lfs_user}: record granularity changes
+    end-to-end behaviour only in the user-level system (the embedded
+    kernel manager keeps page-exclusive writes). *)
 
 val to_json : t -> Json.t
 (** The [data] block of [BENCH_mplsweep.json]. *)

@@ -21,7 +21,7 @@ let backend_of_string = function
    take part, a cache smaller than the data, and — essential for the
    oracle — group commit disabled, so a commit's acknowledgement implies
    its flush completed. *)
-let config ?(ndisks = 1) ?(log_disk = false) backend =
+let config ?(ndisks = 1) ?(log_disk = false) ?(lock_grain = `Page) backend =
   let d = Config.default in
   {
     d with
@@ -39,6 +39,7 @@ let config ?(ndisks = 1) ?(log_disk = false) backend =
         group_commit_timeout_s = 0.0;
         ndisks;
         log_disk;
+        lock_grain;
       };
   }
 
@@ -477,8 +478,9 @@ let run_one_tpcb ?ndisks ?log_disk backend ~seed ~txns ?crash_point () =
    only after its batch's force), so every acknowledged commit must
    survive recovery; beyond them at most [mpl] in-flight transactions
    may have landed. *)
-let run_one_tpcb_mpl ?ndisks ?log_disk backend ~seed ~txns ~mpl ?crash_point () =
-  let cfg = config ?ndisks ?log_disk backend in
+let run_one_tpcb_mpl ?ndisks ?log_disk ?lock_grain backend ~seed ~txns ~mpl
+    ?crash_point () =
+  let cfg = config ?ndisks ?log_disk ?lock_grain backend in
   (* Group commit on — the rendezvous is the point of this sweep. *)
   let cfg =
     {
@@ -509,7 +511,7 @@ let run_one_tpcb_mpl ?ndisks ?log_disk backend ~seed ~txns ~mpl ?crash_point () 
     crash_log_home home;
     remount_log_home clock stats cfg home
   in
-  let bh, db, vfs, recover =
+  let bh, db, _vfs, recover =
     match backend with
     | Lfs_kernel ->
       let fs = Lfs.format disks clock stats cfg in
@@ -563,7 +565,7 @@ let run_one_tpcb_mpl ?ndisks ?log_disk backend ~seed ~txns ~mpl ?crash_point () 
       ~rng:(Rng.split rng) disks
   in
   let crashed, workload_err =
-    match Tpcb.run_sched clock stats cfg db bh ~vfs ~rng ~n:txns ~mpl with
+    match Tpcb.run_sched clock stats cfg db bh ~rng ~n:txns ~mpl with
     | (_ : Tpcb.multi_result) -> (false, None)
     | exception Disk.Injected_crash -> (true, None)
     | exception e -> (false, Some (Printexc.to_string e))
@@ -639,10 +641,12 @@ let sweep_tpcb ?progress ?ndisks ?log_disk backend ~seed ~txns ~points =
       run_one_tpcb ?ndisks ?log_disk backend ~seed ~txns ?crash_point ())
     ~points
 
-let sweep_tpcb_mpl ?progress ?ndisks ?log_disk backend ~seed ~txns ~mpl ~points
+let sweep_tpcb_mpl ?progress ?ndisks ?log_disk ?lock_grain backend ~seed ~txns
+    ~mpl ~points
     =
   sweep_runs ?progress
     (fun ?crash_point () ->
-      run_one_tpcb_mpl ?ndisks ?log_disk backend ~seed ~txns ~mpl ?crash_point
+      run_one_tpcb_mpl ?ndisks ?log_disk ?lock_grain backend ~seed ~txns ~mpl
+        ?crash_point
         ())
     ~points

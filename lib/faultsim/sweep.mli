@@ -62,6 +62,7 @@ val run_one_tpcb :
 val run_one_tpcb_mpl :
   ?ndisks:int ->
   ?log_disk:bool ->
+  ?lock_grain:[ `Page | `Record ] ->
   backend ->
   seed:int ->
   txns:int ->
@@ -74,7 +75,9 @@ val run_one_tpcb_mpl :
     crash points land mid-rendezvous. An acknowledged commit is one
     whose [txn_commit] returned — a parked committer wakes only after
     its batch's force — so after recovery the history count must lie in
-    [acked, acked + mpl]. *)
+    [acked, acked + mpl]. [lock_grain] (default [`Page]) selects the
+    locking granularity; at [`Record] aborted history appends leave
+    zeroed holes, which the oracle's hole-tolerant count skips. *)
 
 type sweep_result = {
   total_writes : int;  (** crash points available in the run *)
@@ -100,5 +103,6 @@ val sweep_tpcb_mpl :
   ?progress:(outcome -> unit) ->
   ?ndisks:int ->
   ?log_disk:bool ->
+  ?lock_grain:[ `Page | `Record ] ->
   backend -> seed:int -> txns:int -> mpl:int -> points:int -> sweep_result
 (** Sweep {!run_one_tpcb_mpl}. *)

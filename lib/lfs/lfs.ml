@@ -35,6 +35,13 @@ type t = {
   mutable segs_since_cp : int;
   mutable last_syncer : float;
   mutable in_maintenance : bool;
+  (* Partial-segment writes mutate the shared cursor/usage/imap state
+     and park on disk I/O partway through; under a scheduler two fibers
+     (concurrent committers, or a commit racing a checkpoint) must not
+     interleave inside one. [seg_writing] is the writer mutex bit;
+     waiters park on [seg_write_cond]. *)
+  mutable seg_writing : bool;
+  seg_write_cond : Sched.cond;
   mutable pending_cp : bool;
   mutable crashed : bool;
   mutable bg : bool; (* syncer/cleaner run as scheduler daemons *)
@@ -255,6 +262,25 @@ let close_segment t =
    syncer flush or checkpoint. *)
 let write_partial ?(defer_meta = false) ?(more = false) t ~ditems ~inodes
     ~imap_chunks ~usage_chunks =
+  (* One writer at a time: everything below reads and mutates the shared
+     cursor/usage/imap state around disk parks. Taking the mutex before
+     the first state read keeps a follower's plan consistent with
+     whatever the in-flight writer logged (re-logging a frame it already
+     cleaned is harmless; interleaving two packs is not). *)
+  (match Sched.of_clock t.clock with
+  | Some sched when Sched.in_process sched ->
+    while t.seg_writing do
+      Sched.wait sched t.seg_write_cond
+    done
+  | _ -> ());
+  t.seg_writing <- true;
+  Fun.protect
+    ~finally:(fun () ->
+      t.seg_writing <- false;
+      match Sched.of_clock t.clock with
+      | Some sched -> Sched.broadcast sched t.seg_write_cond
+      | None -> ())
+  @@ fun () ->
   let bs = block_size t in
   let plans, n_meta =
     if defer_meta then ([], List.length ditems) else plan t ~ditems ~inodes
@@ -1113,6 +1139,8 @@ let make_empty disk clock stats (cfg : Config.t) sb =
       segs_since_cp = 0;
       last_syncer = Clock.now clock;
       in_maintenance = false;
+      seg_writing = false;
+      seg_write_cond = Sched.condition ();
       pending_cp = false;
       crashed = false;
       bg = false;

@@ -1,24 +1,55 @@
-(** General-purpose lock manager: single-writer / multiple-reader locks at
-    page granularity, with lock chains per transaction and waits-for
-    deadlock detection.
+(** Hierarchical (multi-granularity) lock manager with lock chains per
+    transaction and waits-for deadlock detection.
 
-    Both transaction systems in the paper use page-level two-phase
-    locking (Section 3 for the user-level system, Section 4.1's lock
-    table for the embedded one); this module is that table. Objects are
-    [(file, page)] pairs; lock chains are kept per transaction so commit
-    and abort can release everything the transaction holds in one
-    traversal, exactly as the paper describes.
+    The lock-name space is a tree of file -> page -> record nodes
+    (Gray's granular locking): a transaction that locks a record takes
+    intention modes on the record's page and file first, so a
+    conflicting whole-page or whole-file request is detected at the
+    coarser node without enumerating records. The classic five modes and
+    their compatibility matrix:
+
+    {v
+              IS    IX    S     SIX   X
+        IS    yes   yes   yes   yes   no
+        IX    yes   yes   no    no    no
+        S     yes   no    yes   no    no
+        SIX   yes   no    no    no    no
+        X     no    no    no    no    no
+    v}
+
+    [acquire] takes the intention locks on ancestors automatically
+    (IS below Shared/IS requests, IX below Exclusive/IX/SIX ones), and
+    re-requests by a holder fold with the held mode through the mode
+    lattice ([sup]), so a Shared holder asking Exclusive upgrades and an
+    IX holder asking Shared correctly lands on SIX.
+
+    When a transaction accumulates too many record locks on one page
+    (the [?escalation] threshold of [create]), the manager trades them
+    for a single page lock covering the same records — Shared if every
+    record lock was Shared, else Exclusive. Escalation never blocks: if
+    the page grant would conflict it is skipped and retried on the next
+    record acquire.
 
     The manager itself never blocks (the simulation is single-threaded):
     a conflicting request returns [`Would_block] and registers the
     waits-for edges, and the caller decides whether to spin, deschedule
     its simulated process, or abort. A request that would close a cycle
-    in the waits-for graph returns [`Deadlock] instead. *)
+    in the waits-for graph — which may now pass through intention
+    holders — returns [`Deadlock] instead.
 
-type mode = Shared | Exclusive
+    A separate latch table provides short-term physical page latches
+    (Shared/Exclusive only, no deadlock detection): access methods hold
+    latches only across a page edit while record locks persist to
+    commit. Latch waiters are woken through the same waker callback.
+    Latch acquisition is strictly top-down and latch holders never block
+    on locks, so latch waits always make progress. *)
 
-type obj = int * int
-(** [(file, page)] — the unit of locking. *)
+type mode = IS | IX | Shared | SIX | Exclusive
+
+type obj =
+  | File of int  (** whole file *)
+  | Page of int * int  (** (file, page) *)
+  | Rec of int * int * int  (** (file, page, record-on-page) *)
 
 type outcome =
   [ `Granted  (** lock acquired (or already held at this or a stronger mode) *)
@@ -28,37 +59,55 @@ type outcome =
 
 type t
 
-val create : Clock.t -> Stats.t -> Config.cpu -> t
+val create : ?escalation:int -> Clock.t -> Stats.t -> Config.cpu -> t
+(** [escalation] is the per-(transaction, page) record-lock count at
+    which the manager escalates to a page lock; defaults to [max_int]
+    (never). *)
+
+val compatible : mode -> mode -> bool
+(** The multi-granularity compatibility matrix. *)
+
+val sup : mode -> mode -> mode
+(** Least upper bound in the mode lattice
+    (IS < IX < X, IS < S < SIX < X, IX < SIX; sup S IX = SIX). *)
 
 val set_waker : t -> (int -> unit) option -> unit
 (** Install a callback fired with a transaction id whenever that
-    transaction's pending request stops conflicting (its wait edges are
-    cleared by a release, abort or grant). The transaction layer uses it
-    to unpark a process blocked in [acquire] under the discrete-event
-    scheduler; a retried acquire is then expected to be granted. [None]
-    (the default) restores the fire-nothing behavior. *)
+    transaction's pending request (lock or latch) stops conflicting —
+    its wait edges are cleared by a release, abort or grant. The
+    transaction layer uses it to unpark a process blocked in [acquire]
+    under the discrete-event scheduler; a retried acquire is then
+    expected to be granted. [None] (the default) restores the
+    fire-nothing behavior. *)
 
 val acquire : t -> txn:int -> obj -> mode -> outcome
-(** Request a lock. Upgrades ([Shared] then [Exclusive] by the sole
-    holder) are granted in place. Repeated requests at an equal or weaker
-    mode are no-ops. *)
+(** Request a lock, taking intention locks on all ancestors first.
+    Upgrades fold through [sup] and are granted in place when no other
+    holder conflicts with the folded mode. Repeated requests at an equal
+    or weaker mode are no-ops. *)
 
 val release : t -> txn:int -> obj -> unit
-(** Early release of a single lock (used by non-two-phase callers such as
-    B-tree lock coupling). No-op if not held. *)
+(** Early release of a single lock (used by non-two-phase callers).
+    Ancestor intention locks are left in place; [release_all] drops
+    them. No-op if not held. *)
 
 val release_all : t -> txn:int -> unit
 (** Commit/abort path: walk the transaction's lock chain, release
     everything, and clear its wait edges. *)
 
 val cancel_wait : t -> txn:int -> unit
-(** Forget the transaction's wait edges without releasing locks. *)
+(** Forget the transaction's wait edges (lock and latch) without
+    releasing anything. *)
 
 val holds : t -> txn:int -> obj -> mode option
 val chain : t -> txn:int -> (obj * mode) list
-(** The transaction's lock chain (most recently acquired first). *)
+(** The transaction's lock chain (most recently acquired first),
+    including automatically acquired intention locks. *)
 
 val locked_objects : t -> int
+(** Number of nodes in the lock table with at least one holder —
+    intention-locked ancestors count. *)
+
 val waiting : t -> txn:int -> bool
 
 val blockers : t -> txn:int -> int list
@@ -67,3 +116,18 @@ val blockers : t -> txn:int -> int list
     affected waiter's blockers from the lock table, so these edges never
     go stale — a request whose conflicts have all released is dropped
     from the graph entirely. *)
+
+(** {2 Latches} *)
+
+val latch :
+  t -> owner:int -> obj -> mode -> [ `Granted | `Would_block of int list ]
+(** Acquire a short-term physical latch ([Shared] or [Exclusive] only;
+    other modes raise [Invalid_argument]). No deadlock detection: a
+    conflicting request registers a latch wait (woken via the waker) and
+    returns the blockers. *)
+
+val unlatch : t -> owner:int -> obj -> unit
+val release_latches : t -> owner:int -> unit
+(** Drop every latch the owner holds and its pending latch wait. *)
+
+val latched : t -> owner:int -> (obj * mode) list

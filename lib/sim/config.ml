@@ -38,6 +38,8 @@ type fs = {
   group_commit_size : int;
   ndisks : int;
   log_disk : bool;
+  lock_grain : [ `Page | `Record ];
+  lock_escalation : int;
 }
 
 type t = { disk : disk; cpu : cpu; fs : fs }
@@ -92,6 +94,8 @@ let default_fs =
     group_commit_size = 4;
     ndisks = 1;
     log_disk = false;
+    lock_grain = `Page;
+    lock_escalation = 16;
   }
 
 let default = { disk = default_disk; cpu = default_cpu; fs = default_fs }

@@ -76,6 +76,13 @@ type fs = {
   log_disk : bool;
       (** give the write-ahead log (and the LFS checkpoint region) a
           dedicated spindle instead of sharing the data disk(s) *)
+  lock_grain : [ `Page | `Record ];
+      (** two-phase locking granularity: classic page locks (default) or
+          hierarchical record locks with intention modes on page and
+          file ancestors *)
+  lock_escalation : int;
+      (** record-lock count on one page at which a transaction's record
+          locks escalate to a single page lock; default 16 *)
 }
 
 type t = { disk : disk; cpu : cpu; fs : fs }

@@ -159,27 +159,25 @@ let account_balance clock stats cfg db vfs id =
   | Some v -> parse_balance v
   | None -> failwith "TPC-B: no such account"
 
-(* The multi-user driver partitions the history relation per worker (see
-   [run_sched]); readers must aggregate over the main file plus any
-   [/tpcb/history.N] partitions present. *)
-let hist_partition_path w = Printf.sprintf "/tpcb/history.%d" w
+(* A history slot whose first byte is NUL is a hole: at record grain the
+   recno record count moves through a redo-only system write, so an
+   aborted append leaves its allocated slot zeroed. Committed records
+   always start with a digit. *)
+let is_hole data = Bytes.get data 0 = '\000'
 
-let history_fds (vfs : Vfs.t) db =
-  let rec parts w acc =
-    let path = hist_partition_path w in
-    if vfs.Vfs.exists path then parts (w + 1) (vfs.Vfs.open_file path :: acc)
-    else List.rev acc
+let iter_history clock stats cfg db vfs f =
+  let hist =
+    Recno.attach clock stats cfg.Config.cpu (Pager.plain vfs db.hist)
+      ~reclen:history_bytes
   in
-  db.hist :: parts 1 []
+  Recno.iter hist (fun _ data ->
+      if not (is_hole data) then f data;
+      true)
 
 let history_count clock stats cfg db vfs =
-  List.fold_left
-    (fun total fd ->
-      total
-      + Recno.count
-          (Recno.attach clock stats cfg.Config.cpu (Pager.plain vfs fd)
-             ~reclen:history_bytes))
-    0 (history_fds vfs db)
+  let n = ref 0 in
+  iter_history clock stats cfg db vfs (fun _ -> incr n);
+  !n
 
 let check_consistency clock stats cfg db vfs =
   let a = sum_balances clock stats cfg vfs db.acct in
@@ -193,17 +191,8 @@ let check_consistency clock stats cfg db vfs =
      appended one history record; replaying history must reproduce the
      balance sums. *)
   let from_history = ref 0 in
-  List.iter
-    (fun fd ->
-      let hist =
-        Recno.attach clock stats cfg.Config.cpu (Pager.plain vfs fd)
-          ~reclen:history_bytes
-      in
-      Recno.iter hist (fun _ data ->
-          from_history :=
-            !from_history + int_of_string (Bytes.sub_string data 20 15);
-          true))
-    (history_fds vfs db);
+  iter_history clock stats cfg db vfs (fun data ->
+      from_history := !from_history + int_of_string (Bytes.sub_string data 20 15));
   if !from_history <> a then
     failwith
       (Printf.sprintf "TPC-B history sum %d disagrees with balances %d"
@@ -247,11 +236,11 @@ type proc = {
    The history append is TPC-B's built-in hotspot: every transaction
    extends the same tail page, and under page-grain 2PL that lock is
    held through the commit flush, so at most one committer can ever be
-   in flight and group commit degenerates to batches of one. The driver
-   applies the standard mitigation: each worker appends to its own
-   history partition ([/tpcb/history.N]); [history_count] and
-   [check_consistency] aggregate over the partitions. *)
-let run_sched clock stats cfg db backend ~vfs ~rng ~n ~mpl =
+   in flight and group commit degenerates to batches of one. Record
+   granularity ([fs.lock_grain = `Record]) is the real fix: appenders
+   lock only their own slot, so committers overlap on the single shared
+   history file. *)
+let run_sched clock stats cfg db backend ~rng ~n ~mpl =
   if mpl <= 0 then invalid_arg "Tpcb.run_sched: mpl must be positive";
   let sched =
     match Sched.of_clock clock with
@@ -259,33 +248,6 @@ let run_sched clock stats cfg db backend ~vfs ~rng ~n ~mpl =
     | None -> invalid_arg "Tpcb.run_sched: no scheduler attached to the clock"
   in
   Stats.declare stats "tpcb.txn";
-  (* Create and initialize the per-worker history partitions before any
-     process starts: file creation and Recno header setup run on the
-     legacy (non-blocking) paths, like [build]. Worker 0 keeps the main
-     history file, so MPL 1 behaves exactly as before. *)
-  let worker_db w =
-    if w = 0 then db
-    else begin
-      let path = hist_partition_path w in
-      let fd =
-        if vfs.Vfs.exists path then vfs.Vfs.open_file path
-        else vfs.Vfs.create path
-      in
-      ignore
-        (Recno.attach clock stats cfg.Config.cpu (Pager.plain vfs fd)
-           ~reclen:history_bytes);
-      (match backend with
-      | Kernel k -> Ktxn.protect k path
-      | User _ -> ());
-      { db with hist = fd }
-    end
-  in
-  let dbs = Array.init mpl worker_db in
-  (* Like [build]'s final sync: partition files must be durable (their
-     creation checkpointed) before transactions append to them —
-     [force_frames]/log force only covers page contents, not the
-     file-creation metadata. *)
-  if mpl > 1 then vfs.Vfs.sync ();
   let blocks () =
     Stats.count stats "ktxn.lock_blocks" + Stats.count stats "txn.lock_blocks"
   in
@@ -294,17 +256,17 @@ let run_sched clock stats cfg db backend ~vfs ~rng ~n ~mpl =
   let latencies = ref [] in
   let issued = ref 0 and committed = ref 0 in
   let t0 = Clock.now clock in
-  let worker wdb () =
+  let worker () =
     while !issued < n do
       incr issued;
       let rec attempt () =
-        let account = Rng.int rng wdb.scale.accounts in
-        let teller = Rng.int rng wdb.scale.tellers in
-        let branch = teller * wdb.scale.branches / wdb.scale.tellers in
+        let account = Rng.int rng db.scale.accounts in
+        let teller = Rng.int rng db.scale.tellers in
+        let branch = teller * db.scale.branches / db.scale.tellers in
         let delta = Rng.int rng 1_999_999 - 999_999 in
         let start = Clock.now clock in
         match
-          execute clock stats cfg wdb backend ~account ~teller ~branch ~delta
+          execute clock stats cfg db backend ~account ~teller ~branch ~delta
         with
         | () ->
           incr committed;
@@ -322,8 +284,8 @@ let run_sched clock stats cfg db backend ~vfs ~rng ~n ~mpl =
       attempt ()
     done
   in
-  for w = 0 to mpl - 1 do
-    Sched.spawn sched (worker dbs.(w))
+  for _ = 1 to mpl do
+    Sched.spawn sched worker
   done;
   Sched.run sched;
   (* The last batch's rendezvous completes inside [run] (its timeout

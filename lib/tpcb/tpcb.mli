@@ -102,7 +102,6 @@ val run_sched :
   Config.t ->
   db ->
   backend ->
-  vfs:Vfs.t ->
   rng:Rng.t ->
   n:int ->
   mpl:int ->
@@ -114,9 +113,9 @@ val run_sched :
     others overlap with it. Latencies span begin to durable commit,
     including rendezvous waits. [conflicts] counts real lock blocks.
 
-    To let committers actually overlap, each worker appends to its own
-    history partition ([/tpcb/history.N], created on [vfs] as needed) —
-    otherwise page-grain 2PL on the shared history tail page serializes
-    every transaction through the commit flush. {!history_count} and
-    {!check_consistency} aggregate over the partitions.
+    All workers share the one history file. At page grain its tail page
+    serializes committers through the commit flush (the hot-page problem
+    the paper inherits from TPC-B); at record grain
+    ([fs.lock_grain = `Record]) appenders lock only their own slot and
+    committers overlap.
     @raise Invalid_argument if no scheduler is attached to [clock]. *)

@@ -37,6 +37,11 @@ let recovered_losers t = t.losers
 
 let mutex t = Cpu.charge t.clock t.stats t.cfg.Config.cpu Cpu.User_mutex
 
+let grain t = t.cfg.Config.fs.lock_grain
+
+let check_live txn =
+  if not txn.live then invalid_arg "Libtp: transaction already finished"
+
 (* Apply one image (before or after) straight through the pool. *)
 let apply_image t ~file ~page ~off data lsn =
   Bufpool.apply_update t.pool ~file ~page ~off data lsn
@@ -44,15 +49,54 @@ let apply_image t ~file ~page ~off data lsn =
 let release t txn =
   mutex t;
   Lockmgr.release_all t.locks ~txn:txn.id;
+  Lockmgr.release_latches t.locks ~owner:txn.id;
   Hashtbl.remove t.active txn.id;
   txn.live <- false
 
+(* Block until a latch is granted. Latch waits carry no deadlock risk:
+   latch acquisition is top-down, and a process never parks on a lock
+   while holding latches (it drops them and restarts the operation), so
+   every latch holder runs to the end of its operation. *)
+let rec block_latch t sched txn obj mode =
+  Cpu.charge t.clock t.stats t.cfg.Config.cpu Cpu.Context_switch;
+  Stats.incr t.stats "txn.latch_blocks";
+  let c = Sched.condition () in
+  Hashtbl.replace t.parked txn.id c;
+  let t0 = Clock.now t.clock in
+  Sched.wait sched c;
+  Hashtbl.remove t.parked txn.id;
+  Stats.add_time t.stats "txn.latch_wait" (Clock.now t.clock -. t0);
+  match Lockmgr.latch t.locks ~owner:txn.id obj mode with
+  | `Granted -> ()
+  | `Would_block _ -> block_latch t sched txn obj mode
+
+let latch_blocking t txn obj mode =
+  match Lockmgr.latch t.locks ~owner:txn.id obj mode with
+  | `Granted -> ()
+  | `Would_block blockers -> (
+    match Sched.of_clock t.clock with
+    | Some sched when Sched.in_process sched -> block_latch t sched txn obj mode
+    | _ -> raise (Conflict blockers))
+
+let latch t txn obj mode =
+  check_live txn;
+  latch_blocking t txn obj mode
+
+let end_op t txn = Lockmgr.release_latches t.locks ~owner:txn.id
+
 (* Undo with compensation logging: each restore is itself logged as an
    update, so recovery replays aborts forward (redo-only) and never
-   re-applies a stale before-image over a later committed write. *)
+   re-applies a stale before-image over a later committed write. At
+   record grain the restore of each page happens under its exclusive
+   page latch: other transactions share dirty pages there, and a restore
+   racing another writer's read-modify-write would resurrect aborted
+   bytes through the writer's stale buffer. *)
 let do_abort t txn =
+  let latched = grain t = `Record in
   List.iter
     (fun (file, page, off, before) ->
+      if latched then
+        latch_blocking t txn (Lockmgr.Page (file, page)) Lockmgr.Exclusive;
       let current =
         Bytes.sub (Bufpool.get t.pool ~file ~page) off (Bytes.length before)
       in
@@ -66,7 +110,8 @@ let do_abort t txn =
           }
       in
       txn.last_lsn <- lsn;
-      apply_image t ~file ~page ~off before lsn)
+      apply_image t ~file ~page ~off before lsn;
+      if latched then Lockmgr.unlatch t.locks ~owner:txn.id (Lockmgr.Page (file, page)))
     txn.undo;
   let lsn =
     Logmgr.append t.log { Logrec.txn = txn.id; prev = txn.last_lsn; body = Logrec.Abort }
@@ -87,7 +132,9 @@ let rec block_lock t sched txn obj mode =
   let t0 = Clock.now t.clock in
   Sched.wait sched c;
   Hashtbl.remove t.parked txn.id;
-  Stats.add_time t.stats "txn.lock_wait" (Clock.now t.clock -. t0);
+  let dt = Clock.now t.clock -. t0 in
+  Stats.add_time t.stats "txn.lock_wait" dt;
+  Stats.observe t.stats "txn.lock_wait" dt;
   match Lockmgr.acquire t.locks ~txn:txn.id obj mode with
   | `Granted -> ()
   | `Would_block _ -> block_lock t sched txn obj mode
@@ -108,6 +155,30 @@ let lock t txn obj mode =
     do_abort t txn;
     raise (Deadlock_abort txn.id)
 
+(* Record-grain lock acquisition from inside an access-method operation:
+   if the request must wait, the process first releases every latch it
+   holds (so latch holders always make progress), parks until the lock
+   is granted, and reports [`Restart] — any page buffers the operation
+   read before parking may be stale, so the caller re-runs the whole
+   operation (the granted lock is kept; the retry re-acquires it as a
+   no-op). *)
+let lock_restartable t txn obj mode =
+  check_live txn;
+  mutex t;
+  match Lockmgr.acquire t.locks ~txn:txn.id obj mode with
+  | `Granted -> `Granted
+  | `Would_block blockers -> (
+    match Sched.of_clock t.clock with
+    | Some sched when Sched.in_process sched ->
+      Lockmgr.release_latches t.locks ~owner:txn.id;
+      Stats.incr t.stats "txn.op_restarts";
+      block_lock t sched txn obj mode;
+      `Restart
+    | _ -> raise (Conflict blockers))
+  | `Deadlock ->
+    do_abort t txn;
+    raise (Deadlock_abort txn.id)
+
 let begin_txn t =
   mutex t;
   let id = t.next_txn_id in
@@ -119,13 +190,12 @@ let begin_txn t =
   Stats.incr t.stats "txn.begins";
   txn
 
-let check_live txn =
-  if not txn.live then invalid_arg "Libtp: transaction already finished"
-
 let read_page t txn ~file ~page =
   check_live txn;
-  lock t txn (file, page) Lockmgr.Shared;
+  lock t txn (Lockmgr.Page (file, page)) Lockmgr.Shared;
   Bufpool.get t.pool ~file ~page
+
+let read_page_raw t ~file ~page = Bufpool.get t.pool ~file ~page
 
 (* Smallest byte range where [a] and [b] differ; None if equal. *)
 let diff_range a b =
@@ -144,11 +214,7 @@ let diff_range a b =
     Some (!lo, !hi - !lo + 1)
   end
 
-let write_page t txn ~file ~page data =
-  check_live txn;
-  if Bytes.length data <> page_size t then
-    invalid_arg "Libtp.write_page: data must be exactly one page";
-  lock t txn (file, page) Lockmgr.Exclusive;
+let write_bytes t txn ~file ~page data =
   let current = Bufpool.get t.pool ~file ~page in
   match diff_range current data with
   | None -> ()
@@ -165,6 +231,48 @@ let write_page t txn ~file ~page data =
     in
     txn.last_lsn <- lsn;
     txn.undo <- (file, page, off, before) :: txn.undo;
+    apply_image t ~file ~page ~off after lsn
+
+let write_page t txn ~file ~page data =
+  check_live txn;
+  if Bytes.length data <> page_size t then
+    invalid_arg "Libtp.write_page: data must be exactly one page";
+  lock t txn (Lockmgr.Page (file, page)) Lockmgr.Exclusive;
+  write_bytes t txn ~file ~page data
+
+(* Record-grain write: no page lock — isolation comes from the record
+   locks and latches the access method holds, and byte-range logging
+   keeps the undo of co-resident transactions disjoint. *)
+let write_page_raw t txn ~file ~page data =
+  check_live txn;
+  if Bytes.length data <> page_size t then
+    invalid_arg "Libtp.write_page_raw: data must be exactly one page";
+  write_bytes t txn ~file ~page data
+
+(* Redo-only system write, logged as transaction 0. Transaction 0 never
+   logs a Begin, so recovery never classifies it as a loser: the update
+   is redone but never undone, even when the transaction that issued it
+   aborts. Used for the recno record-count, whose allocation must
+   survive an aborted append (the record bytes themselves are undone,
+   leaving a zeroed hole). *)
+let write_page_sys t txn ~file ~page data =
+  check_live txn;
+  if Bytes.length data <> page_size t then
+    invalid_arg "Libtp.write_page_sys: data must be exactly one page";
+  let current = Bufpool.get t.pool ~file ~page in
+  match diff_range current data with
+  | None -> ()
+  | Some (off, len) ->
+    let before = Bytes.sub current off len in
+    let after = Bytes.sub data off len in
+    let lsn =
+      Logmgr.append t.log
+        {
+          Logrec.txn = 0;
+          prev = Logrec.null_lsn;
+          body = Logrec.Update { file; page; off; before; after };
+        }
+    in
     apply_image t ~file ~page ~off after lsn
 
 let checkpoint t =
@@ -262,7 +370,9 @@ let open_env clock stats (cfg : Config.t) vfs ?log_vfs ?(pool_pages = 1024)
   let log_home = Option.value log_vfs ~default:vfs in
   let log = Logmgr.open_log clock stats cfg log_home ~path:log_path in
   let pool = Bufpool.create clock stats cfg vfs log ~pages:pool_pages in
-  let locks = Lockmgr.create clock stats cfg.cpu in
+  let locks =
+    Lockmgr.create ~escalation:cfg.Config.fs.lock_escalation clock stats cfg.cpu
+  in
   let t =
     {
       clock;

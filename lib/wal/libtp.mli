@@ -49,6 +49,9 @@ val open_env :
 val begin_txn : t -> txn
 val txn_id : txn -> int
 
+val grain : t -> [ `Page | `Record ]
+(** The configured locking granularity ([Config.fs.lock_grain]). *)
+
 val read_page : t -> txn -> file:int -> page:int -> bytes
 (** Shared-lock the page and return the pooled copy (read-only). *)
 
@@ -56,6 +59,42 @@ val write_page : t -> txn -> file:int -> page:int -> bytes -> unit
 (** Exclusive-lock the page, log the changed byte range (before and
     after images), and apply it to the pool. A no-op if [bytes] equals
     the current contents. *)
+
+(** {2 Record-grain protocol}
+
+    At record grain the access methods lock individual records to
+    commit and hold short-term page latches only across physical edits.
+    The discipline: a process never parks on a {e lock} while holding
+    latches — [lock_restartable] drops them first and tells the caller
+    to re-run the operation — so latch holders always make progress and
+    latch waits need no deadlock detection. *)
+
+val lock_restartable :
+  t -> txn -> Lockmgr.obj -> Lockmgr.mode -> [ `Granted | `Restart ]
+(** Acquire a lock from inside an access-method operation. [`Restart]
+    means the process had to release its latches and park: the lock is
+    now held, but the operation must re-run because its page buffers may
+    be stale. Raises [Deadlock_abort] after aborting the transaction if
+    waiting would deadlock. *)
+
+val latch : t -> txn -> Lockmgr.obj -> Lockmgr.mode -> unit
+(** Acquire a physical latch, blocking (parked under the scheduler)
+    until granted. *)
+
+val end_op : t -> txn -> unit
+(** Release every latch the transaction holds (end of one access-method
+    operation). *)
+
+val read_page_raw : t -> file:int -> page:int -> bytes
+(** Pool read without a page lock (record grain: isolation comes from
+    record locks, structural stability from the file latch). *)
+
+val write_page_raw : t -> txn -> file:int -> page:int -> bytes -> unit
+(** Logged, undoable write without a page lock (record grain). *)
+
+val write_page_sys : t -> txn -> file:int -> page:int -> bytes -> unit
+(** Redo-only system write logged as transaction 0: recovery replays it
+    but never undoes it, even if [txn] aborts. *)
 
 val commit : t -> txn -> unit
 (** Force the log through this transaction's commit record (honouring

@@ -13,6 +13,11 @@ type t = {
      increments the generation after the fsync, so waking implies the
      waiter's commit record is durable. *)
   mutable force_gen : int;
+  (* A force parks inside the VFS write/fsync (when the log lives on a
+     simulated filesystem those are real I/O), so under a scheduler a
+     second committer can arrive mid-force. Exactly one force runs at a
+     time: [forcing] is the mutex bit, followers park on [flush_cond]. *)
+  mutable forcing : bool;
   flush_cond : Sched.cond;
 }
 
@@ -90,6 +95,7 @@ let open_log clock stats cfg vfs ~path =
     flushed = tail;
     pending_commits = 0;
     force_gen = 0;
+    forcing = false;
     flush_cond = Sched.condition ();
   }
 
@@ -104,34 +110,79 @@ let append t rec_ =
   lsn
 
 let do_force t =
+  (* Serialize: a second fiber snapshotting the same unflushed bytes
+     while the first is parked in the write/fsync would double-write
+     them and double-advance [flushed]. Followers wait the in-flight
+     force out, then re-check — it may already have covered them. *)
+  (match Sched.of_clock t.clock with
+  | Some sched when Sched.in_process sched ->
+    while t.forcing do
+      Sched.wait sched t.flush_cond
+    done
+  | _ -> ());
   if Buffer.length t.buf > 0 then begin
-    let t0 = Clock.now t.clock in
-    let data = Buffer.to_bytes t.buf in
-    t.vfs.Vfs.write t.fd ~off:t.flushed data;
-    t.vfs.Vfs.fsync t.fd;
-    t.flushed <- t.flushed + Bytes.length data;
-    Buffer.clear t.buf;
-    if t.pending_commits > 0 then
-      (* Group-commit batch size: how many committers shared this force. *)
-      Stats.observe t.stats "log.commit_batch" (float_of_int t.pending_commits);
-    t.pending_commits <- 0;
-    Stats.incr t.stats "log.forces";
-    Stats.observe t.stats "log.force" (Clock.now t.clock -. t0);
-    if Stats.tracing t.stats then
-      Stats.emit t.stats ~time:(Clock.now t.clock) "log.force"
-        [ ("bytes", Trace.I (Bytes.length data)); ("lsn", Trace.I t.flushed) ];
-    (* The records are on disk: release any committers parked at the
-       rendezvous. Incrementing after the fsync means a woken waiter's
-       commit record is guaranteed durable. *)
-    t.force_gen <- t.force_gen + 1;
-    match Sched.of_clock t.clock with
-    | Some sched -> Sched.broadcast sched t.flush_cond
-    | None -> ()
+    t.forcing <- true;
+    Fun.protect
+      ~finally:(fun () -> t.forcing <- false)
+      (fun () ->
+        let t0 = Clock.now t.clock in
+        let data = Buffer.to_bytes t.buf in
+        t.vfs.Vfs.write t.fd ~off:t.flushed data;
+        t.vfs.Vfs.fsync t.fd;
+        t.flushed <- t.flushed + Bytes.length data;
+        (* Records appended while we were parked in the write/fsync sit
+           behind the snapshot: drop only the flushed prefix. *)
+        let tail =
+          Buffer.sub t.buf (Bytes.length data)
+            (Buffer.length t.buf - Bytes.length data)
+        in
+        Buffer.clear t.buf;
+        Buffer.add_string t.buf tail;
+        if t.pending_commits > 0 then
+          (* Group-commit batch size: how many committers shared this
+             force. *)
+          Stats.observe t.stats "log.commit_batch"
+            (float_of_int t.pending_commits);
+        t.pending_commits <- 0;
+        Stats.incr t.stats "log.forces";
+        Stats.observe t.stats "log.force" (Clock.now t.clock -. t0);
+        if Stats.tracing t.stats then
+          Stats.emit t.stats ~time:(Clock.now t.clock) "log.force"
+            [
+              ("bytes", Trace.I (Bytes.length data)); ("lsn", Trace.I t.flushed);
+            ];
+        (* The records are on disk: release any committers parked at the
+           rendezvous. Incrementing after the fsync means a woken waiter
+           whose record made the snapshot is guaranteed durable. *)
+        t.force_gen <- t.force_gen + 1;
+        match Sched.of_clock t.clock with
+        | Some sched -> Sched.broadcast sched t.flush_cond
+        | None -> ())
   end
 
-let force t ~upto = if upto >= t.flushed then do_force t
+let rec force t ~upto =
+  if upto >= t.flushed then begin
+    do_force t;
+    (* Our record may have been appended after an in-flight force's
+       snapshot, in which case waiting it out left us undone: go again
+       for the remainder. *)
+    if upto >= t.flushed then force t ~upto
+  end
 
 let force_commit t ~upto =
+  if upto >= t.flushed then begin
+    (* A force already in flight snapshotted the buffer before our
+       record went in: wait it out and join the NEXT batch rather than
+       chasing it with a batch of one — arrivals accumulate while the
+       log arm is busy, which is what fills group-commit batches at
+       high MPL. *)
+    (match Sched.of_clock t.clock with
+    | Some sched when Sched.in_process sched ->
+      while t.forcing do
+        Sched.wait sched t.flush_cond
+      done
+    | _ -> ())
+  end;
   if upto >= t.flushed then begin
     t.pending_commits <- t.pending_commits + 1;
     let timeout = t.cfg.Config.fs.group_commit_timeout_s in
@@ -152,6 +203,10 @@ let force_commit t ~upto =
         while t.force_gen = gen do
           Sched.wait sched t.flush_cond
         done;
+        (* The force that moved the generation snapshotted the buffer
+           before parking in its write/fsync; a record appended after
+           that snapshot is still volatile. Force the remainder. *)
+        if upto >= t.flushed then force t ~upto;
         let waited = Clock.now t.clock -. t0 in
         Stats.add_time t.stats "log.group_commit_wait" waited;
         Stats.observe t.stats "log.group_commit_wait" waited

@@ -133,6 +133,22 @@ let sweep_tpcb_multidisk () =
       (Sweep.sweep_tpcb_mpl ~ndisks:2 ~log_disk:true Sweep.Lfs_user ~seed:5
          ~txns:6 ~mpl:2 ~points:10)
 
+(* Record-grain locking on the same 2-disks-plus-log topology: commits
+   overlap far more than at page grain (the hot history tail page no
+   longer serializes committers), so crash points land inside
+   concurrent log forces and partial-segment writes. Aborted history
+   appends leave zeroed holes at this grain; the oracle counts only
+   non-hole records, which must still lie in [acked, acked + mpl]. *)
+let sweep_tpcb_record_grain () =
+  if full then
+    assert_clean
+      (Sweep.sweep_tpcb_mpl ~ndisks:2 ~log_disk:true ~lock_grain:`Record
+         Sweep.Lfs_user ~seed:11 ~txns:20 ~mpl:2 ~points:0)
+  else
+    assert_clean
+      (Sweep.sweep_tpcb_mpl ~ndisks:2 ~log_disk:true ~lock_grain:`Record
+         Sweep.Lfs_user ~seed:11 ~txns:6 ~mpl:2 ~points:10)
+
 (* Negative control: disable the roll-forward payload verification and
    the sweep must catch torn partial-segment writes that the hardened
    recovery path would have rejected. A harness that cannot detect a
@@ -172,6 +188,8 @@ let () =
           Alcotest.test_case "tpcb / lfs-kernel at MPL 2" `Slow sweep_tpcb_mpl2;
           Alcotest.test_case "tpcb / lfs-user 2+log at MPL 2" `Slow
             sweep_tpcb_multidisk;
+          Alcotest.test_case "tpcb / lfs-user 2+log at MPL 2, record grain"
+            `Slow sweep_tpcb_record_grain;
           Alcotest.test_case "broken recovery is caught" `Slow
             test_broken_recovery_is_caught;
         ] );

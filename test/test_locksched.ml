@@ -1,0 +1,201 @@
+(* Two-fiber interleaving tests for the record-grain locking protocol
+   under the discrete-event scheduler: the classic S->X upgrade race
+   (one deadlock victim, no lost update) and lock escalation racing a
+   concurrent lock request on the same page. The scheduler is
+   deterministic (FIFO at equal times), so each test scripts one exact
+   interleaving with yields and condition variables. *)
+
+let record_cfg ?escalation () =
+  let cfg = Tutil.small_config () in
+  let fs =
+    {
+      cfg.Config.fs with
+      Config.lock_grain = `Record;
+      Config.lock_escalation =
+        (match escalation with
+        | Some e -> e
+        | None -> cfg.Config.fs.Config.lock_escalation);
+    }
+  in
+  { cfg with Config.fs = fs }
+
+let mk_env cfg =
+  let m = Tutil.machine ~cfg () in
+  let fs = Lfs.format m.Tutil.disks m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let v = Lfs.vfs fs in
+  let env =
+    Libtp.open_env m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~pool_pages:32
+      ~checkpoint_every:1000 ~log_path:"/wal.log" ()
+  in
+  (m, env)
+
+(* Both fibers read a shared counter under a Shared record lock, then
+   upgrade to Exclusive to write back read+1. With both holding S,
+   neither upgrade can be granted and the second request closes a
+   2-cycle: exactly one fiber must be chosen as deadlock victim
+   (aborted, restarted), and the survivor's [`Restart] forces a re-read
+   — so the final value must be 2, never the lost-update 1. *)
+let test_upgrade_race () =
+  let m, env = mk_env (record_cfg ()) in
+  let sched = Sched.create m.Tutil.clock in
+  let o = Lockmgr.Rec (1, 0, 5) in
+  let v = ref 0 in
+  let deadlocks = ref 0 in
+  let commits = ref 0 in
+  let worker () =
+    let rec attempt () =
+      let txn = Libtp.begin_txn env in
+      match
+        try
+          ignore (Libtp.lock_restartable env txn o Lockmgr.Shared);
+          let read = !v in
+          (* Let the other fiber take its shared lock too. *)
+          Sched.yield sched;
+          let read =
+            match Libtp.lock_restartable env txn o Lockmgr.Exclusive with
+            | `Granted -> read
+            | `Restart ->
+              (* We parked; the snapshot may be stale. Re-read under the
+                 now-held exclusive lock. *)
+              !v
+          in
+          `Write read
+        with Libtp.Deadlock_abort _ ->
+          incr deadlocks;
+          `Retry
+      with
+      | `Write read ->
+        v := read + 1;
+        Libtp.commit env txn;
+        incr commits
+      | `Retry ->
+        (* Back off before retrying so the survivor (already woken by
+           our abort) upgrades and commits first. *)
+        Sched.yield sched;
+        attempt ()
+    in
+    attempt ()
+  in
+  Sched.spawn sched worker;
+  Sched.spawn sched worker;
+  Sched.run sched;
+  Sched.detach sched;
+  Alcotest.(check int) "exactly one deadlock victim" 1 !deadlocks;
+  Alcotest.(check int) "deadlock counted once" 1
+    (Stats.count m.Tutil.stats "lock.deadlocks");
+  Alcotest.(check int) "both committed" 2 !commits;
+  Alcotest.(check int) "no lost update" 2 !v
+
+(* Escalation racing concurrent lock traffic on the same page.
+
+   Phase 1 (skip): fiber B holds one Shared record lock on the page —
+   and with it a Page IS intent — so when fiber A's third record lock
+   trips the threshold, the page Exclusive would conflict: escalation
+   must be skipped (never block) and A's record locks survive
+   untouched. This is also why a parked record-acquirer blocks
+   escalation outright: its Page IX is already planted before it waits
+   at the record node.
+
+   Phase 2 (swap vs. waiter): fiber C requests the whole page Shared
+   and parks at the page node (holding only File IS, which conflicts
+   with nothing). A's next record lock then escalates for real: the
+   swap trades A's record locks for a page Exclusive while C waits on
+   that very node, and C must not slip through — its grant may come
+   only after A commits. *)
+let test_escalation_race () =
+  let m, env = mk_env (record_cfg ~escalation:3 ()) in
+  let sched = Sched.create m.Tutil.clock in
+  let lm = Libtp.locks env in
+  let stats = m.Tutil.stats in
+  let rec_ r = Lockmgr.Rec (1, 0, r) in
+  (* flag+condition rendezvous: [await] parks until [set] fires. *)
+  let mk_flag () = (ref false, Sched.condition ()) in
+  let set (f, c) =
+    f := true;
+    Sched.broadcast sched c
+  in
+  let await (f, c) =
+    while not !f do
+      Sched.wait sched c
+    done
+  in
+  let b_locked = mk_flag () in
+  let b_may_commit = mk_flag () in
+  let b_done = mk_flag () in
+  let c_go = mk_flag () in
+  let a_committed = ref false in
+  let c_granted = ref false in
+  let fiber_b () =
+    let txn = Libtp.begin_txn env in
+    ignore (Libtp.lock_restartable env txn (rec_ 9) Lockmgr.Shared);
+    set b_locked;
+    await b_may_commit;
+    Libtp.commit env txn;
+    set b_done
+  in
+  let fiber_c () =
+    await c_go;
+    let txn = Libtp.begin_txn env in
+    (* A holds Page (1,0) IX under its record locks: park here. The wait
+       must survive A's escalation replacing those record locks with a
+       page lock on this very node. *)
+    ignore
+      (Libtp.lock_restartable env txn (Lockmgr.Page (1, 0)) Lockmgr.Shared);
+    c_granted := true;
+    Alcotest.(check bool) "granted only after A committed" true !a_committed;
+    Libtp.commit env txn
+  in
+  let fiber_a () =
+    await b_locked;
+    let txn = Libtp.begin_txn env in
+    let id = Libtp.txn_id txn in
+    ignore (Libtp.lock_restartable env txn (rec_ 0) Lockmgr.Exclusive);
+    ignore (Libtp.lock_restartable env txn (rec_ 1) Lockmgr.Exclusive);
+    ignore (Libtp.lock_restartable env txn (rec_ 2) Lockmgr.Exclusive);
+    (* Threshold reached, but B's Page IS makes the page Exclusive
+       ungrantable: skipped, record locks intact. *)
+    Alcotest.(check int) "escalation skipped under conflict" 1
+      (Stats.count stats "lock.escalations_skipped");
+    Alcotest.(check int) "no escalation yet" 0
+      (Stats.count stats "lock.escalations");
+    Alcotest.(check bool) "record locks intact" true
+      (Lockmgr.holds lm ~txn:id (rec_ 1) = Some Lockmgr.Exclusive);
+    set b_may_commit;
+    await b_done;
+    (* Start C; it runs up to its page request and parks there. *)
+    set c_go;
+    Sched.yield sched;
+    Alcotest.(check bool) "C parked at the page" true
+      ((not !c_granted) && Lockmgr.waiting lm ~txn:(id + 1));
+    ignore (Libtp.lock_restartable env txn (rec_ 3) Lockmgr.Exclusive);
+    Alcotest.(check int) "escalated once the intent cleared" 1
+      (Stats.count stats "lock.escalations");
+    Alcotest.(check bool) "page lock covers the records" true
+      (Lockmgr.holds lm ~txn:id (Lockmgr.Page (1, 0)) = Some Lockmgr.Exclusive);
+    Alcotest.(check bool) "record locks traded in" true
+      (List.for_all
+         (fun (o, _) -> match o with Lockmgr.Rec _ -> false | _ -> true)
+         (Lockmgr.chain lm ~txn:id));
+    (* C parked across the swap must still be waiting, now on us. *)
+    Alcotest.(check bool) "waiter did not slip through the swap" false
+      !c_granted;
+    a_committed := true;
+    Libtp.commit env txn
+  in
+  Sched.spawn sched fiber_b;
+  Sched.spawn sched fiber_a;
+  Sched.spawn sched fiber_c;
+  Sched.run sched;
+  Sched.detach sched;
+  Alcotest.(check bool) "C completed" true !c_granted
+
+let () =
+  Alcotest.run "tx_locksched"
+    [
+      ( "interleavings",
+        [
+          Alcotest.test_case "S->X upgrade race" `Quick test_upgrade_race;
+          Alcotest.test_case "escalation vs concurrent acquire" `Quick
+            test_escalation_race;
+        ] );
+    ]

@@ -187,6 +187,40 @@ let test_multi_user_contention () =
   Libtp.checkpoint env;
   Tpcb.check_consistency m.Tutil.clock m.Tutil.stats m.Tutil.cfg db v
 
+let test_record_grain_mpl8_shared_history () =
+  (* Regression for the deleted history-partitioning hack: at record
+     grain all eight workers append to the one shared history file
+     (PR 3 gave each worker a private partition to dodge the tail-page
+     lock). Slot-level record locks must keep the run consistent, and
+     the hole-tolerant readers must count exactly the committed
+     appends. *)
+  let cfg = test_cfg () in
+  let cfg =
+    { cfg with Config.fs = { cfg.Config.fs with Config.lock_grain = `Record } }
+  in
+  let m = Tutil.machine ~cfg () in
+  let fs = Lfs.format m.Tutil.disks m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let v = Lfs.vfs fs in
+  let rng = Rng.create ~seed:5 in
+  let db =
+    Tpcb.build m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~rng ~scale:small_scale
+  in
+  let sched = Sched.create m.Tutil.clock in
+  let env =
+    Libtp.open_env m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~pool_pages:256
+      ~log_path:"/tpcb/log" ()
+  in
+  let r =
+    Tpcb.run_sched m.Tutil.clock m.Tutil.stats m.Tutil.cfg db (Tpcb.User env)
+      ~rng ~n:200 ~mpl:8
+  in
+  Sched.detach sched;
+  Alcotest.(check int) "all committed" 200 r.Tpcb.base.Tpcb.txns;
+  Libtp.checkpoint env;
+  Tpcb.check_consistency m.Tutil.clock m.Tutil.stats m.Tutil.cfg db v;
+  Alcotest.(check int) "committed appends visible in shared history" 200
+    (Tpcb.history_count m.Tutil.clock m.Tutil.stats m.Tutil.cfg db v)
+
 let test_multi_user_matches_single_user_invariants () =
   let m, fs, v, db = build_lfs () in
   let k = Ktxn.create fs in
@@ -304,6 +338,8 @@ let () =
         [
           Alcotest.test_case "kernel mpl=4" `Quick test_multi_user_lfs_kernel;
           Alcotest.test_case "high contention" `Quick test_multi_user_contention;
+          Alcotest.test_case "record grain, shared history, mpl=8" `Quick
+            test_record_grain_mpl8_shared_history;
           Alcotest.test_case "crash after multi-user run" `Quick
             test_multi_user_matches_single_user_invariants;
         ] );
