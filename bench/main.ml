@@ -106,6 +106,8 @@ let micro_tests () =
               file = 7;
               page = 99;
               off = 100;
+              pstream = -1;
+              plsn = Logrec.null_lsn;
               before = Bytes.make 120 'b';
               after = Bytes.make 120 'a';
             };

@@ -45,8 +45,17 @@ let log_disk_arg =
   in
   Arg.(value & flag & info [ "log-disk" ] ~doc)
 
-let with_disks ~ndisks ~log_disk (c : Config.t) =
-  { c with Config.fs = { c.Config.fs with Config.ndisks; log_disk } }
+let log_streams_arg =
+  let doc =
+    "Number of parallel write-ahead log streams (user setups). Each \
+     transaction is hash-assigned to one stream; commit records carry a \
+     vector LSN so recovery can merge the streams in dependency order. \
+     With $(b,--log-disk), every stream gets its own spindle."
+  in
+  Arg.(value & opt int 1 & info [ "log-streams" ] ~docv:"N" ~doc)
+
+let with_disks ~ndisks ~log_disk ?(log_streams = 1) (c : Config.t) =
+  { c with Config.fs = { c.Config.fs with Config.ndisks; log_disk; log_streams } }
 
 let lock_grain_arg =
   let doc =
@@ -176,11 +185,11 @@ let mpl_arg =
   Arg.(value & opt int 1 & info [ "mpl" ] ~docv:"N" ~doc)
 
 let tpcb_cmd =
-  let run setup scale txns seed mpl ndisks log_disk grain =
+  let run setup scale txns seed mpl ndisks log_disk log_streams grain =
     let setup = parse_setup setup in
     let config =
       with_grain (parse_grain grain)
-        (with_disks ~ndisks ~log_disk
+        (with_disks ~ndisks ~log_disk ~log_streams
            (Config.scaled ~factor:(float_of_int scale /. 10.0) Config.default))
     in
     let r =
@@ -209,7 +218,7 @@ let tpcb_cmd =
     (Cmd.info "tpcb" ~doc:"Run TPC-B on one configuration and report TPS")
     Term.(
       const run $ setup_arg $ scale_arg $ txns_arg 10_000 $ seed_arg $ mpl_arg
-      $ ndisks_arg $ log_disk_arg $ lock_grain_arg)
+      $ ndisks_arg $ log_disk_arg $ log_streams_arg $ lock_grain_arg)
 
 (* MPL x group-commit sweep on the discrete-event scheduler. *)
 let mplsweep_cmd =
@@ -318,6 +327,50 @@ let disksweep_cmd =
     Term.(
       const run $ setup_arg $ scale_arg $ txns_arg 1_000 $ seed_arg $ mpls_arg
       $ json_arg)
+
+(* Parallel-WAL sweep: log-stream count x MPL. *)
+let logsweep_cmd =
+  let streams_arg =
+    let doc = "Comma-separated log-stream counts to sweep." in
+    Arg.(value & opt string "1,2,4" & info [ "streams" ] ~docv:"LIST" ~doc)
+  in
+  let mpls_arg =
+    let doc = "Comma-separated multiprogramming levels to sweep." in
+    Arg.(value & opt string "8,16" & info [ "mpls" ] ~docv:"LIST" ~doc)
+  in
+  let setup_arg =
+    (* lfs-user: the WAL (and so the stream count) only exists in the
+       user-level systems. *)
+    let doc = "Configuration: readopt-user or lfs-user." in
+    Arg.(value & opt string "lfs-user" & info [ "setup" ] ~docv:"SETUP" ~doc)
+  in
+  let run setup scale txns seed streams mpls json =
+    let setup = parse_setup setup in
+    let parse_list name s =
+      List.map
+        (fun item ->
+          try int_of_string (String.trim item)
+          with _ ->
+            prerr_endline ("logsweep: bad " ^ name ^ " element: " ^ item);
+            exit 2)
+        (String.split_on_char ',' s)
+    in
+    let streams = parse_list "streams" streams in
+    let mpls = parse_list "mpls" mpls in
+    let s = Logsweep.run ~tps_scale:scale ~txns ~seed ~streams ~mpls ~setup () in
+    Logsweep.print s;
+    if json then
+      emit_bench ~name:"logsweep" ~config:s.Logsweep.config (Logsweep.to_json s)
+  in
+  Cmd.v
+    (Cmd.info "logsweep"
+       ~doc:
+         "Sweep the parallel-WAL stream count under TPC-B (one log spindle \
+          per stream) and report TPS, commit batching, cross-stream \
+          dependency forces and per-stream force latency")
+    Term.(
+      const run $ setup_arg $ scale_arg $ txns_arg 1_500 $ seed_arg
+      $ streams_arg $ mpls_arg $ json_arg)
 
 (* Event tracing: run TPC-B with the trace ring attached and dump it. *)
 let trace_cmd =
@@ -627,6 +680,73 @@ let bench_check_cmd =
                 | _ -> ())
             points
         end
+      | _ -> ());
+      (* logsweep artifacts promise per-point stream-sweep fields, that
+         parallel streams pay off at the contended end (4 streams beat 1
+         at MPL 16), and that every point carries its per-stream
+         force-latency p99. *)
+      (match Json.member "meta" doc with
+      | Some meta when Json.member "name" meta = Some (Json.Str "logsweep") ->
+        let points =
+          match Json.member "data" doc with
+          | Some data -> (
+            match Json.member "points" data with
+            | Some (Json.List ps) -> ps
+            | _ -> [])
+          | None -> []
+        in
+        if points = [] then err "logsweep: data.points missing or empty"
+        else begin
+          List.iter
+            (fun p ->
+              List.iter
+                (fun field ->
+                  if Json.member field p = None then
+                    err "logsweep point missing field %s" field)
+                [
+                  "streams";
+                  "mpl";
+                  "tps";
+                  "mean_commit_batch";
+                  "dep_checks";
+                  "dep_forces";
+                  "force_p99";
+                ];
+              (match Json.member "force_p99" p with
+              | Some (Json.List (_ :: _ as l)) ->
+                List.iter
+                  (fun entry ->
+                    if
+                      Json.member "stream" entry = None
+                      || Json.member "p99_s" entry = None
+                    then err "logsweep: force_p99 entry missing stream/p99_s")
+                  l
+              | Some (Json.List []) -> err "logsweep: force_p99 empty"
+              | _ -> ()))
+            points;
+          let num = function
+            | Some (Json.Float f) -> f
+            | Some (Json.Int i) -> float_of_int i
+            | _ -> 0.0
+          in
+          let at ~streams ~mpl =
+            List.find_opt
+              (fun p ->
+                num (Json.member "streams" p) = float_of_int streams
+                && num (Json.member "mpl" p) = float_of_int mpl)
+              points
+          in
+          match (at ~streams:1 ~mpl:16, at ~streams:4 ~mpl:16) with
+          | Some one, Some four ->
+            if num (Json.member "tps" four) <= num (Json.member "tps" one)
+            then
+              err
+                "logsweep: TPS(4 streams) (%.2f) not above TPS(1 stream) \
+                 (%.2f) at MPL 16"
+                (num (Json.member "tps" four))
+                (num (Json.member "tps" one))
+          | _ -> ()
+        end
       | _ -> ()));
     match !errors with
     | [] ->
@@ -756,7 +876,7 @@ let faultsim_cmd =
     Arg.(value & flag & info [ "verbose" ] ~doc)
   in
   let run backend workload txns seed points crash_point verbose mpl ndisks
-      log_disk grain =
+      log_disk log_streams grain =
     let usage msg =
       prerr_endline ("txnlfs faultsim: " ^ msg);
       exit 2
@@ -769,19 +889,20 @@ let faultsim_cmd =
     let one, swp =
       match (workload, mpl) with
       | "pages", 1 ->
-        (Sweep.run_one ~ndisks ~log_disk, Sweep.sweep ~ndisks ~log_disk)
+        ( Sweep.run_one ~ndisks ~log_disk ~log_streams,
+          Sweep.sweep ~ndisks ~log_disk ~log_streams )
       | "pages", _ -> usage "--mpl applies to the tpcb workload only"
       | "tpcb", 1 ->
-        ( Sweep.run_one_tpcb ~ndisks ~log_disk,
-          Sweep.sweep_tpcb ~ndisks ~log_disk )
+        ( Sweep.run_one_tpcb ~ndisks ~log_disk ~log_streams,
+          Sweep.sweep_tpcb ~ndisks ~log_disk ~log_streams )
       | "tpcb", _ ->
         let lock_grain = parse_grain grain in
         ( (fun backend ~seed ~txns ?crash_point () ->
-            Sweep.run_one_tpcb_mpl ~ndisks ~log_disk ~lock_grain backend ~seed
-              ~txns ~mpl ?crash_point ()),
+            Sweep.run_one_tpcb_mpl ~ndisks ~log_disk ~log_streams ~lock_grain
+              backend ~seed ~txns ~mpl ?crash_point ()),
           fun ?progress backend ~seed ~txns ~points ->
-            Sweep.sweep_tpcb_mpl ?progress ~ndisks ~log_disk ~lock_grain
-              backend ~seed ~txns ~mpl ~points )
+            Sweep.sweep_tpcb_mpl ?progress ~ndisks ~log_disk ~log_streams
+              ~lock_grain backend ~seed ~txns ~mpl ~points )
       | w, _ -> usage ("unknown workload " ^ w ^ " (pages, tpcb)")
     in
     if parse_grain grain = `Record && (workload <> "tpcb" || mpl = 1) then
@@ -810,7 +931,7 @@ let faultsim_cmd =
     Term.(
       const run $ backend_arg $ workload_arg $ txns_arg 25 $ seed_arg
       $ points_arg $ crash_point_arg $ verbose_arg $ mpl_arg $ ndisks_arg
-      $ log_disk_arg $ lock_grain_arg)
+      $ log_disk_arg $ log_streams_arg $ lock_grain_arg)
 
 let main =
   Cmd.group
@@ -827,6 +948,7 @@ let main =
       tpcb_cmd;
       mplsweep_cmd;
       disksweep_cmd;
+      logsweep_cmd;
       trace_cmd;
       bench_check_cmd;
       lfsdump_cmd;

@@ -21,6 +21,12 @@ type t = {
      after the frames are durable. *)
   parked : (int, Sched.cond) Hashtbl.t;
   mutable flush_gen : int;
+  (* [Lfs.force_frames] parks in disk I/O under the scheduler, so a
+     flush is not atomic: [flushing] is the mutex bit that keeps a
+     second flush (size trigger or timeout daemon) from running under
+     the first, and each flush claims its batch out of
+     [pending_commits] before yielding. *)
+  mutable flushing : bool;
   commit_cond : Sched.cond;
 }
 
@@ -50,6 +56,7 @@ let create lfs =
       pending_deadline = 0.0;
       parked = Hashtbl.create 8;
       flush_gen = 0;
+      flushing = false;
       commit_cond = Sched.condition ();
     }
   in
@@ -185,44 +192,62 @@ let write_page t txn ~inum ~page data =
   Stats.incr t.stats "ktxn.page_writes"
 
 let flush_pending t =
-  let cache = Lfs.cache t.lfs in
-  let batch = List.length t.pending_commits in
-  let all_frames =
-    List.concat_map
-      (fun (_, frames) ->
-        List.iter (fun f -> Cache.set_txn cache f (-1)) frames;
-        frames)
-      t.pending_commits
-  in
-  (* Frames may have been superseded if two pending transactions touched
-     the same page; de-duplicate while preserving order. *)
-  let seen = Hashtbl.create 16 in
-  let frames =
-    List.filter
-      (fun (f : Cache.frame) ->
-        let k = (f.Cache.file, f.Cache.lblock) in
-        if Hashtbl.mem seen k then false
-        else begin
-          Hashtbl.add seen k ();
-          f.Cache.resident && f.Cache.dirty
-        end)
-      all_frames
-  in
-  Lfs.force_frames t.lfs frames;
-  List.iter (fun (txn, _) -> release t txn) t.pending_commits;
-  t.pending_commits <- [];
-  Stats.incr t.stats "ktxn.group_flushes";
-  Stats.observe t.stats "ktxn.commit_batch" (float_of_int batch);
-  if Stats.tracing t.stats then
-    Stats.emit t.stats ~time:(Clock.now t.clock) "ktxn.group_flush"
-      [ ("batch", Trace.I batch); ("frames", Trace.I (List.length frames)) ];
-  (* Frames are durable: release committers parked at the rendezvous.
-     Bumping the generation after the force means waking implies
-     durability. *)
-  t.flush_gen <- t.flush_gen + 1;
-  match Sched.of_clock t.clock with
-  | Some sched -> Sched.broadcast sched t.commit_cond
-  | None -> ()
+  (* Wait out an in-flight flush first: it already claimed its batch,
+     and running under it would re-release (without forcing) whatever
+     committers enqueued while it was parked in the disk I/O. *)
+  (match Sched.of_clock t.clock with
+  | Some sched when Sched.in_process sched ->
+    while t.flushing do
+      Sched.wait sched t.commit_cond
+    done
+  | _ -> ());
+  if t.pending_commits <> [] then begin
+    (* Claim the batch before the first yield: committers arriving
+       during [Lfs.force_frames] belong to the NEXT flush. *)
+    let pending = t.pending_commits in
+    t.pending_commits <- [];
+    t.flushing <- true;
+    Fun.protect
+      ~finally:(fun () ->
+        t.flushing <- false;
+        (* Release committers parked at the rendezvous — each re-checks
+           whether its own transaction was in the flushed batch. *)
+        t.flush_gen <- t.flush_gen + 1;
+        match Sched.of_clock t.clock with
+        | Some sched -> Sched.broadcast sched t.commit_cond
+        | None -> ())
+      (fun () ->
+        let cache = Lfs.cache t.lfs in
+        let batch = List.length pending in
+        let all_frames =
+          List.concat_map
+            (fun (_, frames) ->
+              List.iter (fun f -> Cache.set_txn cache f (-1)) frames;
+              frames)
+            pending
+        in
+        (* Frames may have been superseded if two pending transactions
+           touched the same page; de-duplicate while preserving order. *)
+        let seen = Hashtbl.create 16 in
+        let frames =
+          List.filter
+            (fun (f : Cache.frame) ->
+              let k = (f.Cache.file, f.Cache.lblock) in
+              if Hashtbl.mem seen k then false
+              else begin
+                Hashtbl.add seen k ();
+                f.Cache.resident && f.Cache.dirty
+              end)
+            all_frames
+        in
+        Lfs.force_frames t.lfs frames;
+        List.iter (fun (txn, _) -> release t txn) pending;
+        Stats.incr t.stats "ktxn.group_flushes";
+        Stats.observe t.stats "ktxn.commit_batch" (float_of_int batch);
+        if Stats.tracing t.stats then
+          Stats.emit t.stats ~time:(Clock.now t.clock) "ktxn.group_flush"
+            [ ("batch", Trace.I batch); ("frames", Trace.I (List.length frames)) ])
+  end
 
 (* Committers deferred by group commit sleep until the timeout expires;
    any later event past that point (a new transaction, an explicit
@@ -262,15 +287,16 @@ let txn_commit t txn =
     | Some sched when Sched.in_process sched ->
       (* Real rendezvous (Section 4.4): park until the batch fills — a
          later committer's inline flush — or this batch's timeout
-         process fires. The first committer arms the timeout. *)
-      let gen = t.flush_gen in
+         process fires. The first committer arms the timeout. Waking is
+         keyed on our own transaction's release, not the flush
+         generation: a flush that was already in flight when we
+         enqueued bumps the generation without covering us. *)
       if was_empty then
         Sched.spawn ~daemon:true sched (fun () ->
             Sched.delay sched timeout;
-            if t.flush_gen = gen && t.pending_commits <> [] then
-              flush_pending t);
+            if txn.live then flush_pending t);
       let t0 = Clock.now t.clock in
-      while t.flush_gen = gen do
+      while txn.live do
         Sched.wait sched t.commit_cond
       done;
       let waited = Clock.now t.clock -. t0 in

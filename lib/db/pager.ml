@@ -82,7 +82,7 @@ let wal env txn fd =
       (* Reads go through the pool without a page lock: isolation comes
          from the record locks the access method takes, and structural
          stability from the file latch. *)
-      get = (fun page -> Bytes.copy (Libtp.read_page_raw env ~file:fd ~page));
+      get = (fun page -> Bytes.copy (Libtp.read_page_raw env txn ~file:fd ~page));
       put = (fun page data -> Libtp.write_page_raw env txn ~file:fd ~page data);
       put_sys = (fun page data -> Libtp.write_page_sys env txn ~file:fd ~page data);
       lock_rec =

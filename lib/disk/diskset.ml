@@ -12,7 +12,7 @@ let reserved = 3
 
 type t = {
   data : Disk.t array;
-  log : Disk.t option;
+  log : Disk.t array; (* 0 = no log spindle; >1 = one per WAL stream *)
   chunk : int; (* stripe unit in blocks = segment size *)
   logical_nblocks : int;
   route_cp : bool; (* checkpoint blocks 1,2 live on the log spindle *)
@@ -32,8 +32,17 @@ let create ?(route_checkpoints = false) clock stats (cfg : Config.t) =
   in
   let log =
     if cfg.Config.fs.Config.log_disk then
-      Some (Disk.create ~prefix:"disklog" clock stats cfg.Config.disk)
-    else None
+      (* One spindle per WAL stream: stream i's forces run on their own
+         head. The first keeps the historical "disklog" prefix so
+         single-stream artifacts are unchanged. *)
+      Array.init
+        (max 1 cfg.Config.fs.Config.log_streams)
+        (fun i ->
+          let prefix =
+            if i = 0 then "disklog" else Printf.sprintf "disklog%d" i
+          in
+          Disk.create ~prefix clock stats cfg.Config.disk)
+    else [||]
   in
   let logical_nblocks =
     if n = 1 then cfg.Config.disk.Config.nblocks
@@ -44,12 +53,18 @@ let create ?(route_checkpoints = false) clock stats (cfg : Config.t) =
       reserved + (n * psegs * chunk)
     end
   in
-  { data; log; chunk; logical_nblocks; route_cp = route_checkpoints && log <> None }
+  {
+    data;
+    log;
+    chunk;
+    logical_nblocks;
+    route_cp = route_checkpoints && Array.length log > 0;
+  }
 
 let wrap d =
   {
     data = [| d |];
-    log = None;
+    log = [||];
     chunk = 1;
     logical_nblocks = Disk.nblocks d;
     route_cp = false;
@@ -57,7 +72,8 @@ let wrap d =
 
 let ndisks t = Array.length t.data
 let primary t = t.data.(0)
-let log_disk t = t.log
+let log_disk t = if Array.length t.log > 0 then Some t.log.(0) else None
+let log_disks t = t.log
 let nblocks t = t.logical_nblocks
 let block_size t = Disk.block_size t.data.(0)
 
@@ -68,7 +84,14 @@ let members t =
       Array.to_list
         (Array.mapi (fun i d -> (Printf.sprintf "disk%d" i, d)) t.data)
   in
-  match t.log with None -> data | Some ld -> data @ [ ("disklog", ld) ]
+  let logs =
+    Array.to_list
+      (Array.mapi
+         (fun i d ->
+           ((if i = 0 then "disklog" else Printf.sprintf "disklog%d" i), d))
+         t.log)
+  in
+  data @ logs
 
 let check_range t blkno n =
   if blkno < 0 || n < 0 || blkno + n > t.logical_nblocks then
@@ -79,9 +102,8 @@ let check_range t blkno n =
 (* Logical block -> (spindle, physical block). *)
 let locate t blkno =
   check_range t blkno 1;
-  match t.log with
-  | Some ld when t.route_cp && (blkno = 1 || blkno = 2) -> (ld, blkno)
-  | _ ->
+  if t.route_cp && (blkno = 1 || blkno = 2) then (t.log.(0), blkno)
+  else
     let n = Array.length t.data in
     if n = 1 || blkno < reserved then (t.data.(0), blkno)
     else
@@ -151,4 +173,4 @@ let poke t blkno data =
 
 let set_injector t inj =
   Array.iter (fun d -> Disk.set_injector d inj) t.data;
-  match t.log with None -> () | Some ld -> Disk.set_injector ld inj
+  Array.iter (fun d -> Disk.set_injector d inj) t.log

@@ -59,12 +59,18 @@ val primary : t -> Disk.t
     structure to stripe, runs entirely on this member. *)
 
 val log_disk : t -> Disk.t option
-(** The dedicated log spindle, when configured. *)
+(** The first dedicated log spindle, when configured. *)
+
+val log_disks : t -> Disk.t array
+(** Every dedicated log spindle — with [cfg.fs.log_disk] set there is
+    one per WAL stream ([max 1 cfg.fs.log_streams]), so each stream's
+    forces run on their own head; empty when no log disk is
+    configured. *)
 
 val members : t -> (string * Disk.t) list
 (** Every spindle with its stat-key prefix, data disks first
     (["disk"] for a singleton, else ["disk0"], ["disk1"], ...),
-    then the log disk (["disklog"]) if present. *)
+    then the log disks (["disklog"], ["disklog1"], ...) if present. *)
 
 val nblocks : t -> int
 (** Logical device size. For a striped set this is

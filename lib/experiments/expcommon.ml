@@ -10,18 +10,22 @@ let machine ?route_checkpoints cfg =
   let stats = Stats.create () in
   { cfg; clock; stats; disks = Diskset.create ?route_checkpoints clock stats cfg }
 
-(* Open the WAL environment. With a dedicated log spindle the log lives
-   in a small FFS formatted on that spindle (so commit forces never move
-   the data heads); otherwise it is a file in the data file system. *)
+(* Open the WAL environment. With dedicated log spindles each log stream
+   lives in a small FFS formatted on its own spindle (so commit forces
+   never move the data heads, and with several streams never contend for
+   one log arm); otherwise the streams are files in the data file
+   system. *)
 let wal_env m data_vfs ~pool_pages =
-  match Diskset.log_disk m.disks with
-  | None ->
+  match Diskset.log_disks m.disks with
+  | [||] ->
     Libtp.open_env m.clock m.stats m.cfg data_vfs ~pool_pages
       ~log_path:"/tpcb/log" ()
-  | Some ld ->
-    let logfs = Ffs.format ld m.clock m.stats m.cfg in
-    Libtp.open_env m.clock m.stats m.cfg data_vfs ~log_vfs:(Ffs.vfs logfs)
-      ~pool_pages ~log_path:"/log" ()
+  | lds ->
+    let log_vfss =
+      Array.map (fun ld -> Ffs.vfs (Ffs.format ld m.clock m.stats m.cfg)) lds
+    in
+    Libtp.open_env m.clock m.stats m.cfg data_vfs ~log_vfss ~pool_pages
+      ~log_path:"/log" ()
 
 type setup = Readopt_user | Lfs_user | Lfs_kernel
 
@@ -212,6 +216,7 @@ let config_json (c : Config.t) =
             ("group_commit_size", Json.Int fs.Config.group_commit_size);
             ("ndisks", Json.Int fs.Config.ndisks);
             ("log_disk", Json.Bool fs.Config.log_disk);
+            ("log_streams", Json.Int fs.Config.log_streams);
             ( "lock_grain",
               Json.Str
                 (match fs.Config.lock_grain with

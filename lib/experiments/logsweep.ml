@@ -1,0 +1,186 @@
+(* Parallel-WAL sweep: how many log streams does TPC-B want?  One WAL
+   stream serializes every commit force behind one rendezvous and (with a
+   log spindle) one disk arm.  With [log_streams = n] transactions are
+   hash-assigned across n independent streams — n buffers, n force
+   mutexes, n group-commit rendezvous, n spindles — at the price of
+   vector-LSN dependency forces whenever a transaction touches a page
+   last written under another stream.  This sweep measures where the
+   extra arms beat the extra forces. *)
+
+type point = {
+  streams : int;
+  mpl : int;
+  run : Expcommon.tpcb_run;
+  multi : Tpcb.multi_result;
+  mean_commit_batch : float;
+  forces : int;
+  dep_checks : int;  (** cross-stream dependencies inspected at commit *)
+  dep_forces : int;  (** ... of which actually forced another stream *)
+  force_p99 : (string * float) list;
+      (** per-stream force-latency p99 seconds: [("log", _)] for a single
+          stream, else [("s0", _); ("s1", _); ...] *)
+}
+
+type t = {
+  points : point list;
+  scale : Tpcb.scale;
+  txns : int;
+  config : Config.t;
+  setup : Expcommon.setup;
+}
+
+let default_streams = [ 1; 2; 4 ]
+let default_mpls = [ 8; 16 ]
+
+(* Tellers/branches spread as in the MPL and disk sweeps (the official
+   ratios leave them on single pages, and page contention would
+   serialize any MPL above 1) — but unlike those sweeps the account
+   relation is kept small enough to stay buffer-pool resident.  A
+   disk-resident account working set makes TPC-B data-seek-bound and the
+   log arm idles either way; parallel WAL is a remedy for the log-bound
+   regime, so that is the regime the sweep measures. *)
+let spread_scale tps =
+  { Tpcb.accounts = 2_000 * tps; tellers = 200 * tps; branches = 200 * tps }
+
+let p99 stats key =
+  match Stats.histo stats key with
+  | Some h -> Histo.percentile h 0.99
+  | None -> 0.0
+
+let force_p99s stats streams =
+  if streams <= 1 then [ ("log", p99 stats "log.force") ]
+  else
+    List.init streams (fun i ->
+        let tag = Printf.sprintf "s%d" i in
+        (tag, p99 stats (Printf.sprintf "log.%s.force" tag)))
+
+let run ?(tps_scale = 2) ?(txns = 1_500) ?(seed = 1)
+    ?(streams = default_streams) ?(mpls = default_mpls)
+    ?(setup = Expcommon.Lfs_user) () =
+  let base =
+    Config.scaled ~factor:(float_of_int tps_scale /. 10.0) Config.default
+  in
+  let scale = spread_scale tps_scale in
+  let points =
+    List.concat_map
+      (fun ns ->
+        List.map
+          (fun mpl ->
+            (* Every point gets the full multi-spindle treatment — two
+               striped data disks plus one log spindle per stream — so
+               the sweep isolates the log-stream count: the single-stream
+               point is exactly the disksweep "2+log" placement.  Record
+               grain keeps committers overlapped (page grain would
+               serialize them on the history tail page); the group-commit
+               rendezvous is per stream, so its size stays fixed rather
+               than scaling with MPL/streams. *)
+            let fs =
+              {
+                base.Config.fs with
+                Config.ndisks = 2;
+                log_disk = true;
+                log_streams = ns;
+                lock_grain = `Record;
+                group_commit_size = 8;
+                group_commit_timeout_s = 0.02;
+              }
+            in
+            let cfg = { base with Config.fs } in
+            let run, multi =
+              Expcommon.run_tpcb_mpl ~config:cfg ~scale ~txns ~seed ~mpl setup
+            in
+            let stats = run.Expcommon.stats in
+            let mean_commit_batch =
+              match Stats.histo stats "log.commit_batch" with
+              | Some h -> Histo.mean h
+              | None -> 0.0
+            in
+            {
+              streams = ns;
+              mpl;
+              run;
+              multi;
+              mean_commit_batch;
+              forces = Stats.count stats "log.forces";
+              dep_checks = Stats.count stats "log.dep_checks";
+              dep_forces = Stats.count stats "log.dep_forces";
+              force_p99 = force_p99s stats ns;
+            })
+          mpls)
+      streams
+  in
+  { points; scale; txns; config = base; setup }
+
+let point_json p =
+  Json.Obj
+    [
+      ("streams", Json.Int p.streams);
+      ("mpl", Json.Int p.mpl);
+      ("tps", Json.Float p.run.Expcommon.result.Tpcb.tps);
+      ("elapsed_s", Json.Float p.run.Expcommon.result.Tpcb.elapsed_s);
+      ("txns", Json.Int p.run.Expcommon.result.Tpcb.txns);
+      ("max_latency_s", Json.Float p.run.Expcommon.result.Tpcb.max_latency_s);
+      ("mean_commit_batch", Json.Float p.mean_commit_batch);
+      ("forces", Json.Int p.forces);
+      ("dep_checks", Json.Int p.dep_checks);
+      ("dep_forces", Json.Int p.dep_forces);
+      ( "force_p99",
+        Json.List
+          (List.map
+             (fun (stream, s) ->
+               Json.Obj [ ("stream", Json.Str stream); ("p99_s", Json.Float s) ])
+             p.force_p99) );
+      ("lock_blocks", Json.Int p.multi.Tpcb.conflicts);
+      ("deadlocks", Json.Int p.multi.Tpcb.deadlocks);
+      ("restarts", Json.Int p.multi.Tpcb.restarts);
+      ("stats", Stats.to_json p.run.Expcommon.stats);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("figure", Json.Str "logsweep");
+      ("setup", Json.Str (Expcommon.setup_key t.setup));
+      ( "scale",
+        Json.Obj
+          [
+            ("accounts", Json.Int t.scale.Tpcb.accounts);
+            ("tellers", Json.Int t.scale.Tpcb.tellers);
+            ("branches", Json.Int t.scale.Tpcb.branches);
+          ] );
+      ("txns", Json.Int t.txns);
+      ("points", Json.List (List.map point_json t.points));
+    ]
+
+let print t =
+  Expcommon.pp_header
+    (Printf.sprintf
+       "Parallel-WAL sweep: %s, TPC-B, %d accounts, %d txns per point"
+       (Expcommon.setup_label t.setup)
+       t.scale.Tpcb.accounts t.txns);
+  Printf.printf "%7s %4s %8s %10s %8s %10s %10s  %s\n" "streams" "mpl" "TPS"
+    "batch" "forces" "dep-force" "dep-check" "force p99 (ms)";
+  List.iter
+    (fun p ->
+      let p99s =
+        String.concat "  "
+          (List.map
+             (fun (stream, s) -> Printf.sprintf "%s=%.1f" stream (s *. 1000.0))
+             p.force_p99)
+      in
+      Printf.printf "%7d %4d %8.2f %10.2f %8d %10d %10d  %s\n" p.streams p.mpl
+        p.run.Expcommon.result.Tpcb.tps p.mean_commit_batch p.forces
+        p.dep_forces p.dep_checks p99s)
+    t.points;
+  (* Headline: what 4 streams buy over 1 at the contended end. *)
+  let find streams mpl =
+    List.find_opt (fun p -> p.streams = streams && p.mpl = mpl) t.points
+  in
+  match (find 1 16, find 4 16) with
+  | Some one, Some four ->
+    Printf.printf "\nshape: MPL 16, 4 streams vs 1: %+.1f%% TPS\n"
+      (100.0
+      *. ((four.run.Expcommon.result.Tpcb.tps
+           /. one.run.Expcommon.result.Tpcb.tps)
+         -. 1.0))
+  | _ -> ()

@@ -1,0 +1,57 @@
+(** Parallel-WAL sweep: log-stream count under TPC-B.
+
+    One WAL stream funnels every commit through one group-commit
+    rendezvous and one log arm; {!Config.fs}[.log_streams] splits the
+    log into n hash-assigned streams, each with its own buffer, force
+    mutex and (with a log spindle) its own disk, with commit records
+    carrying vector LSNs so recovery can merge the streams in dependency
+    order. The sweep runs TPC-B at fixed placement (2 striped data
+    spindles + one log spindle per stream, record-grain locks) over
+    stream counts {1, 2, 4} and MPLs {8, 16}, reporting throughput,
+    commit batching, cross-stream dependency forces and per-stream
+    force-latency p99 — so the artifact shows both the parallel-commit
+    win and its dependency-force cost. *)
+
+type point = {
+  streams : int;
+  mpl : int;
+  run : Expcommon.tpcb_run;
+  multi : Tpcb.multi_result;
+  mean_commit_batch : float;  (** mean of [log.commit_batch], all streams *)
+  forces : int;  (** total log forces across streams *)
+  dep_checks : int;  (** cross-stream dependencies inspected at commit *)
+  dep_forces : int;  (** ... of which actually forced another stream *)
+  force_p99 : (string * float) list;
+      (** per-stream force-latency p99 seconds: [("log", _)] for a single
+          stream, else [("s0", _); ("s1", _); ...] *)
+}
+
+type t = {
+  points : point list;
+  scale : Tpcb.scale;
+  txns : int;
+  config : Config.t;  (** the base configuration before per-point edits *)
+  setup : Expcommon.setup;
+}
+
+val default_streams : int list
+(** [[1; 2; 4]] *)
+
+val default_mpls : int list
+(** [[8; 16]] *)
+
+val run :
+  ?tps_scale:int ->
+  ?txns:int ->
+  ?seed:int ->
+  ?streams:int list ->
+  ?mpls:int list ->
+  ?setup:Expcommon.setup ->
+  unit ->
+  t
+
+val to_json : t -> Json.t
+(** The [data] block of [BENCH_logsweep.json]; every point carries the
+    machine's full stats (including the per-stream force histograms). *)
+
+val print : t -> unit

@@ -21,7 +21,8 @@ let backend_of_string = function
    take part, a cache smaller than the data, and — essential for the
    oracle — group commit disabled, so a commit's acknowledgement implies
    its flush completed. *)
-let config ?(ndisks = 1) ?(log_disk = false) ?(lock_grain = `Page) backend =
+let config ?(ndisks = 1) ?(log_disk = false) ?(log_streams = 1)
+    ?(lock_grain = `Page) backend =
   let d = Config.default in
   {
     d with
@@ -39,6 +40,7 @@ let config ?(ndisks = 1) ?(log_disk = false) ?(lock_grain = `Page) backend =
         group_commit_timeout_s = 0.0;
         ndisks;
         log_disk;
+        log_streams;
         lock_grain;
       };
   }
@@ -56,27 +58,34 @@ let fsck_or_fail label fs' =
       (Printf.sprintf "%s: %d cross-allocated blocks" label
          rep.Ffs.cross_allocated)
 
-(* The WAL's home file system: a small FFS on the dedicated log spindle
-   when the config grants one (user backends only — the kernel backend
-   has no WAL), else the data file system itself. [remount] replays a
-   crash on the spindle: mount + bitmap rebuild, like any FFS. *)
+(* The WAL's home file systems: a small FFS per dedicated log spindle
+   when the config grants them (user backends only — the kernel backend
+   has no WAL; with [log_streams] > 1 there is one spindle per stream),
+   else the data file system itself. [remount] replays a crash on each
+   spindle: mount + bitmap rebuild, like any FFS. *)
 type log_home = { log_fs : Ffs.t ref; log_spindle : Disk.t }
 
-let make_log_home backend clock stats cfg disks =
-  match (backend, Diskset.log_disk disks) with
-  | Lfs_kernel, _ | _, None -> None
-  | _, Some ld -> Some { log_fs = ref (Ffs.format ld clock stats cfg); log_spindle = ld }
+let make_log_homes backend clock stats cfg disks =
+  match backend with
+  | Lfs_kernel -> [||]
+  | _ ->
+    Array.map
+      (fun ld -> { log_fs = ref (Ffs.format ld clock stats cfg); log_spindle = ld })
+      (Diskset.log_disks disks)
 
-let crash_log_home = function
-  | None -> ()
-  | Some h -> Ffs.crash !(h.log_fs)
+let crash_log_homes homes = Array.iter (fun h -> Ffs.crash !(h.log_fs)) homes
 
-let remount_log_home clock stats cfg = function
-  | None -> ()
-  | Some h ->
-    let fs' = Ffs.mount h.log_spindle clock stats cfg in
-    fsck_or_fail "log fsck" fs';
-    h.log_fs := fs'
+let remount_log_homes clock stats cfg homes =
+  Array.iter
+    (fun h ->
+      let fs' = Ffs.mount h.log_spindle clock stats cfg in
+      fsck_or_fail "log fsck" fs';
+      h.log_fs := fs')
+    homes
+
+let log_home_vfss homes =
+  if Array.length homes = 0 then None
+  else Some (Array.map (fun h -> Ffs.vfs !(h.log_fs)) homes)
 
 type outcome = {
   backend : backend;
@@ -202,12 +211,11 @@ let session_lfs_kernel clock stats disks cfg oracle model fresh_page =
 
 let session_libtp backend clock stats disks cfg oracle model fresh_page ~on_lfs =
   let ps = cfg.Config.disk.block_size in
-  let home = make_log_home backend clock stats cfg disks in
-  let log_path = match home with None -> "/wal.log" | Some _ -> "/log" in
+  let homes = make_log_homes backend clock stats cfg disks in
+  let log_path = if Array.length homes = 0 then "/wal.log" else "/log" in
   let open_env v =
-    let log_vfs = Option.map (fun h -> Ffs.vfs !(h.log_fs)) home in
-    Libtp.open_env clock stats cfg v ?log_vfs ~pool_pages:16
-      ~checkpoint_every:25 ~log_path ()
+    Libtp.open_env clock stats cfg v ?log_vfss:(log_home_vfss homes)
+      ~pool_pages:16 ~checkpoint_every:25 ~log_path ()
   in
   let crash_fs, mount_fs, v =
     if on_lfs then begin
@@ -233,7 +241,7 @@ let session_libtp backend clock stats disks cfg oracle model fresh_page ~on_lfs 
   in
   setup_pages oracle model fresh_page v ps;
   v.Vfs.sync ();
-  (match home with Some h -> (Ffs.vfs !(h.log_fs)).Vfs.sync () | None -> ());
+  Array.iter (fun h -> (Ffs.vfs !(h.log_fs)).Vfs.sync ()) homes;
   let env = open_env v in
   let fd = List.map (fun f -> (f, v.Vfs.open_file f)) files in
   let fd f = List.assoc f fd in
@@ -252,8 +260,8 @@ let session_libtp backend clock stats disks cfg oracle model fresh_page ~on_lfs 
     recover =
       (fun () ->
         crash_fs ();
-        crash_log_home home;
-        remount_log_home clock stats cfg home;
+        crash_log_homes homes;
+        remount_log_homes clock stats cfg homes;
         let v', structural = mount_fs () in
         (* Re-opening the environment replays the log: redo committed
            updates, undo losers, checkpoint (which flushes the pool, so
@@ -319,8 +327,8 @@ let run_pages session oracle rng fresh_page model ~ps ~txns =
     end
   done
 
-let run_one ?ndisks ?log_disk backend ~seed ~txns ?crash_point () =
-  let cfg = config ?ndisks ?log_disk backend in
+let run_one ?ndisks ?log_disk ?log_streams backend ~seed ~txns ?crash_point () =
+  let cfg = config ?ndisks ?log_disk ?log_streams backend in
   let clock = Clock.create () in
   let stats = Stats.create () in
   let disks = sweep_disks backend clock stats cfg in
@@ -369,24 +377,24 @@ let run_one ?ndisks ?log_disk backend ~seed ~txns ?crash_point () =
    system's structural checker. *)
 let tpcb_scale = { Tpcb.accounts = 200; tellers = 10; branches = 2 }
 
-let run_one_tpcb ?ndisks ?log_disk backend ~seed ~txns ?crash_point () =
-  let cfg = config ?ndisks ?log_disk backend in
+let run_one_tpcb ?ndisks ?log_disk ?log_streams backend ~seed ~txns ?crash_point
+    () =
+  let cfg = config ?ndisks ?log_disk ?log_streams backend in
   let clock = Clock.create () in
   let stats = Stats.create () in
   let disks = sweep_disks backend clock stats cfg in
   let rng = Rng.create ~seed in
   let scale = tpcb_scale in
-  let home = make_log_home backend clock stats cfg disks in
+  let homes = make_log_homes backend clock stats cfg disks in
   let open_env v =
-    let log_vfs = Option.map (fun h -> Ffs.vfs !(h.log_fs)) home in
-    Libtp.open_env clock stats cfg v ?log_vfs ~pool_pages:64
-      ~checkpoint_every:50
-      ~log_path:(match home with None -> "/tpcb.log" | Some _ -> "/log")
+    Libtp.open_env clock stats cfg v ?log_vfss:(log_home_vfss homes)
+      ~pool_pages:64 ~checkpoint_every:50
+      ~log_path:(if Array.length homes = 0 then "/tpcb.log" else "/log")
       ()
   in
   let recover_log () =
-    crash_log_home home;
-    remount_log_home clock stats cfg home
+    crash_log_homes homes;
+    remount_log_homes clock stats cfg homes
   in
   let bh, db, recover =
     match backend with
@@ -478,9 +486,9 @@ let run_one_tpcb ?ndisks ?log_disk backend ~seed ~txns ?crash_point () =
    only after its batch's force), so every acknowledged commit must
    survive recovery; beyond them at most [mpl] in-flight transactions
    may have landed. *)
-let run_one_tpcb_mpl ?ndisks ?log_disk ?lock_grain backend ~seed ~txns ~mpl
-    ?crash_point () =
-  let cfg = config ?ndisks ?log_disk ?lock_grain backend in
+let run_one_tpcb_mpl ?ndisks ?log_disk ?log_streams ?lock_grain backend ~seed
+    ~txns ~mpl ?crash_point () =
+  let cfg = config ?ndisks ?log_disk ?log_streams ?lock_grain backend in
   (* Group commit on — the rendezvous is the point of this sweep. *)
   let cfg =
     {
@@ -499,17 +507,16 @@ let run_one_tpcb_mpl ?ndisks ?log_disk ?lock_grain backend ~seed ~txns ~mpl
   let sched = Sched.create clock in
   let rng = Rng.create ~seed in
   let scale = tpcb_scale in
-  let home = make_log_home backend clock stats cfg disks in
+  let homes = make_log_homes backend clock stats cfg disks in
   let open_env v =
-    let log_vfs = Option.map (fun h -> Ffs.vfs !(h.log_fs)) home in
-    Libtp.open_env clock stats cfg v ?log_vfs ~pool_pages:64
-      ~checkpoint_every:50
-      ~log_path:(match home with None -> "/tpcb.log" | Some _ -> "/log")
+    Libtp.open_env clock stats cfg v ?log_vfss:(log_home_vfss homes)
+      ~pool_pages:64 ~checkpoint_every:50
+      ~log_path:(if Array.length homes = 0 then "/tpcb.log" else "/log")
       ()
   in
   let recover_log () =
-    crash_log_home home;
-    remount_log_home clock stats cfg home
+    crash_log_homes homes;
+    remount_log_homes clock stats cfg homes
   in
   let bh, db, _vfs, recover =
     match backend with
@@ -629,24 +636,26 @@ let sweep_runs ?(progress = fun (_ : outcome) -> ()) run ~points =
     { total_writes = total; points_run = List.length pts; failures }
   end
 
-let sweep ?progress ?ndisks ?log_disk backend ~seed ~txns ~points =
+let sweep ?progress ?ndisks ?log_disk ?log_streams backend ~seed ~txns ~points =
   sweep_runs ?progress
     (fun ?crash_point () ->
-      run_one ?ndisks ?log_disk backend ~seed ~txns ?crash_point ())
+      run_one ?ndisks ?log_disk ?log_streams backend ~seed ~txns ?crash_point ())
     ~points
 
-let sweep_tpcb ?progress ?ndisks ?log_disk backend ~seed ~txns ~points =
+let sweep_tpcb ?progress ?ndisks ?log_disk ?log_streams backend ~seed ~txns
+    ~points =
   sweep_runs ?progress
     (fun ?crash_point () ->
-      run_one_tpcb ?ndisks ?log_disk backend ~seed ~txns ?crash_point ())
+      run_one_tpcb ?ndisks ?log_disk ?log_streams backend ~seed ~txns
+        ?crash_point ())
     ~points
 
-let sweep_tpcb_mpl ?progress ?ndisks ?log_disk ?lock_grain backend ~seed ~txns
-    ~mpl ~points
+let sweep_tpcb_mpl ?progress ?ndisks ?log_disk ?log_streams ?lock_grain backend
+    ~seed ~txns ~mpl ~points
     =
   sweep_runs ?progress
     (fun ?crash_point () ->
-      run_one_tpcb_mpl ?ndisks ?log_disk ?lock_grain backend ~seed ~txns ~mpl
-        ?crash_point
+      run_one_tpcb_mpl ?ndisks ?log_disk ?log_streams ?lock_grain backend ~seed
+        ~txns ~mpl ?crash_point
         ())
     ~points

@@ -31,6 +31,7 @@ val describe : outcome -> string
 val run_one :
   ?ndisks:int ->
   ?log_disk:bool ->
+  ?log_streams:int ->
   backend ->
   seed:int ->
   txns:int ->
@@ -42,13 +43,16 @@ val run_one :
     after [crash_point] block writes (never, if omitted), recover, and
     check the oracle. Transient read errors are always injected.
     [ndisks]/[log_disk] (defaults 1/false) select the multi-disk
-    placement of {!Diskset}: for the user backends a dedicated log
-    spindle carries a small FFS holding the WAL, which is crashed,
-    remounted and fsck'd along with the data file system. *)
+    placement of {!Diskset}: for the user backends each dedicated log
+    spindle carries a small FFS holding a WAL stream, crashed,
+    remounted and fsck'd along with the data file system.
+    [log_streams] (default 1) runs that many parallel WAL streams —
+    with [log_disk], one spindle each. *)
 
 val run_one_tpcb :
   ?ndisks:int ->
   ?log_disk:bool ->
+  ?log_streams:int ->
   backend ->
   seed:int ->
   txns:int ->
@@ -62,6 +66,7 @@ val run_one_tpcb :
 val run_one_tpcb_mpl :
   ?ndisks:int ->
   ?log_disk:bool ->
+  ?log_streams:int ->
   ?lock_grain:[ `Page | `Record ] ->
   backend ->
   seed:int ->
@@ -89,6 +94,7 @@ val sweep :
   ?progress:(outcome -> unit) ->
   ?ndisks:int ->
   ?log_disk:bool ->
+  ?log_streams:int ->
   backend -> seed:int -> txns:int -> points:int -> sweep_result
 (** Sweep the page workload. [points <= 0] (or >= the write count) runs
     every crash point; otherwise [points] evenly spaced ones. *)
@@ -97,12 +103,14 @@ val sweep_tpcb :
   ?progress:(outcome -> unit) ->
   ?ndisks:int ->
   ?log_disk:bool ->
+  ?log_streams:int ->
   backend -> seed:int -> txns:int -> points:int -> sweep_result
 
 val sweep_tpcb_mpl :
   ?progress:(outcome -> unit) ->
   ?ndisks:int ->
   ?log_disk:bool ->
+  ?log_streams:int ->
   ?lock_grain:[ `Page | `Record ] ->
   backend -> seed:int -> txns:int -> mpl:int -> points:int -> sweep_result
 (** Sweep {!run_one_tpcb_mpl}. *)

@@ -38,6 +38,7 @@ type fs = {
   group_commit_size : int;
   ndisks : int;
   log_disk : bool;
+  log_streams : int;
   lock_grain : [ `Page | `Record ];
   lock_escalation : int;
 }
@@ -94,6 +95,7 @@ let default_fs =
     group_commit_size = 4;
     ndisks = 1;
     log_disk = false;
+    log_streams = 1;
     lock_grain = `Page;
     lock_escalation = 16;
   }

@@ -76,6 +76,12 @@ type fs = {
   log_disk : bool;
       (** give the write-ahead log (and the LFS checkpoint region) a
           dedicated spindle instead of sharing the data disk(s) *)
+  log_streams : int;
+      (** parallel WAL streams; transactions are hash-assigned to a
+          stream, each with its own append buffer, force mutex and
+          group-commit rendezvous. With [log_disk] every stream gets its
+          own spindle. Commit records carry a vector LSN so recovery can
+          merge the streams in dependency order; default 1 *)
   lock_grain : [ `Page | `Record ];
       (** two-phase locking granularity: classic page locks (default) or
           hierarchical record locks with intention modes on page and

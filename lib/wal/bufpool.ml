@@ -1,29 +1,43 @@
+(* Per-page log watermark. With parallel log streams a page may carry
+   updates in several streams; the WAL rule then requires forcing every
+   stream through its watermark before the page reaches disk. The last
+   writer (stream, lsn) is the cross-stream chain pointer recorded by
+   the page's next update. *)
+type tag = {
+  vec : Logrec.lsn array; (* per-stream highest update LSN, -1 = none *)
+  mutable last_stream : int;
+  mutable last_lsn : Logrec.lsn;
+}
+
 type t = {
   clock : Clock.t;
   stats : Stats.t;
   cfg : Config.t;
   vfs : Vfs.t;
-  log : Logmgr.t;
+  logs : Logset.t;
   cache : Cache.t;
-  lsns : (int * int, Logrec.lsn) Hashtbl.t; (* (file,page) -> last update LSN *)
+  lsns : (int * int, tag) Hashtbl.t; (* (file,page) -> log watermarks *)
   ps : int;
 }
 
 let page_size t = t.ps
 
 let write_back t (f : Cache.frame) =
-  (* WAL rule: the log must cover the page's last update before the page
-     itself reaches disk. *)
+  (* WAL rule: every log stream must cover the page's last update in
+     that stream before the page itself reaches disk. *)
   (match Hashtbl.find_opt t.lsns (f.Cache.file, f.Cache.lblock) with
-  | Some lsn -> Logmgr.force t.log ~upto:lsn
+  | Some tag ->
+    Array.iteri
+      (fun s lsn -> if lsn >= 0 then Logmgr.force (Logset.get t.logs s) ~upto:lsn)
+      tag.vec
   | None -> ());
   t.vfs.Vfs.write f.Cache.file ~off:(f.Cache.lblock * t.ps) f.Cache.data;
   Stats.incr t.stats "pool.writebacks"
 
-let create clock stats (cfg : Config.t) vfs log ~pages =
+let create clock stats (cfg : Config.t) vfs logs ~pages =
   let ps = vfs.Vfs.block_size in
   let cache = Cache.create clock stats cfg.cpu ~capacity:pages in
-  let t = { clock; stats; cfg; vfs; log; cache; lsns = Hashtbl.create 256; ps } in
+  let t = { clock; stats; cfg; vfs; logs; cache; lsns = Hashtbl.create 256; ps } in
   Cache.set_writeback cache (fun f -> write_back t f);
   t
 
@@ -42,7 +56,7 @@ let get t ~file ~page =
     end;
     (Cache.insert t.cache ~file ~lblock:page data).Cache.data
 
-let apply_update t ~file ~page ~off data lsn =
+let apply_update t ~file ~page ~off data ~stream lsn =
   latch t;
   let f =
     match Cache.lookup t.cache ~file ~lblock:page with
@@ -54,11 +68,55 @@ let apply_update t ~file ~page ~off data lsn =
   in
   Bytes.blit data 0 f.Cache.data off (Bytes.length data);
   Cache.mark_dirty t.cache f;
-  Hashtbl.replace t.lsns (file, page) lsn
+  let tag =
+    match Hashtbl.find_opt t.lsns (file, page) with
+    | Some tag -> tag
+    | None ->
+      let tag =
+        {
+          vec = Array.make (Logset.n t.logs) (-1);
+          last_stream = -1;
+          last_lsn = Logrec.null_lsn;
+        }
+      in
+      Hashtbl.replace t.lsns (file, page) tag;
+      tag
+  in
+  tag.vec.(stream) <- max tag.vec.(stream) lsn;
+  tag.last_stream <- stream;
+  tag.last_lsn <- lsn
+
+let chain t ~file ~page =
+  match Hashtbl.find_opt t.lsns (file, page) with
+  | Some tag -> (tag.last_stream, tag.last_lsn)
+  | None -> (-1, Logrec.null_lsn)
+
+let merge_deps t ~file ~page deps =
+  (* A true dependency — a byte range this transaction read or overwrote
+     — is always lock-serialized: its writer committed, and therefore
+     forced its stream, before the lock could pass to us. An entry still
+     unflushed in its stream is the other case: a concurrent holder of a
+     different record on the same page (record-grain locking), whose
+     bytes we neither read nor replaced. Filtering those keeps the
+     commit's vector LSN to real dependencies — merging them would make
+     every co-located commit force the other stream mid-rendezvous and
+     serialize the streams on shared pages. The page tag keeps the full
+     vector: the WAL write-back rule must cover uncommitted before-images
+     regardless of who holds the locks. *)
+  match Hashtbl.find_opt t.lsns (file, page) with
+  | Some tag ->
+    Array.iteri
+      (fun s lsn ->
+        if lsn > deps.(s) && lsn < Logmgr.flushed_lsn (Logset.get t.logs s)
+        then deps.(s) <- lsn)
+      tag.vec
+  | None -> ()
+
+let reset_lsns t = Hashtbl.reset t.lsns
 
 let flush_all t =
   let frames = Cache.dirty_frames t.cache () in
-  (match frames with [] -> () | _ -> Logmgr.force t.log ~upto:(Logmgr.next_lsn t.log - 1));
+  (match frames with [] -> () | _ -> Logset.force_all t.logs);
   let files = Hashtbl.create 8 in
   List.iter
     (fun f ->

@@ -9,7 +9,7 @@
 
 type t
 
-val create : Clock.t -> Stats.t -> Config.t -> Vfs.t -> Logmgr.t -> pages:int -> t
+val create : Clock.t -> Stats.t -> Config.t -> Vfs.t -> Logset.t -> pages:int -> t
 
 val page_size : t -> int
 
@@ -19,9 +19,29 @@ val get : t -> file:int -> page:int -> bytes
     buffer: callers must treat them as read-only and go through
     {!apply_update} for changes. Charges a pool latch (user mutex). *)
 
-val apply_update : t -> file:int -> page:int -> off:int -> bytes -> Logrec.lsn -> unit
+val apply_update :
+  t -> file:int -> page:int -> off:int -> bytes -> stream:int -> Logrec.lsn -> unit
 (** Overwrite a byte range of the cached page, marking it dirty and
-    recording the LSN of the log record describing the change. *)
+    recording which log stream (and LSN) describes the change. The WAL
+    rule in {!flush_all} / eviction write-back forces every stream with
+    an update to the page before the page reaches disk. *)
+
+val chain : t -> file:int -> page:int -> int * Logrec.lsn
+(** The page's last writer as [(stream, lsn)] — the cross-stream chain
+    pointer for the page's next update record — or [(-1, null_lsn)] if
+    the page has no logged update since the last checkpoint. *)
+
+val merge_deps : t -> file:int -> page:int -> Logrec.lsn array -> unit
+(** Max-merge the page's per-stream watermark vector into [deps] (the
+    reading/writing transaction's dependency vector) — skipping entries
+    not yet flushed in their stream: those belong to concurrent holders
+    of {e other} records on the page (record-grain locking), whose bytes
+    this transaction neither read nor replaced. A real dependency's
+    writer committed — and so flushed — before its lock could pass on. *)
+
+val reset_lsns : t -> unit
+(** Forget all page watermarks — required after the logs are truncated
+    at a checkpoint, so stale LSNs don't point past the new log end. *)
 
 val flush_all : t -> unit
 (** Write every dirty page back (checkpoint); forces the log first. *)

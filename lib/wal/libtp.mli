@@ -32,17 +32,22 @@ val open_env :
   Config.t ->
   Vfs.t ->
   ?log_vfs:Vfs.t ->
+  ?log_vfss:Vfs.t array ->
   ?pool_pages:int ->
   ?checkpoint_every:int ->
   log_path:string ->
   unit ->
   t
-(** Open a transaction environment. If the log file already contains
-    records (an unclean shutdown), crash recovery runs first: redo all
-    durable updates, undo loser transactions, checkpoint.
+(** Open a transaction environment. If the logs already contain records
+    (an unclean shutdown), crash recovery runs first: merge the streams
+    in dependency order, redo all durable updates, undo loser
+    transactions, checkpoint.
     [log_vfs] (default: the data [Vfs.t]) is the file system holding
     [log_path] — pass the file system of a dedicated log spindle to
-    separate WAL forces from data traffic.
+    separate WAL forces from data traffic. With
+    [Config.fs.log_streams] > 1, [log_vfss] spreads the streams across
+    several spindles (stream [i] on [log_vfss.(i mod len)]); it
+    overrides [log_vfs] when both are given.
     [checkpoint_every] (default 500) is the number of committed
     transactions between sharp checkpoints. *)
 
@@ -85,9 +90,12 @@ val end_op : t -> txn -> unit
 (** Release every latch the transaction holds (end of one access-method
     operation). *)
 
-val read_page_raw : t -> file:int -> page:int -> bytes
+val read_page_raw : t -> txn -> file:int -> page:int -> bytes
 (** Pool read without a page lock (record grain: isolation comes from
-    record locks, structural stability from the file latch). *)
+    record locks, structural stability from the file latch). The read
+    still feeds the transaction's cross-stream dependency vector: a
+    committed reader must not survive a crash that loses the writer it
+    observed. *)
 
 val write_page_raw : t -> txn -> file:int -> page:int -> bytes -> unit
 (** Logged, undoable write without a page lock (record grain). *)
@@ -98,20 +106,27 @@ val write_page_sys : t -> txn -> file:int -> page:int -> bytes -> unit
 
 val commit : t -> txn -> unit
 (** Force the log through this transaction's commit record (honouring
-    group commit) and release its locks. *)
+    group commit) and release its locks. With multiple streams the
+    cross-stream dependency watermarks are forced durable first, then
+    the commit record — carrying them as a vector LSN — is appended and
+    forced on the transaction's own stream. *)
 
 val abort : t -> txn -> unit
 (** Undo the transaction's updates from its in-memory undo chain,
     log the abort, and release its locks. *)
 
 val checkpoint : t -> unit
-(** Sharp checkpoint: flush all dirty pages, truncate the log, and seed
-    it with a fresh checkpoint record. Skipped if transactions are
-    active. *)
+(** Sharp checkpoint: flush all dirty pages, truncate every log stream,
+    and seed each with a fresh checkpoint record. Skipped if
+    transactions are active. *)
 
 val active_txns : t -> int
 val pool : t -> Bufpool.t
+
 val log : t -> Logmgr.t
+(** Stream 0 — the whole log when [Config.fs.log_streams] is 1. *)
+
+val logs : t -> Logset.t
 val locks : t -> Lockmgr.t
 val page_size : t -> int
 

@@ -4,6 +4,7 @@ type t = {
   cfg : Config.t;
   vfs : Vfs.t;
   fd : Vfs.fd;
+  tag : string option; (* per-stream stats suffix, e.g. "s0" *)
   buf : Buffer.t; (* records appended since [flushed] *)
   mutable flushed : int; (* bytes durable on disk *)
   mutable pending_commits : int;
@@ -65,7 +66,7 @@ let scan_end ?stats vfs fd =
     0
     (records ?stats vfs fd ~from:0)
 
-let open_log clock stats cfg vfs ~path =
+let open_log ?tag clock stats cfg vfs ~path =
   let fd =
     if vfs.Vfs.exists path then vfs.Vfs.open_file path
     else begin
@@ -85,12 +86,16 @@ let open_log clock stats cfg vfs ~path =
   Stats.declare stats "log.force";
   Stats.declare stats "log.commit_batch";
   Stats.declare stats "log.group_commit_wait";
+  (match tag with
+  | Some tag -> Stats.declare stats ("log." ^ tag ^ ".force")
+  | None -> ());
   {
     clock;
     stats;
     cfg;
     vfs;
     fd;
+    tag;
     buf = Buffer.create 4096;
     flushed = tail;
     pending_commits = 0;
@@ -146,6 +151,11 @@ let do_force t =
         t.pending_commits <- 0;
         Stats.incr t.stats "log.forces";
         Stats.observe t.stats "log.force" (Clock.now t.clock -. t0);
+        (match t.tag with
+        | Some tag ->
+          Stats.observe t.stats ("log." ^ tag ^ ".force")
+            (Clock.now t.clock -. t0)
+        | None -> ());
         if Stats.tracing t.stats then
           Stats.emit t.stats ~time:(Clock.now t.clock) "log.force"
             [
@@ -223,9 +233,36 @@ let force_commit t ~upto =
 let read_from t lsn = records ~stats:t.stats t.vfs t.fd ~from:lsn
 
 let truncate t =
+  (* Serialize with [do_force]: a force parked inside its write/fsync
+     has already snapshotted the buffer and will advance [flushed] by
+     the snapshot length when it resumes — truncating under it would
+     reset [flushed] to 0 only to have the force march it past the now
+     empty file. Wait the in-flight force out, then hold the same mutex
+     across our own (yielding) truncate/fsync so no new force starts
+     against the half-truncated file. *)
+  let sched =
+    match Sched.of_clock t.clock with
+    | Some sched when Sched.in_process sched -> Some sched
+    | _ -> None
+  in
+  (match sched with
+  | Some sched ->
+    while t.forcing do
+      Sched.wait sched t.flush_cond
+    done
+  | None -> ());
   if Buffer.length t.buf > 0 then
     invalid_arg "Logmgr.truncate: unflushed records";
-  t.vfs.Vfs.truncate t.fd 0;
-  t.vfs.Vfs.fsync t.fd;
-  t.flushed <- 0;
+  t.forcing <- true;
+  Fun.protect
+    ~finally:(fun () ->
+      t.forcing <- false;
+      match sched with
+      | Some sched -> Sched.broadcast sched t.flush_cond
+      | None -> ())
+    (fun () ->
+      t.vfs.Vfs.truncate t.fd 0;
+      t.vfs.Vfs.fsync t.fd;
+      t.flushed <- 0);
   Stats.incr t.stats "log.truncations"
+

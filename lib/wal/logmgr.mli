@@ -13,9 +13,12 @@
 
 type t
 
-val open_log : Clock.t -> Stats.t -> Config.t -> Vfs.t -> path:string -> t
+val open_log :
+  ?tag:string -> Clock.t -> Stats.t -> Config.t -> Vfs.t -> path:string -> t
 (** Open (or create) the log file and position at its end — found by
-    scanning forward until the first torn or invalid record. *)
+    scanning forward until the first torn or invalid record. [tag] names
+    the stream in a multi-stream set: force latencies are additionally
+    observed under ["log.<tag>.force"]. *)
 
 val append : t -> Logrec.t -> Logrec.lsn
 (** Buffer a record; returns its LSN. Charges record-formatting CPU. *)
@@ -37,4 +40,7 @@ val read_from : t -> Logrec.lsn -> (Logrec.lsn * Logrec.t) Seq.t
 
 val truncate : t -> unit
 (** Discard the entire log (used by sharp checkpoints once all dirty
-    pages are flushed and no transaction is active). *)
+    pages are flushed and no transaction is active). Waits out any
+    in-flight force and holds the force mutex across the truncate, so a
+    force parked in its write/fsync can neither see [flushed] reset
+    under it nor start against the half-truncated file. *)

@@ -8,18 +8,22 @@ type body =
       file : int;
       page : int;
       off : int;
+      pstream : int;
+      plsn : lsn;
       before : bytes;
       after : bytes;
     }
-  | Commit
-  | Abort
+  | Commit of { deps : (int * lsn) list }
+  | Abort of { deps : (int * lsn) list }
   | Checkpoint of { active : int list }
 
 type t = { txn : int; prev : lsn; body : body }
 
 let body_size = function
-  | Begin | Commit | Abort -> 0
-  | Update { before; after; _ } -> 12 + 2 + Bytes.length before + 2 + Bytes.length after
+  | Begin -> 0
+  | Update { before; after; _ } ->
+    12 + 1 + 8 + 2 + Bytes.length before + 2 + Bytes.length after
+  | Commit { deps } | Abort { deps } -> 2 + (9 * List.length deps)
   | Checkpoint { active } -> 2 + (4 * List.length active)
 
 (* Header: u32 total size | u8 kind | u32 txn | i64 prev | u32 checksum. *)
@@ -30,8 +34,8 @@ let size t = header_size + body_size t.body
 let kind_code = function
   | Begin -> 0
   | Update _ -> 1
-  | Commit -> 2
-  | Abort -> 3
+  | Commit _ -> 2
+  | Abort _ -> 3
   | Checkpoint _ -> 4
 
 let checksum b off len =
@@ -43,6 +47,24 @@ let checksum b off len =
   done;
   !acc
 
+(* Streams fit in a byte; 0xff encodes "no cross-stream predecessor". *)
+let enc_stream s = if s < 0 then 0xff else s
+let dec_stream s = if s = 0xff then -1 else s
+
+let set_deps b pos deps =
+  Enc.set_u16 b pos (List.length deps);
+  List.iteri
+    (fun i (s, l) ->
+      Enc.set_u8 b (pos + 2 + (9 * i)) (enc_stream s);
+      Enc.set_i64 b (pos + 3 + (9 * i)) (Int64.of_int l))
+    deps
+
+let get_deps buf pos =
+  let n = Enc.get_u16 buf pos in
+  List.init n (fun i ->
+      ( dec_stream (Enc.get_u8 buf (pos + 2 + (9 * i))),
+        Int64.to_int (Enc.get_i64 buf (pos + 3 + (9 * i))) ))
+
 let encode t =
   let total = size t in
   let b = Bytes.make total '\000' in
@@ -51,16 +73,19 @@ let encode t =
   Enc.set_u32 b 5 t.txn;
   Enc.set_i64 b 9 (Int64.of_int t.prev);
   (match t.body with
-  | Begin | Commit | Abort -> ()
-  | Update { file; page; off; before; after } ->
+  | Begin -> ()
+  | Update { file; page; off; pstream; plsn; before; after } ->
     Enc.set_u32 b 21 file;
     Enc.set_u32 b 25 page;
     Enc.set_u32 b 29 off;
-    Enc.set_u16 b 33 (Bytes.length before);
-    Bytes.blit before 0 b 35 (Bytes.length before);
-    let apos = 35 + Bytes.length before in
+    Enc.set_u8 b 33 (enc_stream pstream);
+    Enc.set_i64 b 34 (Int64.of_int plsn);
+    Enc.set_u16 b 42 (Bytes.length before);
+    Bytes.blit before 0 b 44 (Bytes.length before);
+    let apos = 44 + Bytes.length before in
     Enc.set_u16 b apos (Bytes.length after);
     Bytes.blit after 0 b (apos + 2) (Bytes.length after)
+  | Commit { deps } | Abort { deps } -> set_deps b 21 deps
   | Checkpoint { active } ->
     Enc.set_u16 b 21 (List.length active);
     List.iteri (fun i txn -> Enc.set_u32 b (23 + (4 * i)) txn) active);
@@ -88,18 +113,20 @@ let decode buf off =
         let body =
           match Enc.get_u8 buf (off + 4) with
           | 0 -> Some Begin
-          | 2 -> Some Commit
-          | 3 -> Some Abort
+          | 2 -> Some (Commit { deps = get_deps buf (off + 21) })
+          | 3 -> Some (Abort { deps = get_deps buf (off + 21) })
           | 1 ->
             let file = Enc.get_u32 buf (off + 21) in
             let page = Enc.get_u32 buf (off + 25) in
             let boff = Enc.get_u32 buf (off + 29) in
-            let blen = Enc.get_u16 buf (off + 33) in
-            let before = Bytes.sub buf (off + 35) blen in
-            let apos = off + 35 + blen in
+            let pstream = dec_stream (Enc.get_u8 buf (off + 33)) in
+            let plsn = Int64.to_int (Enc.get_i64 buf (off + 34)) in
+            let blen = Enc.get_u16 buf (off + 42) in
+            let before = Bytes.sub buf (off + 44) blen in
+            let apos = off + 44 + blen in
             let alen = Enc.get_u16 buf apos in
             let after = Bytes.sub buf (apos + 2) alen in
-            Some (Update { file; page; off = boff; before; after })
+            Some (Update { file; page; off = boff; pstream; plsn; before; after })
           | 4 ->
             let n = Enc.get_u16 buf (off + 21) in
             let active = List.init n (fun i -> Enc.get_u32 buf (off + 23 + (4 * i))) in

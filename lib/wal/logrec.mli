@@ -3,10 +3,17 @@
     Records carry before- and after-images of the changed byte range
     (Section 3: "before-image and after-image logging to support both redo
     and undo recovery"), a per-transaction back-chain for undo, and a
-    checksum so a torn tail write is detected as the end of the log. *)
+    checksum so a torn tail write is detected as the end of the log.
+
+    With parallel log streams ([Config.fs.log_streams] > 1), updates also
+    carry a cross-stream chain pointer — the stream and LSN of the page's
+    previous update when it was written under a {e different} stream — and
+    commit/abort records carry a vector LSN: per-stream dependency
+    watermarks. Recovery merges the streams by replaying in an order that
+    respects both. *)
 
 type lsn = int
-(** Byte offset of the record in the log file. *)
+(** Byte offset of the record in its log stream. *)
 
 val null_lsn : lsn
 
@@ -16,11 +23,21 @@ type body =
       file : int;  (** inode number of the database file *)
       page : int;
       off : int;  (** byte offset of the change within the page *)
+      pstream : int;
+          (** stream of the page's previous update when that writer used a
+              different stream; -1 when the predecessor is in-stream (or
+              the page has none). Recovery must replay the predecessor
+              first. *)
+      plsn : lsn;  (** LSN of that predecessor, or [null_lsn] *)
       before : bytes;
       after : bytes;  (** same length as [before] *)
     }
-  | Commit
-  | Abort
+  | Commit of { deps : (int * lsn) list }
+      (** [deps]: sparse vector LSN — for each {e other} stream this
+          transaction read or overwrote pages from, the highest LSN it
+          depends on. Recovery replays a commit only once every entry is
+          covered. *)
+  | Abort of { deps : (int * lsn) list }
   | Checkpoint of { active : int list }
 
 type t = {

@@ -149,6 +149,23 @@ let sweep_tpcb_record_grain () =
       (Sweep.sweep_tpcb_mpl ~ndisks:2 ~log_disk:true ~lock_grain:`Record
          Sweep.Lfs_user ~seed:11 ~txns:6 ~mpl:2 ~points:10)
 
+(* Two parallel WAL streams on the 2-disks-plus-log topology: every
+   stream lives in its own FFS on its own spindle, all of which crash,
+   remount and fsck together; recovery must merge the streams by
+   vector-LSN dependency order, with crash points that can strand one
+   stream's tail behind a dependency lost on the other. Record grain
+   keeps committers — and so the two group-commit rendezvous — genuinely
+   concurrent. *)
+let sweep_tpcb_multistream () =
+  if full then
+    assert_clean
+      (Sweep.sweep_tpcb_mpl ~ndisks:2 ~log_disk:true ~log_streams:2
+         ~lock_grain:`Record Sweep.Lfs_user ~seed:7 ~txns:20 ~mpl:2 ~points:0)
+  else
+    assert_clean
+      (Sweep.sweep_tpcb_mpl ~ndisks:2 ~log_disk:true ~log_streams:2
+         ~lock_grain:`Record Sweep.Lfs_user ~seed:7 ~txns:6 ~mpl:2 ~points:10)
+
 (* Negative control: disable the roll-forward payload verification and
    the sweep must catch torn partial-segment writes that the hardened
    recovery path would have rejected. A harness that cannot detect a
@@ -190,6 +207,8 @@ let () =
             sweep_tpcb_multidisk;
           Alcotest.test_case "tpcb / lfs-user 2+log at MPL 2, record grain"
             `Slow sweep_tpcb_record_grain;
+          Alcotest.test_case "tpcb / lfs-user 2+log at MPL 2, 2 streams"
+            `Slow sweep_tpcb_multistream;
           Alcotest.test_case "broken recovery is caught" `Slow
             test_broken_recovery_is_caught;
         ] );

@@ -40,12 +40,34 @@ let test_logrec_roundtrip () =
               file = 42;
               page = 7;
               off = 123;
+              pstream = -1;
+              plsn = Logrec.null_lsn;
               before = Bytes.of_string "old!";
               after = Bytes.of_string "new!";
             };
       };
-      { Logrec.txn = 1; prev = 30; body = Logrec.Commit };
-      { Logrec.txn = 2; prev = 99; body = Logrec.Abort };
+      {
+        Logrec.txn = 3;
+        prev = 12;
+        body =
+          Logrec.Update
+            {
+              file = 42;
+              page = 8;
+              off = 0;
+              pstream = 2;
+              plsn = 4096;
+              before = Bytes.of_string "x";
+              after = Bytes.of_string "y";
+            };
+      };
+      { Logrec.txn = 1; prev = 30; body = Logrec.Commit { deps = [] } };
+      {
+        Logrec.txn = 4;
+        prev = 31;
+        body = Logrec.Commit { deps = [ (0, 128); (3, 77) ] };
+      };
+      { Logrec.txn = 2; prev = 99; body = Logrec.Abort { deps = [ (1, 0) ] } };
       { Logrec.txn = 0; prev = Logrec.null_lsn; body = Logrec.Checkpoint { active = [ 3; 4 ] } };
     ]
   in
@@ -73,7 +95,15 @@ let test_logrec_rejects_torn () =
       prev = 0;
       body =
         Logrec.Update
-          { file = 1; page = 1; off = 0; before = Bytes.make 50 'a'; after = Bytes.make 50 'b' };
+          {
+            file = 1;
+            page = 1;
+            off = 0;
+            pstream = -1;
+            plsn = Logrec.null_lsn;
+            before = Bytes.make 50 'a';
+            after = Bytes.make 50 'b';
+          };
     }
   in
   let enc = Logrec.encode r in
@@ -88,15 +118,18 @@ let test_logrec_rejects_torn () =
 let prop_logrec_roundtrip =
   Tutil.qtest "logrec round-trip"
     QCheck2.Gen.(
-      tup4 (int_bound 10000) (int_bound 100) (int_bound 4000)
-        (string_size (int_range 1 80)))
-    (fun (txn, page, off, s) ->
+      tup5 (int_bound 10000) (int_bound 100) (int_bound 4000)
+        (string_size (int_range 1 80))
+        (pair (int_range (-1) 7) (int_bound 100000)))
+    (fun (txn, page, off, s, (pstream, plsn)) ->
       let body =
         Logrec.Update
           {
             file = 3;
             page;
             off;
+            pstream;
+            plsn = (if pstream < 0 then Logrec.null_lsn else plsn);
             before = Bytes.of_string s;
             after = Bytes.of_string (String.uppercase_ascii s);
           }
@@ -112,7 +145,10 @@ let test_logmgr_force_and_scan () =
   let m, _fs, v, _env = mk_env () in
   let log = Logmgr.open_log m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~path:"/log2" in
   let l1 = Logmgr.append log { Logrec.txn = 1; prev = -1; body = Logrec.Begin } in
-  let l2 = Logmgr.append log { Logrec.txn = 1; prev = l1; body = Logrec.Commit } in
+  let l2 =
+    Logmgr.append log
+      { Logrec.txn = 1; prev = l1; body = Logrec.Commit { deps = [] } }
+  in
   Alcotest.(check bool) "nothing flushed yet" true (Logmgr.flushed_lsn log = 0);
   Logmgr.force log ~upto:l2;
   Alcotest.(check bool) "flushed" true (Logmgr.flushed_lsn log > l2);
@@ -141,7 +177,15 @@ let test_logmgr_incremental_scan () =
       prev = Logrec.null_lsn;
       body =
         Logrec.Update
-          { file = 1; page = 0; off = 0; before = Bytes.make n c; after = Bytes.make n c };
+          {
+            file = 1;
+            page = 0;
+            off = 0;
+            pstream = -1;
+            plsn = Logrec.null_lsn;
+            before = Bytes.make n c;
+            after = Bytes.make n c;
+          };
     }
   in
   (* One record straddling the 64 KiB window, padded with small ones. *)
@@ -274,6 +318,8 @@ let prop_logmgr_force_scan =
                     file = 1;
                     page = 0;
                     off = 0;
+                    pstream = -1;
+                    plsn = Logrec.null_lsn;
                     before = Bytes.of_string payload;
                     after = Bytes.of_string (String.uppercase_ascii payload);
                   };
@@ -471,6 +517,224 @@ let prop_recovery_atomicity =
       Libtp.commit env txn;
       ok)
 
+(* Truncate vs. force interleaving ---------------------------------------- *)
+
+(* Regression: Logmgr.truncate used to ignore the force serialization —
+   a checkpoint's truncate racing a commit force parked in its
+   write/fsync could reset [flushed] under the force and resurrect the
+   just-truncated bytes. Two fibers on the deterministic scheduler pin
+   the interleaving: the truncator arrives while the forcer is parked on
+   the log disk, and must wait the force out. *)
+let test_truncate_waits_for_force () =
+  let m = Tutil.machine () in
+  let fs = Lfs.format m.Tutil.disks m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+  let v = Lfs.vfs fs in
+  let log =
+    Logmgr.open_log m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~path:"/trunc"
+  in
+  let big byte =
+    {
+      Logrec.txn = 1;
+      prev = Logrec.null_lsn;
+      body =
+        Logrec.Update
+          {
+            file = 1;
+            page = 0;
+            off = 0;
+            pstream = -1;
+            plsn = Logrec.null_lsn;
+            before = Bytes.make (2 * v.Vfs.block_size) byte;
+            after = Bytes.make (2 * v.Vfs.block_size) byte;
+          };
+    }
+  in
+  let sched = Sched.create m.Tutil.clock in
+  let force_done = ref false in
+  let truncated_during_force = ref false in
+  Sched.spawn sched (fun () ->
+      let lsn = Logmgr.append log (big 'a') in
+      Logmgr.force log ~upto:lsn;
+      force_done := true);
+  Sched.spawn sched (fun () ->
+      (* Arrive while the force above is parked in its disk write. *)
+      Sched.yield sched;
+      Logmgr.truncate log;
+      if not !force_done then truncated_during_force := true);
+  Sched.run sched;
+  Sched.detach sched;
+  Alcotest.(check bool) "truncate waited out the in-flight force" false
+    !truncated_during_force;
+  Alcotest.(check int) "one truncation" 1
+    (Stats.count m.Tutil.stats "log.truncations");
+  Alcotest.(check int) "log reset" 0 (Logmgr.flushed_lsn log);
+  (* The log still works from a clean slate. *)
+  let lsn = Logmgr.append log (big 'b') in
+  Logmgr.force log ~upto:lsn;
+  Alcotest.(check int) "one record after truncate" 1
+    (List.length (List.of_seq (Logmgr.read_from log 0)))
+
+(* Multi-stream WAL ------------------------------------------------------- *)
+
+let streams_cfg n =
+  let cfg = Tutil.small_config () in
+  { cfg with Config.fs = { cfg.Config.fs with Config.log_streams = n } }
+
+(* Commits spread across three streams, cross-stream overwrites of one
+   page (exercising the vector-LSN dependency tracking), one loser whose
+   stream was forced — recovery must merge the streams, redo the
+   committed writes in dependency order and undo the loser. *)
+let test_multi_stream_commit_recover () =
+  let m, fs, v, env = mk_env ~cfg:(streams_cfg 3) () in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (p ^ " exists") true (v.Vfs.exists p))
+    [ "/wal.log.0"; "/wal.log.1"; "/wal.log.2" ];
+  let fd = v.Vfs.create "/db" in
+  Lfs.sync fs;
+  (* Six serial transactions: consecutive ids land on different streams,
+     and every one overwrites page 0, so each commit carries a
+     cross-stream dependency on its predecessor. *)
+  for i = 0 to 5 do
+    let txn = Libtp.begin_txn env in
+    Libtp.write_page env txn ~file:fd ~page:0 (page_with v (Char.chr (65 + i)));
+    Libtp.write_page env txn ~file:fd ~page:(1 + (i mod 3)) (page_with v 'p');
+    Libtp.commit env txn
+  done;
+  Alcotest.(check bool) "cross-stream deps tracked" true
+    (Stats.count m.Tutil.stats "log.dep_checks" > 0);
+  (* A loser: updates flushed on its own stream, commit never logged. *)
+  let loser = Libtp.begin_txn env in
+  Libtp.write_page env loser ~file:fd ~page:0 (page_with v '!');
+  let logs = Libtp.logs env in
+  let lm = Logset.get logs (Logset.stream_of_txn logs (Libtp.txn_id loser)) in
+  Logmgr.force lm ~upto:(Logmgr.next_lsn lm - 1);
+  let _fs, v, env = crash_recover m fs in
+  Alcotest.(check int) "loser undone" 1 (Libtp.recovered_losers env);
+  let fd = v.Vfs.open_file "/db" in
+  let t = Libtp.begin_txn env in
+  Alcotest.(check char) "last committed write wins across streams" 'F'
+    (Bytes.get (Libtp.read_page env t ~file:fd ~page:0) 0);
+  Libtp.commit env t
+
+(* Randomized multi-stream crash prefixes. A real crash can only lose a
+   suffix of each stream; with a serial workload (each transaction
+   forces its stream at commit before the next begins) the reachable
+   durable states are exactly: every record of the first K transactions,
+   plus a prefix of transaction K+1's records on its own stream.
+   Arbitrary independent per-stream cuts would manufacture states no
+   crash can produce — a durable commit whose cross-stream dependency
+   was lost — so the generator cuts along that frontier and recovery
+   must reproduce precisely the surviving committed writes. *)
+let prop_multi_stream_crash_prefix =
+  Tutil.qtest ~count:15 "multi-stream recovery replays any crash prefix"
+    QCheck2.Gen.(
+      tup4 (int_range 2 3)
+        (list_size (int_range 1 12) (pair (int_bound 4) (int_range 1 255)))
+        nat nat)
+    (fun (ns, writes, kseed, pseed) ->
+      let cfg = streams_cfg ns in
+      let m = Tutil.machine ~cfg () in
+      let fs = Lfs.format m.Tutil.disks m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+      let v = Lfs.vfs fs in
+      let env =
+        Libtp.open_env m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~pool_pages:64
+          ~checkpoint_every:100_000 ~log_path:"/wal.log" ()
+      in
+      let fd = v.Vfs.create "/db" in
+      Lfs.sync fs;
+      let history = ref [] in
+      List.iter
+        (fun (page, value) ->
+          let txn = Libtp.begin_txn env in
+          Libtp.write_page env txn ~file:fd ~page (page_with v (Char.chr value));
+          Libtp.commit env txn;
+          history := (Libtp.txn_id txn, page, value) :: !history)
+        writes;
+      let history = List.rev !history in
+      let ids = List.map (fun (id, _, _) -> id) history in
+      let k = kseed mod (List.length ids + 1) in
+      let full = List.filteri (fun i _ -> i < k) ids in
+      let partial = List.nth_opt ids k in
+      Lfs.crash fs;
+      let fs = Lfs.mount m.Tutil.disks m.Tutil.clock m.Tutil.stats m.Tutil.cfg in
+      let v = Lfs.vfs fs in
+      let winners = Hashtbl.create 8 in
+      List.iter (fun id -> Hashtbl.replace winners id ()) full;
+      for s = 0 to ns - 1 do
+        let lfd = v.Vfs.open_file (Printf.sprintf "/wal.log.%d" s) in
+        let size = v.Vfs.size lfd in
+        let buf =
+          if size = 0 then Bytes.empty else v.Vfs.read lfd ~off:0 ~len:size
+        in
+        (* Record boundaries on this stream, in append order. *)
+        let recs = ref [] in
+        let off = ref 0 in
+        let scanning = ref true in
+        while !scanning do
+          match Logrec.decode buf !off with
+          | Some (r, next) ->
+            recs := (r.Logrec.txn, next) :: !recs;
+            off := next
+          | None -> scanning := false
+        done;
+        let recs = List.rev !recs in
+        (* How much of the partial transaction to keep: only its own
+           stream holds its records. Keeping all of them makes it a
+           winner after all. *)
+        let keep_partial =
+          match partial with
+          | None -> 0
+          | Some id ->
+            let own = List.length (List.filter (fun (t, _) -> t = id) recs) in
+            let j = if own = 0 then 0 else pseed mod (own + 1) in
+            if j = own && own > 0 then Hashtbl.replace winners id ();
+            j
+        in
+        (* Cut at the last record of the kept prefix: checkpoint records
+           (txn 0) and fully-kept transactions, then [keep_partial]
+           records of the partial one. *)
+        let cut = ref 0 in
+        let kept = ref 0 in
+        let stop = ref false in
+        List.iter
+          (fun (t, endoff) ->
+            if not !stop then
+              if t = 0 || List.mem t full then cut := endoff
+              else if partial = Some t && !kept < keep_partial then begin
+                incr kept;
+                cut := endoff
+              end
+              else stop := true)
+          recs;
+        v.Vfs.truncate lfd !cut
+      done;
+      let env =
+        Libtp.open_env m.Tutil.clock m.Tutil.stats m.Tutil.cfg v ~pool_pages:64
+          ~checkpoint_every:100_000 ~log_path:"/wal.log" ()
+      in
+      ignore (Libtp.recovered_losers env);
+      let fd = v.Vfs.open_file "/db" in
+      (* Oracle: the last surviving committed write per page; pages were
+         never written back before the crash, so everything else is
+         zero. *)
+      let expect = Hashtbl.create 8 in
+      List.iter
+        (fun (id, page, value) ->
+          if Hashtbl.mem winners id then Hashtbl.replace expect page value)
+        history;
+      let txn = Libtp.begin_txn env in
+      let ok = ref true in
+      for page = 0 to 4 do
+        let got =
+          Char.code (Bytes.get (Libtp.read_page env txn ~file:fd ~page) 0)
+        in
+        let want = Option.value (Hashtbl.find_opt expect page) ~default:0 in
+        if got <> want then ok := false
+      done;
+      Libtp.commit env txn;
+      !ok)
+
 let () =
   Alcotest.run "tx_wal"
     [
@@ -486,6 +750,8 @@ let () =
           Alcotest.test_case "reopen at end" `Quick
             test_logmgr_reopen_positions_at_end;
           Alcotest.test_case "incremental scan" `Quick test_logmgr_incremental_scan;
+          Alcotest.test_case "truncate waits for force" `Quick
+            test_truncate_waits_for_force;
           prop_logmgr_force_scan;
         ] );
       ( "txn",
@@ -513,5 +779,11 @@ let () =
           Alcotest.test_case "clean shutdown" `Quick
             test_recovery_idempotent_after_clean_shutdown;
           prop_recovery_atomicity;
+        ] );
+      ( "multi-stream",
+        [
+          Alcotest.test_case "commit and recover across streams" `Quick
+            test_multi_stream_commit_recover;
+          prop_multi_stream_crash_prefix;
         ] );
     ]
