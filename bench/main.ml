@@ -130,6 +130,7 @@ let micro_tests () =
                timestamp = 1.0;
                next_seg = 3;
                more = false;
+               cold = false;
                payload_ck = 0;
                entries;
              };

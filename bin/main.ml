@@ -372,6 +372,68 @@ let logsweep_cmd =
       const run $ setup_arg $ scale_arg $ txns_arg 1_500 $ seed_arg
       $ streams_arg $ mpls_arg $ json_arg)
 
+let cleanersweep_cmd =
+  let utils_arg =
+    let doc = "Comma-separated disk utilizations (percent) to sweep." in
+    Arg.(value & opt string "50,70,80,90" & info [ "utils" ] ~docv:"LIST" ~doc)
+  in
+  let mpls_arg =
+    let doc = "Comma-separated multiprogramming levels to sweep." in
+    Arg.(value & opt string "1,8" & info [ "mpls" ] ~docv:"LIST" ~doc)
+  in
+  let arms_arg =
+    let doc =
+      "Comma-separated cleaner arms: any of greedy, greedy+seg, \
+       cost-benefit, cost-benefit+seg."
+    in
+    Arg.(
+      value
+      & opt string "greedy,greedy+seg,cost-benefit,cost-benefit+seg"
+      & info [ "arms" ] ~docv:"LIST" ~doc)
+  in
+  let run scale txns seed utils mpls arms json =
+    let parse_ints name s =
+      List.map
+        (fun item ->
+          try int_of_string (String.trim item)
+          with _ ->
+            prerr_endline ("cleanersweep: bad " ^ name ^ " element: " ^ item);
+            exit 2)
+        (String.split_on_char ',' s)
+    in
+    let utils = parse_ints "utils" utils in
+    let mpls = parse_ints "mpls" mpls in
+    let arms =
+      List.map
+        (fun item ->
+          match String.trim item with
+          | "greedy" -> { Cleanersweep.policy = `Greedy; segregate = false }
+          | "greedy+seg" -> { Cleanersweep.policy = `Greedy; segregate = true }
+          | "cost-benefit" ->
+            { Cleanersweep.policy = `Cost_benefit; segregate = false }
+          | "cost-benefit+seg" ->
+            { Cleanersweep.policy = `Cost_benefit; segregate = true }
+          | other ->
+            prerr_endline ("cleanersweep: bad arms element: " ^ other);
+            exit 2)
+        (String.split_on_char ',' arms)
+    in
+    let s = Cleanersweep.run ~tps_scale:scale ~txns ~seed ~utils ~mpls ~arms () in
+    Cleanersweep.print s;
+    if json then
+      emit_bench ~name:"cleanersweep" ~config:s.Cleanersweep.config
+        (Cleanersweep.to_json s)
+  in
+  Cmd.v
+    (Cmd.info "cleanersweep"
+       ~doc:
+         "Sweep disk utilization x MPL x cleaner victim policy x hot/cold \
+          segregation under TPC-B (kernel-embedded setup) and report TPS, \
+          cleaner stall p99 and per-victim write cost")
+    Term.(
+      const run $ scale_arg $ txns_arg 1_000 $ seed_arg $ utils_arg $ mpls_arg
+      $ arms_arg $ json_arg)
+
 (* Event tracing: run TPC-B with the trace ring attached and dump it. *)
 let trace_cmd =
   let out_arg =
@@ -747,6 +809,103 @@ let bench_check_cmd =
                 (num (Json.member "tps" one))
           | _ -> ()
         end
+      | _ -> ());
+      (* cleanersweep artifacts promise per-point sweep fields, consistent
+         cleaner accounting (every cleaned segment observed exactly once),
+         and the headline claim: cost-benefit with segregation degrades
+         less from the emptiest to the fullest disk than greedy without,
+         at the contended end of the sweep (MPL 8). *)
+      (match Json.member "meta" doc with
+      | Some meta when Json.member "name" meta = Some (Json.Str "cleanersweep")
+        ->
+        let points =
+          match Json.member "data" doc with
+          | Some data -> (
+            match Json.member "points" data with
+            | Some (Json.List ps) -> ps
+            | _ -> [])
+          | None -> []
+        in
+        if points = [] then err "cleanersweep: data.points missing or empty"
+        else begin
+          let num = function
+            | Some (Json.Float f) -> f
+            | Some (Json.Int i) -> float_of_int i
+            | _ -> 0.0
+          in
+          List.iter
+            (fun p ->
+              List.iter
+                (fun field ->
+                  if Json.member field p = None then
+                    err "cleanersweep point missing field %s" field)
+                [
+                  "util_pct";
+                  "mpl";
+                  "policy";
+                  "segregate";
+                  "tps";
+                  "stall_p99_s";
+                  "write_cost";
+                  "segments_cleaned";
+                  "cleans_observed";
+                ];
+              (* Dead-segment reclaims must still be observed: the clean
+                 histogram and the segment counter move in lock step. *)
+              let cleaned = num (Json.member "segments_cleaned" p) in
+              let observed = num (Json.member "cleans_observed" p) in
+              if cleaned <> observed then
+                err
+                  "cleanersweep: segments_cleaned (%g) != cleans_observed \
+                   (%g) at util %g%% mpl %g (%s)"
+                  cleaned observed
+                  (num (Json.member "util_pct" p))
+                  (num (Json.member "mpl" p))
+                  (match Json.member "arm" p with
+                  | Some (Json.Str a) -> a
+                  | _ -> "?"))
+            points;
+          let at ~policy ~segregate ~util ~mpl =
+            List.find_opt
+              (fun p ->
+                Json.member "policy" p = Some (Json.Str policy)
+                && Json.member "segregate" p = Some (Json.Bool segregate)
+                && num (Json.member "util_pct" p) = float_of_int util
+                && num (Json.member "mpl" p) = float_of_int mpl)
+              points
+          in
+          let utils =
+            List.sort_uniq compare
+              (List.map (fun p -> num (Json.member "util_pct" p)) points)
+          in
+          match (utils, List.rev utils) with
+          | lo :: _, hi :: _ when lo <> hi -> (
+            let lo = int_of_float lo and hi = int_of_float hi in
+            let retention ~policy ~segregate =
+              match
+                ( at ~policy ~segregate ~util:lo ~mpl:8,
+                  at ~policy ~segregate ~util:hi ~mpl:8 )
+              with
+              | Some plo, Some phi when num (Json.member "tps" plo) > 0.0 ->
+                Some
+                  (num (Json.member "tps" phi)
+                  /. num (Json.member "tps" plo))
+              | _ -> None
+            in
+            match
+              ( retention ~policy:"cost-benefit" ~segregate:true,
+                retention ~policy:"greedy" ~segregate:false )
+            with
+            | Some cb, Some greedy ->
+              if cb <= greedy then
+                err
+                  "cleanersweep: cost-benefit+seg keeps %.1f%% of its \
+                   %d%%-full TPS at %d%% full (MPL 8) — not above greedy's \
+                   %.1f%%"
+                  (100.0 *. cb) lo hi (100.0 *. greedy)
+            | _ -> ())
+          | _ -> ()
+        end
       | _ -> ()));
     match !errors with
     | [] ->
@@ -949,6 +1108,7 @@ let main =
       mplsweep_cmd;
       disksweep_cmd;
       logsweep_cmd;
+      cleanersweep_cmd;
       trace_cmd;
       bench_check_cmd;
       lfsdump_cmd;

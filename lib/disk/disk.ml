@@ -6,14 +6,20 @@ type injector = {
 }
 
 (* A read parked in the live request queue, waiting for the server
-   process to reach it. Bytes are captured at submit time: the caller
-   sees the platter as of its request, and only the *timing* of the read
-   is asynchronous — so LFS invariants never observe a half-written
-   platter across a yield point. *)
+   process to reach it. Bytes are captured at SERVICE time, not submit
+   time: a synchronous multi-block write holds the device and only
+   persists its run when its service delay elapses, so a read queued
+   behind it must return the post-write platter — that is what the
+   physical head reads once it finally reaches the sectors. Capturing at
+   submit once handed a committer a zeroed snapshot of a block whose
+   in-flight write carried the real bytes; the address had already been
+   updated when the read was issued, so the caller's relocation chase
+   could not catch it. [persist] is a single atomic blit with no yield
+   inside, so a service-time capture never observes a torn run. *)
 type pending = {
   p_blkno : int;
   p_nblocks : int;
-  p_data : bytes;
+  mutable p_data : bytes;
   p_submitted : float;
   mutable p_done : bool;
   p_cond : Sched.cond;
@@ -315,6 +321,10 @@ let rec serve_queue t sched =
     Stats.observe t.stats t.keys.k_transfer xfer;
     t.head <- pick.p_blkno + pick.p_nblocks;
     retry_reads t pick.p_blkno pick.p_nblocks;
+    pick.p_data <-
+      Bytes.sub t.data
+        (pick.p_blkno * t.cfg.block_size)
+        (pick.p_nblocks * t.cfg.block_size);
     Stats.observe t.stats t.keys.k_read_qwait
       (Clock.now t.clock -. pick.p_submitted);
     if Stats.tracing t.stats then
@@ -339,8 +349,7 @@ let read_async t blkno =
       {
         p_blkno = blkno;
         p_nblocks = 1;
-        p_data =
-          Bytes.sub t.data (blkno * t.cfg.block_size) t.cfg.block_size;
+        p_data = Bytes.empty;  (* captured at service time; see [pending] *)
         p_submitted = Clock.now t.clock;
         p_done = false;
         p_cond = Sched.condition ();
@@ -361,6 +370,12 @@ let read_async t blkno =
   | _ -> read t blkno
 
 let head t = t.head
+
+(* Outstanding requests at this spindle: the elevator queue plus the one
+   the server process is currently positioning for. The synchronous
+   read/write paths never enqueue, so a non-zero depth means scheduler
+   processes are actively waiting on this arm. *)
+let queue_depth t = List.length t.queue + if t.serving then 1 else 0
 
 let peek t blkno =
   check_range t blkno 1;

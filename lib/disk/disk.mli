@@ -73,6 +73,11 @@ val write : t -> int -> bytes -> unit
 (** [write t blkno data] services a one-block write. [data] must be
     exactly one block long. *)
 
+val queue_depth : t -> int
+(** Outstanding {!read_async} requests at this spindle, including the
+    one being served. Zero whenever no scheduler process is waiting on
+    the arm — the load signal the adaptive LFS cleaner backs off on. *)
+
 val read_run : t -> int -> int -> bytes
 (** [read_run t blkno n] reads [n] consecutive blocks as one sequential
     request, returning their concatenation. *)

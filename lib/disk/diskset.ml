@@ -71,6 +71,10 @@ let wrap d =
   }
 
 let ndisks t = Array.length t.data
+
+let queue_depth t =
+  let sum = Array.fold_left (fun n d -> n + Disk.queue_depth d) 0 in
+  sum t.data + sum t.log
 let primary t = t.data.(0)
 let log_disk t = if Array.length t.log > 0 then Some t.log.(0) else None
 let log_disks t = t.log

@@ -97,6 +97,10 @@ val write_run : t -> int -> bytes -> unit
 val peek : t -> int -> bytes
 val poke : t -> int -> bytes -> unit
 
+val queue_depth : t -> int
+(** Total outstanding queued requests across every member spindle (data
+    and log) — see {!Disk.queue_depth}. *)
+
 val set_injector : t -> Disk.injector option -> unit
 (** Install the same injector on {e every} member (or disarm all). A
     shared mutable injector closure therefore sees one global,

@@ -48,7 +48,12 @@ type tpcb_run = {
   stats : Stats.t;
 }
 
-let run_tpcb ?(pool_pages = 1024) ?trace ~config ~scale ~txns ~seed setup =
+(* [prepare] runs after the database is built but before the measured
+   window: experiments use it to shape the disk (e.g. prefill to a target
+   utilization for cleaner studies). It receives the machine, the data
+   file system's VFS, and the LFS handle when the setup has one. *)
+let run_tpcb ?(pool_pages = 1024) ?trace ?prepare ~config ~scale ~txns ~seed
+    setup =
   (* Only the kernel-embedded setup leaves the log spindle (if any) free
      of a file system, so only there may the LFS checkpoint region use it. *)
   let m = machine ~route_checkpoints:(setup = Lfs_kernel) config in
@@ -56,7 +61,7 @@ let run_tpcb ?(pool_pages = 1024) ?trace ~config ~scale ~txns ~seed setup =
   | Some cap -> Stats.set_trace m.stats (Some (Trace.create ~capacity:cap ()))
   | None -> ());
   let rng = Rng.create ~seed in
-  let vfs, backend =
+  let vfs, backend, lfs =
     match setup with
     | Readopt_user ->
       let fs = Ffs.format (Diskset.primary m.disks) m.clock m.stats m.cfg in
@@ -64,14 +69,14 @@ let run_tpcb ?(pool_pages = 1024) ?trace ~config ~scale ~txns ~seed setup =
       let db = Tpcb.build m.clock m.stats m.cfg v ~rng ~scale in
       ignore db;
       let env = wal_env m v ~pool_pages in
-      (v, Tpcb.User env)
+      (v, Tpcb.User env, None)
     | Lfs_user ->
       let fs = Lfs.format m.disks m.clock m.stats m.cfg in
       let v = Lfs.vfs fs in
       let db = Tpcb.build m.clock m.stats m.cfg v ~rng ~scale in
       ignore db;
       let env = wal_env m v ~pool_pages in
-      (v, Tpcb.User env)
+      (v, Tpcb.User env, Some fs)
     | Lfs_kernel ->
       let fs = Lfs.format m.disks m.clock m.stats m.cfg in
       let v = Lfs.vfs fs in
@@ -79,8 +84,9 @@ let run_tpcb ?(pool_pages = 1024) ?trace ~config ~scale ~txns ~seed setup =
       ignore db;
       let k = Ktxn.create fs in
       Tpcb.protect_all db k;
-      (v, Tpcb.Kernel k)
+      (v, Tpcb.Kernel k, Some fs)
   in
+  (match prepare with Some f -> f m vfs lfs | None -> ());
   let db = Tpcb.open_db vfs ~scale in
   (* Measure the transaction phase only, like the paper. Cleaner stall
      accounting is also restricted to the measured window. *)
@@ -95,8 +101,8 @@ let run_tpcb ?(pool_pages = 1024) ?trace ~config ~scale ~txns ~seed setup =
     stats = m.stats;
   }
 
-let run_tpcb_mpl ?(pool_pages = 1024) ?trace ~config ~scale ~txns ~seed ~mpl
-    setup =
+let run_tpcb_mpl ?(pool_pages = 1024) ?trace ?prepare ~config ~scale ~txns
+    ~seed ~mpl setup =
   let m = machine ~route_checkpoints:(setup = Lfs_kernel) config in
   (match trace with
   | Some cap -> Stats.set_trace m.stats (Some (Trace.create ~capacity:cap ()))
@@ -129,6 +135,7 @@ let run_tpcb_mpl ?(pool_pages = 1024) ?trace ~config ~scale ~txns ~seed ~mpl
       Tpcb.protect_all db k;
       (v, Tpcb.Kernel k, Some fs)
   in
+  (match prepare with Some f -> f m vfs lfs | None -> ());
   (match lfs with Some fs -> Lfs.start_background fs | None -> ());
   let db = Tpcb.open_db vfs ~scale in
   let stall0 = Stats.time m.stats "cleaner.stall" in
@@ -211,6 +218,10 @@ let config_json (c : Config.t) =
                 (match fs.Config.cleaner_policy with
                 | `Greedy -> "greedy"
                 | `Cost_benefit -> "cost-benefit") );
+            ("cleaner_segregate", Json.Bool fs.Config.cleaner_segregate);
+            ("cleaner_adaptive", Json.Bool fs.Config.cleaner_adaptive);
+            ( "cleaner_backoff_qdepth",
+              Json.Int fs.Config.cleaner_backoff_qdepth );
             ("lfs_user_cleaner", Json.Bool fs.Config.lfs_user_cleaner);
             ("group_commit_timeout_s", Json.Float fs.Config.group_commit_timeout_s);
             ("group_commit_size", Json.Int fs.Config.group_commit_size);

@@ -38,6 +38,7 @@ type tpcb_run = {
 val run_tpcb :
   ?pool_pages:int ->
   ?trace:int ->
+  ?prepare:(machine -> Vfs.t -> Lfs.t option -> unit) ->
   config:Config.t ->
   scale:Tpcb.scale ->
   txns:int ->
@@ -47,11 +48,15 @@ val run_tpcb :
 (** Boot a fresh machine, build the database, run [txns] transactions,
     and report throughput plus cleaner interference. [?trace] attaches an
     event-trace ring of that capacity to the machine's stats before the
-    run; retrieve it via [Stats.trace run.stats]. *)
+    run; retrieve it via [Stats.trace run.stats]. [?prepare] runs after
+    the database is built but before the measured window — experiments
+    use it to shape the disk (e.g. prefill to a target utilization for
+    cleaner studies); it gets the LFS handle when the setup has one. *)
 
 val run_tpcb_mpl :
   ?pool_pages:int ->
   ?trace:int ->
+  ?prepare:(machine -> Vfs.t -> Lfs.t option -> unit) ->
   config:Config.t ->
   scale:Tpcb.scale ->
   txns:int ->

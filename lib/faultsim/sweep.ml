@@ -22,11 +22,11 @@ let backend_of_string = function
    oracle — group commit disabled, so a commit's acknowledgement implies
    its flush completed. *)
 let config ?(ndisks = 1) ?(log_disk = false) ?(log_streams = 1)
-    ?(lock_grain = `Page) backend =
+    ?(lock_grain = `Page) ?(nblocks = 4096) backend =
   let d = Config.default in
   {
     d with
-    Config.disk = { d.Config.disk with nblocks = 4096; blocks_per_cylinder = 16 };
+    Config.disk = { d.Config.disk with nblocks; blocks_per_cylinder = 16 };
     fs =
       {
         d.Config.fs with
@@ -486,9 +486,9 @@ let run_one_tpcb ?ndisks ?log_disk ?log_streams backend ~seed ~txns ?crash_point
    only after its batch's force), so every acknowledged commit must
    survive recovery; beyond them at most [mpl] in-flight transactions
    may have landed. *)
-let run_one_tpcb_mpl ?ndisks ?log_disk ?log_streams ?lock_grain backend ~seed
-    ~txns ~mpl ?crash_point () =
-  let cfg = config ?ndisks ?log_disk ?log_streams ?lock_grain backend in
+let run_one_tpcb_mpl ?ndisks ?log_disk ?log_streams ?lock_grain ?nblocks
+    backend ~seed ~txns ~mpl ?crash_point () =
+  let cfg = config ?ndisks ?log_disk ?log_streams ?lock_grain ?nblocks backend in
   (* Group commit on — the rendezvous is the point of this sweep. *)
   let cfg =
     {
@@ -650,12 +650,10 @@ let sweep_tpcb ?progress ?ndisks ?log_disk ?log_streams backend ~seed ~txns
         ?crash_point ())
     ~points
 
-let sweep_tpcb_mpl ?progress ?ndisks ?log_disk ?log_streams ?lock_grain backend
-    ~seed ~txns ~mpl ~points
-    =
+let sweep_tpcb_mpl ?progress ?ndisks ?log_disk ?log_streams ?lock_grain
+    ?nblocks backend ~seed ~txns ~mpl ~points =
   sweep_runs ?progress
     (fun ?crash_point () ->
-      run_one_tpcb_mpl ?ndisks ?log_disk ?log_streams ?lock_grain backend ~seed
-        ~txns ~mpl ?crash_point
-        ())
+      run_one_tpcb_mpl ?ndisks ?log_disk ?log_streams ?lock_grain ?nblocks
+        backend ~seed ~txns ~mpl ?crash_point ())
     ~points

@@ -68,6 +68,7 @@ val run_one_tpcb_mpl :
   ?log_disk:bool ->
   ?log_streams:int ->
   ?lock_grain:[ `Page | `Record ] ->
+  ?nblocks:int ->
   backend ->
   seed:int ->
   txns:int ->
@@ -112,5 +113,8 @@ val sweep_tpcb_mpl :
   ?log_disk:bool ->
   ?log_streams:int ->
   ?lock_grain:[ `Page | `Record ] ->
+  ?nblocks:int ->
   backend -> seed:int -> txns:int -> mpl:int -> points:int -> sweep_result
-(** Sweep {!run_one_tpcb_mpl}. *)
+(** Sweep {!run_one_tpcb_mpl}. [nblocks] (default 4096) sizes the disk:
+    shrinking it puts the run under live cleaning pressure, so crash
+    points land inside segment cleaning and hot/cold relocation. *)

@@ -79,6 +79,9 @@ type summary = {
   timestamp : float;
   next_seg : int;
   more : bool;
+  cold : bool;
+      (* written by the cleaner's relocation (cold) log head; never part
+         of the roll-forward chain, so carries no meaningful seq *)
   payload_ck : int;
   entries : summary_entry list;
 }
@@ -102,6 +105,7 @@ let write_summary b s =
   Enc.set_u32 b 24 s.next_seg;
   Enc.set_u16 b 28 n;
   Enc.set_u8 b 30 (if s.more then 1 else 0);
+  Enc.set_u8 b 31 (if s.cold then 1 else 0);
   Enc.set_u32 b 32 s.payload_ck;
   let side = ref (sum_header + (n * entry_bytes)) in
   List.iteri
@@ -164,6 +168,7 @@ let read_summary b =
         timestamp = Enc.get_f64 b 16;
         next_seg = Enc.get_u32 b 24;
         more = Enc.get_u8 b 30 = 1;
+        cold = Enc.get_u8 b 31 = 1;
         payload_ck = Enc.get_u32 b 32;
         entries = List.init n entry;
       }

@@ -62,6 +62,11 @@ type summary = {
       (** this partial is not the last of an atomic batch: recovery must
           not apply it unless the rest of the batch also made it to disk
           (commit flushes larger than a segment span several partials) *)
+  cold : bool;
+      (** written by the cleaner's relocation (cold) log head. Cold
+          partials are durable only through checkpoints — they are never
+          part of the roll-forward chain, carry [seq = 0], and recovery
+          must never mistake one for a live continuation of the log *)
   payload_ck : int;
       (** {!checksum} of the payload blocks following the summary — the
           summary's own seal proves nothing about them, and a torn

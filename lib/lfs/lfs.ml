@@ -6,6 +6,16 @@ type seg_state = Free | Current | Dirty | Pending
 type usage_entry = {
   mutable live : int;
   mutable mtime : float;
+      (* usage-entry touch time: moves whenever bookkeeping brushes the
+         entry (including mount-time recomputation). Not an age signal. *)
+  mutable last_write : float;
+      (* when data was last written into the segment. Cleaner relocations
+         inherit the victim's value instead of stamping "now", so cold
+         data keeps looking old — this is what the cost-benefit policy
+         reads. *)
+  mutable cold : bool;
+      (* segment was opened as the cleaner's relocation target and holds
+         survivors rather than fresh writes *)
   mutable state : seg_state;
 }
 
@@ -30,11 +40,26 @@ type t = {
   mutable cur_seg : int;
   mutable cur_off : int;
   mutable next_seg : int;
+  (* The cleaner's relocation (cold) log head: survivors are appended
+     here so they never re-mix with hot writes at the main head. -1 =
+     no relocation segment open. Cold partials are outside the
+     roll-forward chain; their durability rides on checkpoints, which is
+     already the invariant for cleaned space (Pending -> Free only at a
+     checkpoint). *)
+  mutable cold_seg : int;
+  mutable cold_off : int;
+  (* Count of segments in state Free or Pending, maintained at every
+     state transition so the kernel cleaner's batch loop does not fold
+     over the usage table several times per victim. *)
+  mutable n_reclaimable : int;
+  mutable cleaned_since_cp : int;
   mutable write_seq : int64;
   mutable cp_seq : int64;
   mutable segs_since_cp : int;
   mutable last_syncer : float;
-  mutable in_maintenance : bool;
+  mutable maint : int list;
+  (* Owner tags of the maintenance sections currently open; see
+     [maint_enter] below. *)
   (* Partial-segment writes mutate the shared cursor/usage/imap state
      and park on disk I/O partway through; under a scheduler two fibers
      (concurrent committers, or a commit racing a checkpoint) must not
@@ -61,7 +86,10 @@ let root_inum_init = 1
 
 (* Chunk geometry *)
 let imap_entry_bytes = 8
-let usage_entry_bytes = 12
+
+(* Usage-table entry on disk: u32 live, f64 mtime, f64 last_write,
+   u8 flags (bit 0 = cold). *)
+let usage_entry_bytes = 21
 let imap_per_chunk t = t.sb.Layout.block_size / imap_entry_bytes
 let usage_per_chunk t = t.sb.Layout.block_size / usage_entry_bytes
 
@@ -86,6 +114,9 @@ and pinned t i =
   List.exists (fun s -> s.snap_live && s.snap_segments.(i)) t.snaps
 
 let live_blocks t i = t.usage.(i).live
+let last_write t i = t.usage.(i).last_write
+let segment_cold t i = t.usage.(i).cold
+let reclaimable_segments t = t.n_reclaimable
 let config t = t.cfg
 let clock t = t.clock
 let stats t = t.stats
@@ -101,10 +132,29 @@ let dec_usage t addr =
     u.live <- u.live - 1
   end
 
-let inc_usage t seg n =
+(* [write] tells whether this touch represents data actually being
+   written into the segment (mount-time recomputation passes [false]);
+   [age] lets the cleaner stamp relocated survivors with their original
+   write time instead of "now". The [mtime] touch, by contrast, always
+   moves — it is bookkeeping, and feeding it to the cost-benefit policy
+   was the bug that made decaying segments look young. *)
+let inc_usage ?(write = true) ?age t seg n =
   let u = t.usage.(seg) in
   u.live <- u.live + n;
-  u.mtime <- Clock.now t.clock
+  u.mtime <- Clock.now t.clock;
+  if write then
+    let w = match age with Some a -> a | None -> Clock.now t.clock in
+    if w > u.last_write then u.last_write <- w
+
+(* Every segment state change goes through here so [n_reclaimable]
+   (Free + Pending) stays exact without refolding the usage table. *)
+let set_state t i st =
+  let u = t.usage.(i) in
+  let reclaimable = function Free | Pending -> true | Current | Dirty -> false in
+  let was = reclaimable u.state and is = reclaimable st in
+  u.state <- st;
+  if was && not is then t.n_reclaimable <- t.n_reclaimable - 1
+  else if is && not was then t.n_reclaimable <- t.n_reclaimable + 1
 
 let dec_inode_block_ref t addr =
   if addr <> 0 then
@@ -158,8 +208,54 @@ let iget t inum =
 type ditem = {
   d_inum : int;
   d_lblock : int;
-  d_src : [ `Frame of Cache.frame | `Raw of bytes ];
+  d_src :
+    [ `Frame of Cache.frame
+    | `Raw of bytes
+    | `Reloc of bytes * int
+      (* cleaner-relocated platter copy + the address it was scanned at;
+         installed only if the block still lives there (see
+         [write_partial]'s race filter) *) ];
 }
+
+(* Maintenance sections: paths that relocate or flush blocks (cleaner,
+   syncer, checkpoint, commit forces) update shared block addresses and
+   then park in disk I/O partway through. [t.maint] holds the owner tag
+   of every section currently open — the scheduler process id when
+   entered from a process, [0] otherwise (a wildcard: plain synchronous
+   contexts and the read-only snapshot view cover every caller).
+   Sections overlap under a scheduler (one group-commit flush parks in
+   its segment write while the next begins), so the tags form a
+   multiset, not a single slot: save-and-restore of a scalar here once
+   resurrected an already-finished owner and left the background
+   daemons gated off for the rest of the run. The tag exists because
+   only a process that OWNS an open section may stay on [get_page]'s
+   synchronous platter-read branch. Any other process must join the
+   disk queue, which serializes its read behind the in-flight segment
+   write; reading the platter directly there returns stale bytes for
+   blocks whose inode address was already flipped to the in-flight
+   segment. *)
+let maint_self t =
+  match Sched.of_clock t.clock with
+  | Some s when Sched.in_process s -> Sched.self s
+  | _ -> 0
+
+let maint_enter t =
+  let id = maint_self t in
+  t.maint <- id :: t.maint;
+  id
+
+let maint_exit t id =
+  let rec drop = function
+    | [] -> []
+    | x :: tl -> if x = id then tl else x :: drop tl
+  in
+  t.maint <- drop t.maint
+
+let maint_idle t = t.maint = []
+
+let maint_here t sched =
+  let self = Sched.self sched in
+  List.exists (fun o -> o = 0 || o = self) t.maint
 
 type inode_plan = {
   pi_inode : Inode.t;
@@ -238,18 +334,29 @@ let pop_free t =
     else find (i + 1)
   in
   let s = find 0 in
-  t.usage.(s).state <- Current;
+  set_state t s Current;
+  t.usage.(s).cold <- false;
   s
 
-let close_segment t =
-  let u = t.usage.(t.cur_seg) in
-  u.state <- Dirty;
-  t.cur_seg <- t.next_seg;
-  t.cur_off <- 0;
-  t.next_seg <- pop_free t;
+let note_closed t =
   t.segs_since_cp <- t.segs_since_cp + 1;
   if t.segs_since_cp >= t.cfg.fs.checkpoint_segments then t.pending_cp <- true;
   Stats.incr t.stats "lfs.segments_closed"
+
+let close_segment t =
+  set_state t t.cur_seg Dirty;
+  t.cur_seg <- t.next_seg;
+  t.cur_off <- 0;
+  t.next_seg <- pop_free t;
+  note_closed t
+
+let close_cold t =
+  if t.cold_seg >= 0 then begin
+    set_state t t.cold_seg Dirty;
+    t.cold_seg <- -1;
+    t.cold_off <- 0;
+    note_closed t
+  end
 
 (* Write one partial segment containing [ditems] data blocks, the dirty
    metadata of every involved inode, plus the listed imap/usage chunks.
@@ -260,8 +367,8 @@ let close_segment t =
    recovery re-derives the block locations from the summary entries, and
    the (still-dirty) in-memory metadata reaches the log with the next
    syncer flush or checkpoint. *)
-let write_partial ?(defer_meta = false) ?(more = false) t ~ditems ~inodes
-    ~imap_chunks ~usage_chunks =
+let write_partial ?(defer_meta = false) ?(more = false) ?(target = `Hot) t
+    ~ditems ~inodes ~imap_chunks ~usage_chunks =
   (* One writer at a time: everything below reads and mutates the shared
      cursor/usage/imap state around disk parks. Taking the mutex before
      the first state read keeps a follower's plan consistent with
@@ -281,6 +388,127 @@ let write_partial ?(defer_meta = false) ?(more = false) t ~ditems ~inodes
       | Some sched -> Sched.broadcast sched t.seg_write_cond
       | None -> ())
   @@ fun () ->
+  (* Relocation items are re-validated here, under the writer mutex: the
+     cleaner captured these platter bytes before (possibly) yielding —
+     waiting for this mutex, or parked in the victim read — and a
+     foreground flush may have re-logged the block since. Installing the
+     stale copy would point the inode at old data, which surfaces as a
+     lost update once the newer cached frame is evicted. Skip any item
+     whose block no longer lives at the address the cleaner scanned; the
+     write that moved it already adjusted the victim's live count. *)
+  let ditems =
+    List.filter
+      (fun d ->
+        match d.d_src with
+        | `Reloc (_, expect) ->
+          let still_there =
+            match iget_opt t d.d_inum with
+            | Some ino -> Inode.get_addr ino d.d_lblock = expect
+            | None -> false
+          in
+          if not still_there then Stats.incr t.stats "cleaner.reloc_races";
+          still_there
+        | `Frame _ | `Raw _ -> true)
+      ditems
+  in
+  let target =
+    match target with
+    | `Cold _
+      when (t.cold_seg < 0
+            || 1 + List.length ditems > t.cfg.fs.segment_blocks - t.cold_off)
+           && free_segments t <= 3 ->
+      (* This write would have to pop a fresh cold segment while the
+         writable reserve is nearly gone (mid-clean, before the next
+         checkpoint refills Free). Segregation is an optimization; the
+         reserve is an invariant — fall back to the hot head. *)
+      Stats.incr t.stats "cleaner.cold_fallbacks";
+      `Hot
+    | tgt -> tgt
+  in
+  match target with
+  | `Cold age ->
+    (* Relocation write: data blocks + summary only, appended at the
+       cleaner's cold head. Cold partials live outside the roll-forward
+       chain (seq 0, cold flag): if the machine dies before the next
+       checkpoint, recovery still finds every survivor live in its
+       victim segment, which Pending state keeps from reuse until that
+       same checkpoint. The survivors' inodes are marked dirty so their
+       new addresses reach the log with the next hot metadata flush or
+       the checkpoint itself. *)
+    let bs = block_size t in
+    if inodes <> [] || imap_chunks <> [] || usage_chunks <> [] then
+      invalid_arg "LFS.write_partial: cold partials carry only data";
+    if ditems = [] then ()  (* every survivor lost its race; nothing left *)
+    else begin
+    let total = 1 + List.length ditems in
+    if total > t.cfg.fs.segment_blocks then
+      invalid_arg "LFS.write_partial: partial larger than a segment";
+    if t.cold_seg >= 0 && total > t.cfg.fs.segment_blocks - t.cold_off then
+      close_cold t;
+    if t.cold_seg < 0 then begin
+      let s = pop_free t in
+      t.usage.(s).cold <- true;
+      t.cold_seg <- s;
+      t.cold_off <- 0;
+      Stats.incr t.stats "cleaner.cold_segments"
+    end;
+    let base = seg_base t t.cold_seg + t.cold_off in
+    let pos = ref (base + 1) in
+    let entries = ref [] in
+    let fills = ref [] in
+    List.iter
+      (fun d ->
+        let ino = iget t d.d_inum in
+        let old = Inode.get_addr ino d.d_lblock in
+        let addr = !pos in
+        incr pos;
+        entries :=
+          Layout.Data { inum = d.d_inum; lblock = d.d_lblock } :: !entries;
+        fills :=
+          (fun () ->
+            match d.d_src with
+            | `Frame f -> f.Cache.data
+            | `Raw b | `Reloc (b, _) -> b)
+          :: !fills;
+        inc_usage ~age t t.cold_seg 1;
+        dec_usage t old;
+        Inode.set_addr ino ~block_size:bs d.d_lblock addr;
+        ino.Inode.dirty <- true)
+      ditems;
+    let entries = List.rev !entries and fills = List.rev !fills in
+    let nblocks = !pos - base in
+    let buf = Bytes.make (nblocks * bs) '\000' in
+    List.iteri (fun i fill -> Bytes.blit (fill ()) 0 buf ((i + 1) * bs) bs) fills;
+    let payload_ck = Layout.checksum (Bytes.sub buf bs ((nblocks - 1) * bs)) in
+    let summary_bytes = Bytes.make bs '\000' in
+    Layout.write_summary summary_bytes
+      {
+        Layout.seq = 0L;
+        timestamp = Clock.now t.clock;
+        next_seg = 0;
+        more = false;
+        cold = true;
+        payload_ck;
+        entries;
+      };
+    Bytes.blit summary_bytes 0 buf 0 bs;
+    (* Clear dirty flags before the disk park for the same reason as the
+       hot path: a frame re-dirtied while the write is in flight must
+       stay dirty. *)
+    List.iter
+      (fun d ->
+        match d.d_src with
+        | `Frame f -> Cache.mark_clean t.cache f
+        | `Raw _ | `Reloc _ -> ())
+      ditems;
+    Diskset.write_run t.disk base buf;
+    Stats.incr t.stats "lfs.partials";
+    Stats.incr t.stats "lfs.cold_partials";
+    Stats.add t.stats "lfs.blocks_logged" nblocks;
+    t.cold_off <- t.cold_off + nblocks;
+    if t.cold_off >= t.cfg.fs.segment_blocks then close_cold t
+    end
+  | `Hot ->
   let bs = block_size t in
   let plans, n_meta =
     if defer_meta then ([], List.length ditems) else plan t ~ditems ~inodes
@@ -321,7 +549,7 @@ let write_partial ?(defer_meta = false) ?(more = false) t ~ditems ~inodes
           (fun () ->
             match d.d_src with
             | `Frame f -> f.Cache.data
-            | `Raw b -> b)
+            | `Raw b | `Reloc (b, _) -> b)
       in
       dec_usage t old;
       Inode.set_addr ino ~block_size:bs d.d_lblock addr)
@@ -442,9 +670,13 @@ let write_partial ?(defer_meta = false) ?(more = false) t ~ditems ~inodes
             for i = 0 to usage_per_chunk t - 1 do
               let seg = lo + i in
               if seg < nsegments t then begin
-                Enc.set_u32 b (i * usage_entry_bytes) t.usage.(seg).live;
-                Enc.set_f64 b ((i * usage_entry_bytes) + 4)
-                  t.usage.(seg).mtime
+                let u = t.usage.(seg) in
+                Enc.set_u32 b (i * usage_entry_bytes) u.live;
+                Enc.set_f64 b ((i * usage_entry_bytes) + 4) u.mtime;
+                Enc.set_f64 b ((i * usage_entry_bytes) + 12) u.last_write;
+                Enc.set_u8 b
+                  ((i * usage_entry_bytes) + 20)
+                  (if u.cold then 1 else 0)
               end
             done;
             b)
@@ -472,18 +704,22 @@ let write_partial ?(defer_meta = false) ?(more = false) t ~ditems ~inodes
       timestamp = Clock.now t.clock;
       next_seg = t.next_seg;
       more;
+      cold = false;
       payload_ck;
       entries;
     };
   Bytes.blit summary_bytes 0 buf 0 bs;
-  Diskset.write_run t.disk base buf;
-  Stats.incr t.stats "lfs.partials";
-  Stats.add t.stats "lfs.blocks_logged" nblocks;
-  t.write_seq <- Int64.succ t.write_seq;
-  t.cur_off <- t.cur_off + nblocks;
-  (* 7. Mark everything clean. *)
+  (* 7. Mark everything clean — BEFORE parking in the disk write. The
+     snapshot into [buf] is complete and nothing yields between the blit
+     and here, so snapshot+clear is atomic; a concurrent process that
+     modifies a frame or inode while the write is parked re-dirties it
+     and the change rides the next flush. Clearing after the park used
+     to eat exactly those updates. *)
   List.iter
-    (fun d -> match d.d_src with `Frame f -> Cache.mark_clean t.cache f | `Raw _ -> ())
+    (fun d ->
+      match d.d_src with
+      | `Frame f -> Cache.mark_clean t.cache f
+      | `Raw _ | `Reloc _ -> ())
     all_ditems;
   List.iter
     (fun p ->
@@ -493,6 +729,11 @@ let write_partial ?(defer_meta = false) ?(more = false) t ~ditems ~inodes
       ino.Inode.dbl_dirty <- false)
     plans;
   List.iter (fun idx -> t.imap_dirty.(idx) <- false) imap_chunks;
+  Diskset.write_run t.disk base buf;
+  Stats.incr t.stats "lfs.partials";
+  Stats.add t.stats "lfs.blocks_logged" nblocks;
+  t.write_seq <- Int64.succ t.write_seq;
+  t.cur_off <- t.cur_off + nblocks;
   if t.cur_off >= t.cfg.fs.segment_blocks then close_segment t
 
 let dirty_ditems frames =
@@ -568,9 +809,8 @@ let dirty_inodes t =
 (* Checkpoint ------------------------------------------------------------ *)
 
 let checkpoint t =
-  let was = t.in_maintenance in
   let cp_t0 = Clock.now t.clock in
-  t.in_maintenance <- true;
+  let maint_tok = maint_enter t in
   (* A checkpoint must leave the on-disk state self-consistent: flush the
      eligible dirty data first (transaction-owned buffers stay pinned),
      so no inode reaches disk describing data that is only in memory. *)
@@ -598,7 +838,10 @@ let checkpoint t =
   write_partial t ~ditems:[] ~inodes:[] ~imap_chunks ~usage_chunks;
   (* Segments cleaned since the previous checkpoint are now safe to reuse:
      no checkpoint references their old contents any more. *)
-  Array.iter (fun u -> if u.state = Pending then u.state <- Free) t.usage;
+  Array.iteri
+    (fun i u -> if u.state = Pending then set_state t i Free)
+    t.usage;
+  t.cleaned_since_cp <- 0;
   t.cp_seq <- Int64.succ t.cp_seq;
   let cp =
     {
@@ -628,7 +871,7 @@ let checkpoint t =
         ("seq", Trace.I (Int64.to_int t.cp_seq));
         ("duration_s", Trace.F (Clock.now t.clock -. cp_t0));
       ];
-  t.in_maintenance <- was
+  maint_exit t maint_tok
 
 (* Cleaner --------------------------------------------------------------- *)
 
@@ -636,8 +879,16 @@ let clean_victim t victim =
   let bs = block_size t in
   let u = t.usage.(victim) in
   if u.live = 0 then begin
-    u.state <- Pending;
+    set_state t victim Pending;
+    t.cleaned_since_cp <- t.cleaned_since_cp + 1;
+    (* A dead segment is still a cleaned segment: count it and observe a
+       zero-cost clean, or bench artifacts undercount cleaner activity
+       and the write-cost metric loses its cheapest points. *)
     Stats.incr t.stats "cleaner.reclaimed_dead";
+    Stats.incr t.stats "cleaner.segments";
+    Stats.observe t.stats "cleaner.clean" 0.0;
+    Stats.add t.stats "cleaner.blocks_reclaimed" t.cfg.fs.segment_blocks;
+    Stats.observe t.stats "cleaner.write_cost" 0.0;
     if Stats.tracing t.stats then
       Stats.emit t.stats ~time:(Clock.now t.clock) "cleaner.victim"
         [ ("seg", Trace.I victim); ("live", Trace.I 0) ];
@@ -650,7 +901,9 @@ let clean_victim t victim =
     let seg_blocks = t.cfg.fs.segment_blocks in
     let run = Diskset.read_run t.disk (seg_base t victim) seg_blocks in
     let block i = Bytes.sub run (i * bs) bs in
+    let segregate = t.cfg.fs.cleaner_segregate in
     let ditems = ref [] in
+    let cold_items = ref [] in
     let extra = ref [] in
     let imap_chunks = ref [] in
     let usage_chunks = ref [] in
@@ -670,20 +923,39 @@ let clean_victim t victim =
             | Layout.Data { inum; lblock } -> (
               match iget_opt t inum with
               | Some ino when Inode.get_addr ino lblock = addr -> (
-                (* Live. A dirty cached copy supersedes the disk bytes. *)
+                (* Live. A dirty cached copy supersedes the disk bytes —
+                   but only if no transaction owns it: the kernel
+                   transaction manager aborts by invalidating its dirty
+                   frames and re-reading the on-disk before-image (the
+                   no-overwrite property), so for a txn-owned frame it is
+                   the PLATTER copy that must stay reachable. Relocating
+                   the uncommitted frame content instead would point the
+                   inode at the after-image and break rollback. *)
                 match Cache.lookup t.cache ~file:inum ~lblock with
-                | Some f when f.Cache.dirty ->
+                | Some f when f.Cache.dirty && f.Cache.txn < 0 ->
+                  (* Freshly dirtied in memory: genuinely hot, goes to
+                     the main head with the new write it really is. *)
                   ditems :=
                     { d_inum = inum; d_lblock = lblock; d_src = `Frame f }
                     :: !ditems
                 | _ ->
-                  ditems :=
+                  let d =
                     {
                       d_inum = inum;
                       d_lblock = lblock;
-                      d_src = `Raw (block (!pos + 1 + i));
+                      d_src = `Reloc (block (!pos + 1 + i), addr);
                     }
-                    :: !ditems)
+                  in
+                  if segregate then begin
+                    (* A survivor copied straight off the platter is cold
+                       by definition: segregate it so it does not re-mix
+                       with hot writes, and flush its inode promptly (a
+                       cold partial is outside the roll-forward chain, so
+                       only metadata makes the new address durable). *)
+                    cold_items := d :: !cold_items;
+                    add_inode ino
+                  end
+                  else ditems := d :: !ditems)
               | _ -> ())
             | Layout.Indirect { inum; index } -> (
               match iget_opt t inum with
@@ -725,8 +997,36 @@ let clean_victim t victim =
           s.Layout.entries;
         pos := !pos + 1 + List.length s.Layout.entries
     done;
-    (* Copy the survivors to the head of the log. Chunk data; metadata and
-       chunks ride with the final partial. *)
+    (* Copy the survivors out. Cold survivors (raw platter copies) go to
+       the relocation head, inheriting the victim's last-write time so the
+       data keeps looking as old as it is to the cost-benefit policy; hot
+       data, metadata and table chunks ride the regular log. *)
+    let seg_age = u.last_write in
+    if !cold_items <> [] then begin
+      (* Pack each cold partial to exactly the relocation segment's
+         remaining capacity: a cold segment must close 100 % full, or its
+         inherited old age combined with a slack tail makes it the
+         cost-benefit policy's next victim and the cleaner copies the
+         same cold data in a loop. *)
+      let max_entries = Layout.max_summary_entries ~block_size:bs in
+      let items = ref (List.rev !cold_items) in
+      while !items <> [] do
+        let cap =
+          if t.cold_seg >= 0 && t.cold_off < seg_blocks - 1 then
+            seg_blocks - t.cold_off - 1
+          else seg_blocks - 1
+        in
+        let cap = min cap max_entries in
+        let rec take n acc = function
+          | x :: xs when n > 0 -> take (n - 1) (x :: acc) xs
+          | rest -> (List.rev acc, rest)
+        in
+        let g, rest = take cap [] !items in
+        items := rest;
+        write_partial ~target:(`Cold seg_age) t ~ditems:g ~inodes:[]
+          ~imap_chunks:[] ~usage_chunks:[]
+      done
+    end;
     log_write t ~ditems:(List.rev !ditems) ~inodes:!extra;
     write_partial t ~ditems:[] ~inodes:[] ~imap_chunks:!imap_chunks
       ~usage_chunks:!usage_chunks;
@@ -734,32 +1034,50 @@ let clean_victim t victim =
       invalid_arg
         (Printf.sprintf "LFS cleaner: segment %d still has %d live blocks"
            victim u.live);
-    u.state <- Pending;
+    set_state t victim Pending;
+    t.cleaned_since_cp <- t.cleaned_since_cp + 1;
     let dt = Clock.now t.clock -. t0 in
     Stats.incr t.stats "cleaner.segments";
     Stats.add_time t.stats "cleaner.busy" dt;
     Stats.observe t.stats "cleaner.clean" dt;
+    (* Write cost: blocks physically copied per block of free space
+       gained — the per-victim metric the cleanersweep bench compares
+       policies on. *)
+    Stats.add t.stats "cleaner.blocks_moved" live0;
+    let reclaimed = seg_blocks - live0 in
+    Stats.add t.stats "cleaner.blocks_reclaimed" reclaimed;
+    if reclaimed > 0 then
+      Stats.observe t.stats "cleaner.write_cost"
+        (float_of_int live0 /. float_of_int reclaimed);
     if Stats.tracing t.stats then
       Stats.emit t.stats ~time:(Clock.now t.clock) "cleaner.victim"
         [ ("seg", Trace.I victim); ("live", Trace.I live0); ("duration_s", Trace.F dt) ];
     true
   end
 
-let clean_once t =
-  let was = t.in_maintenance in
-  t.in_maintenance <- true;
+(* [?policy] overrides the configured victim policy for this one clean.
+   The foreground stall paths pass [`Greedy]: when regular processing is
+   blocked waiting for free space, the only objective is reclaiming it at
+   minimum copy cost. Cost-benefit's value — paying extra copies now to
+   segregate cold data and cheapen every future clean — is a long-term
+   investment, so it is the background/idle cleaner that makes it. *)
+let clean_once ?policy t =
+  let policy =
+    match policy with Some p -> p | None -> t.cfg.fs.cleaner_policy
+  in
+  let maint_tok = maint_enter t in
   let r =
     match
-      Policy.choose ~policy:t.cfg.fs.cleaner_policy ~nsegments:(nsegments t)
+      Policy.choose ~policy ~nsegments:(nsegments t)
         ~segment_blocks:t.cfg.fs.segment_blocks ~now:(Clock.now t.clock)
         ~live:(fun i -> t.usage.(i).live)
-        ~mtime:(fun i -> t.usage.(i).mtime)
+        ~last_write:(fun i -> t.usage.(i).last_write)
         ~candidate:(fun i -> t.usage.(i).state = Dirty && not (pinned t i))
     with
     | None -> false
     | Some victim -> clean_victim t victim
   in
-  t.in_maintenance <- was;
+  maint_exit t maint_tok;
   r
 
 let maybe_clean t =
@@ -767,24 +1085,30 @@ let maybe_clean t =
     let t0 = Clock.now t.clock in
     if t.cfg.fs.lfs_user_cleaner then begin
       (* User-space cleaner (Section 5.4): cleans incrementally, one
-         segment per opportunity, without locking files for long bursts. *)
-      ignore (clean_once t);
-      checkpoint t
+         segment per opportunity, without locking files for long bursts.
+         Checkpoint only when a segment was actually cleaned — an idle
+         tick with no victim must not pay the checkpoint's forced
+         metadata flush — and batch a few cleans per checkpoint: the
+         checkpoint exists to turn Pending segments into Free ones, so
+         it is needed only before the writable reserve runs out. *)
+      if clean_once ~policy:`Greedy t then begin
+        if
+          free_segments t <= 4
+          || t.cleaned_since_cp >= max 1 (t.cfg.fs.checkpoint_segments / 2)
+        then checkpoint t
+      end
     end
     else begin
       (* Kernel cleaner: cleans a batch to the high-water mark while
          holding the files locked; regular processing observes one long
-         stall (Section 5.1). *)
-      let reclaimable t =
-        Array.fold_left
-          (fun n u -> if u.state = Free || u.state = Pending then n + 1 else n)
-          0 t.usage
-      in
+         stall (Section 5.1). [t.n_reclaimable] is maintained
+         incrementally by [set_state], so the loop no longer refolds the
+         whole usage table up to three times per iteration. *)
       let continue = ref true in
       let stalled = ref 0 in
-      while !continue && reclaimable t < t.cfg.fs.cleaner_high_segments do
-        let before = reclaimable t in
-        if not (clean_once t) then continue := false
+      while !continue && t.n_reclaimable < t.cfg.fs.cleaner_high_segments do
+        let before = t.n_reclaimable in
+        if not (clean_once ~policy:`Greedy t) then continue := false
         else begin
           (* Cleaned segments only become reusable at a checkpoint; do
              that mid-batch if the writable reserve runs low, otherwise
@@ -793,7 +1117,7 @@ let maybe_clean t =
           (* A single clean can be net-zero when its relocation closes a
              segment; only sustained lack of progress means the disk is
              genuinely full of live data. *)
-          if reclaimable t <= before then incr stalled else stalled := 0;
+          if t.n_reclaimable <= before then incr stalled else stalled := 0;
           if !stalled >= 4 then continue := false
         end
       done;
@@ -814,12 +1138,12 @@ let maybe_clean t =
 
 (* One syncer pass: flush everything dirty as a segment write. *)
 let syncer_run t =
-  t.in_maintenance <- true;
+  let maint_tok = maint_enter t in
   t.last_syncer <- Clock.now t.clock;
   let frames = Cache.dirty_frames t.cache () in
   log_write t ~ditems:(dirty_ditems frames) ~inodes:(dirty_inodes t);
   Stats.incr t.stats "lfs.syncer_runs";
-  t.in_maintenance <- false
+  maint_exit t maint_tok
 
 (* Syncer + maintenance hook executed at every public operation. When
    the syncer and cleaner run as background processes ([start_background])
@@ -828,7 +1152,7 @@ let syncer_run t =
    exhaust the log's writable reserve. *)
 let tick t =
   check_alive t;
-  if not t.in_maintenance then begin
+  if maint_idle t then begin
     if
       (not t.bg)
       && Clock.now t.clock -. t.last_syncer >= t.cfg.fs.syncer_interval_s
@@ -850,28 +1174,72 @@ let start_background t =
             if not t.crashed then begin
               Sched.delay sched t.cfg.fs.syncer_interval_s;
               if not t.crashed then begin
-                if not t.in_maintenance then syncer_run t;
+                if maint_idle t then syncer_run t;
                 loop ()
               end
             end
           in
           loop ());
       (* The cleaner polls for low free space off the request path; the
-         inline backstop in [tick] still covers bursts between polls. *)
+         inline backstop in [tick] still covers bursts between polls.
+         With [cleaner_adaptive] the daemon also watches the disk queues:
+         it backs off while foreground I/O is waiting, and cleans ahead
+         toward the high-water mark when the machine is idle, so the
+         emergency batch-clean stall almost never has to fire. *)
       Sched.spawn ~daemon:true sched (fun () ->
+          let adaptive_pass () =
+            if free_segments t < t.cfg.fs.cleaner_low_segments then begin
+              (* Below low water the reserve is at risk: pay the stall. *)
+              maybe_clean t;
+              0.5
+            end
+            else if Diskset.queue_depth t.disk > t.cfg.fs.cleaner_backoff_qdepth
+            then begin
+              Stats.incr t.stats "cleaner.backoffs";
+              0.5
+            end
+            else if t.n_reclaimable < t.cfg.fs.cleaner_high_segments then begin
+              if clean_once t then begin
+                Stats.incr t.stats "cleaner.idle_cleans";
+                if
+                  t.cleaned_since_cp
+                  >= max 1 (t.cfg.fs.checkpoint_segments / 2)
+                then checkpoint t;
+                (* More idle headroom to win back: wake up again soon. *)
+                0.05
+              end
+              else 0.5
+            end
+            else 0.5
+          in
           let rec loop () =
             if not t.crashed then begin
-              Sched.delay sched 0.5;
-              if not t.crashed then begin
-                if not t.in_maintenance then begin
-                  maybe_clean t;
-                  if t.pending_cp then checkpoint t
-                end;
-                loop ()
-              end
+              let wait =
+                if maint_idle t then begin
+                  let w =
+                    if t.cfg.fs.cleaner_adaptive then adaptive_pass ()
+                    else begin
+                      maybe_clean t;
+                      0.5
+                    end
+                  in
+                  if t.pending_cp then checkpoint t;
+                  w
+                end
+                else
+                  (* A maintenance section is open — likely a commit
+                     flush parked in its segment write. Those are
+                     milliseconds long: retry shortly instead of
+                     skipping a whole period, or a busy log gates the
+                     daemon off exactly when cleaning matters most. *)
+                  0.05
+              in
+              Sched.delay sched wait;
+              if not t.crashed then loop ()
             end
           in
-          loop ())
+          Sched.delay sched 0.5;
+          if not t.crashed then loop ())
     end
 
 (* Page access ----------------------------------------------------------- *)
@@ -892,16 +1260,32 @@ let get_page t ~inum ~lblock =
     let addr = Inode.get_addr ino lblock in
     match Sched.of_clock t.clock with
     | Some sched
-      when Sched.in_process sched && (not t.in_maintenance) && addr <> 0 ->
+      when Sched.in_process sched && (not (maint_here t sched)) && addr <> 0 ->
       (* Cache miss under the scheduler: the read joins the live disk
          queue and this process parks. LFS maintenance paths stay on the
          synchronous branch — they must not yield mid-write. *)
-      let data = Diskset.read_async t.disk addr in
-      (* Another process may have brought the page in (and dirtied it)
-         while we were parked: never clobber a present frame. *)
-      (match Cache.lookup t.cache ~file:inum ~lblock with
-      | Some f -> f
-      | None -> Cache.insert t.cache ~file:inum ~lblock data)
+      let rec fetch addr =
+        let data = Diskset.read_async t.disk addr in
+        (* Another process may have brought the page in (and dirtied it)
+           while we were parked: never clobber a present frame. *)
+        match Cache.lookup t.cache ~file:inum ~lblock with
+        | Some f -> f
+        | None ->
+          (* The cleaner may have relocated the block while we were
+             parked — and once the following checkpoint frees the victim
+             segment, the address we read from can be overwritten by new
+             writes. A read is only trustworthy if the inode still maps
+             the block to the address it was issued against; otherwise
+             chase the relocation. *)
+          let addr' = Inode.get_addr (iget t inum) lblock in
+          if addr' = addr then Cache.insert t.cache ~file:inum ~lblock data
+          else begin
+            Stats.incr t.stats "lfs.read_relocated";
+            if addr' = 0 then Cache.insert t.cache ~file:inum ~lblock (zero_block t)
+            else fetch addr'
+          end
+      in
+      fetch addr
     | _ ->
       let data = if addr = 0 then zero_block t else Diskset.read t.disk addr in
       Cache.insert t.cache ~file:inum ~lblock data)
@@ -927,33 +1311,45 @@ let extend_to t ~inum size =
 
 let force_frames t frames =
   check_alive t;
+  (* Commit-path reserve backstop. Kernel-transaction workloads reach
+     the log through this hook alone — they may never issue the vfs
+     operation whose [tick] runs the emergency cleaner — and under
+     sustained load some commit flush is nearly always mid-section, so
+     the gated [tick] below would never fire its batch clean. When the
+     writable reserve is low, stall this committer until the open
+     sections drain; the clean then happens on the foreground path,
+     which is exactly the Section 5.1 cleaning stall. *)
+  (if free_segments t < t.cfg.fs.cleaner_low_segments then
+     match Sched.of_clock t.clock with
+     | Some sched when Sched.in_process sched ->
+       while not (maint_idle t) do
+         Sched.delay sched 0.001
+       done
+     | _ -> ());
   tick t;
-  let was = t.in_maintenance in
-  t.in_maintenance <- true;
+  let maint_tok = maint_enter t in
   log_write ~defer_meta:true ~atomic:true t ~ditems:(dirty_ditems frames)
     ~inodes:[];
-  t.in_maintenance <- was
+  maint_exit t maint_tok
 
 let fsync_inum t inum =
   check_alive t;
-  let was = t.in_maintenance in
-  t.in_maintenance <- true;
+  let maint_tok = maint_enter t in
   let frames = Cache.dirty_frames t.cache ~file:inum () in
   let inodes = match iget_opt t inum with
     | Some ino when ino.Inode.dirty -> [ ino ]
     | _ -> []
   in
   log_write t ~ditems:(dirty_ditems frames) ~inodes;
-  t.in_maintenance <- was
+  maint_exit t maint_tok
 
 let sync t =
   check_alive t;
-  let was = t.in_maintenance in
-  t.in_maintenance <- true;
+  let maint_tok = maint_enter t in
   let frames = Cache.dirty_frames t.cache () in
   log_write t ~ditems:(dirty_ditems frames) ~inodes:[];
   checkpoint t;
-  t.in_maintenance <- was
+  maint_exit t maint_tok
 
 (* Byte-level file I/O --------------------------------------------------- *)
 
@@ -1108,7 +1504,7 @@ let make_empty disk clock stats (cfg : Config.t) sb =
   (* LFS-side histograms appear in every benchmark artifact, samples or
      not (short runs may never checkpoint or clean). *)
   List.iter (Stats.declare stats)
-    [ "lfs.checkpoint"; "cleaner.clean"; "cleaner.stall" ];
+    [ "lfs.checkpoint"; "cleaner.clean"; "cleaner.stall"; "cleaner.write_cost" ];
   let nseg = sb.Layout.nsegments in
   let t =
     {
@@ -1128,17 +1524,22 @@ let make_empty disk clock stats (cfg : Config.t) sb =
         Array.make ((nseg * usage_entry_bytes / sb.Layout.block_size) + 1) 0;
       inode_block_refs = Hashtbl.create 64;
       usage =
-        Array.init nseg (fun _ -> { live = 0; mtime = 0.0; state = Free });
+        Array.init nseg (fun _ ->
+            { live = 0; mtime = 0.0; last_write = 0.0; cold = false; state = Free });
       next_inum = root_inum_init;
       free_inums = [];
       cur_seg = 0;
       cur_off = 0;
       next_seg = 1;
+      cold_seg = -1;
+      cold_off = 0;
+      n_reclaimable = nseg;
+      cleaned_since_cp = 0;
       write_seq = 1L;
       cp_seq = 0L;
       segs_since_cp = 0;
       last_syncer = Clock.now clock;
-      in_maintenance = false;
+      maint = [];
       seg_writing = false;
       seg_write_cond = Sched.condition ();
       pending_cp = false;
@@ -1151,11 +1552,10 @@ let make_empty disk clock stats (cfg : Config.t) sb =
   Cache.set_writeback t.cache (fun _victim ->
       (* Cache pressure: flush all eligible dirty blocks as a segment
          write, which leaves the victim clean. *)
-      let was = t.in_maintenance in
-      t.in_maintenance <- true;
+      let maint_tok = maint_enter t in
       let frames = Cache.dirty_frames t.cache () in
       log_write t ~ditems:(dirty_ditems frames) ~inodes:[];
-      t.in_maintenance <- was);
+      maint_exit t maint_tok);
   t
 
 let format disk clock stats (cfg : Config.t) =
@@ -1174,14 +1574,14 @@ let format disk clock stats (cfg : Config.t) =
   Layout.write_superblock b sb;
   Diskset.write disk Layout.superblock_blkno b;
   let t = make_empty disk clock stats cfg sb in
-  t.usage.(0).state <- Current;
-  t.usage.(1).state <- Current;
+  set_state t 0 Current;
+  set_state t 1 Current;
   (* Root directory. *)
   let inum = alloc_inode t ~kind:Vfs.Dir in
   assert (inum = root_inum);
-  t.in_maintenance <- true;
+  let maint_tok = maint_enter t in
   checkpoint t;
-  t.in_maintenance <- false;
+  maint_exit t maint_tok;
   t
 
 (* Mount: load the newest checkpoint, roll forward, rebuild usage. *)
@@ -1264,7 +1664,13 @@ let roll_forward t =
     end;
     let blkno = seg_base t !seg + !off in
     match Layout.read_summary (Diskset.read t.disk blkno) with
-    | Some s when Int64.equal s.Layout.seq !expected && payload_ok blkno s ->
+    (* Cold partials carry seq 0 and can never match [expected] (>= 1);
+       the explicit [cold] check makes the exclusion structural rather
+       than an accident of sequence numbering. *)
+    | Some s
+      when Int64.equal s.Layout.seq !expected
+           && (not s.Layout.cold)
+           && payload_ok blkno s ->
       if !batch = [] then batch_start := Some (!seg, !off, !next, !expected);
       batch := (blkno, s) :: !batch;
       if not s.Layout.more then begin
@@ -1280,7 +1686,7 @@ let roll_forward t =
         (* Maybe the writer moved to the next segment early. *)
         let blkno' = seg_base t !next in
         match Layout.read_summary (Diskset.read t.disk blkno') with
-        | Some s when Int64.equal s.Layout.seq !expected ->
+        | Some s when Int64.equal s.Layout.seq !expected && not s.Layout.cold ->
           seg := !next;
           off := 0
         | Some _ | None -> continue := false
@@ -1323,8 +1729,12 @@ let recompute_usage t =
       u.state <- Free)
     t.usage;
   Hashtbl.reset t.inode_block_refs;
+  (* ~write:false: recounting liveness at mount is bookkeeping, not a
+     write — stamping [last_write] here would make every segment look
+     freshly written and invert the cost-benefit policy's victim choice
+     (the age signal the checkpointed usage table exists to preserve). *)
   let count addr = if addr >= Layout.data_start then
-      inc_usage t (seg_of_addr t addr) 1
+      inc_usage ~write:false t (seg_of_addr t addr) 1
   in
   for inum = 1 to max_inodes - 1 do
     if t.imap_alloc.(inum) && t.imap_addr.(inum) <> 0 then begin
@@ -1354,7 +1764,12 @@ let recompute_usage t =
     (fun _ u -> if u.live > 0 then u.state <- Dirty else u.state <- Free)
     t.usage;
   t.usage.(t.cur_seg).state <- Current;
-  t.usage.(t.next_seg).state <- Current
+  t.usage.(t.next_seg).state <- Current;
+  (* States were rebuilt wholesale; re-derive the incremental counter. *)
+  t.n_reclaimable <-
+    Array.fold_left
+      (fun n u -> if u.state = Free || u.state = Pending then n + 1 else n)
+      0 t.usage
 
 let mount disk clock stats (cfg : Config.t) =
   let sb = Layout.read_superblock (Diskset.read disk Layout.superblock_blkno) in
@@ -1389,7 +1804,9 @@ let mount disk clock stats (cfg : Config.t) =
         done
       end)
     t.imap_chunk_addr;
-  (* Load segment usage (live counts are recomputed below; keep mtimes). *)
+  (* Load segment usage (live counts are recomputed below; keep the
+     timestamps and the hot/cold bit — the age signal and segregation
+     survive remounts only through this table). *)
   Array.iteri
     (fun chunk addr ->
       if addr <> 0 then begin
@@ -1397,8 +1814,12 @@ let mount disk clock stats (cfg : Config.t) =
         let lo = chunk * usage_per_chunk t in
         for i = 0 to usage_per_chunk t - 1 do
           let seg = lo + i in
-          if seg < nsegments t then
-            t.usage.(seg).mtime <- Enc.get_f64 b ((i * usage_entry_bytes) + 4)
+          if seg < nsegments t then begin
+            let off = i * usage_entry_bytes in
+            t.usage.(seg).mtime <- Enc.get_f64 b (off + 4);
+            t.usage.(seg).last_write <- Enc.get_f64 b (off + 12);
+            t.usage.(seg).cold <- Enc.get_u8 b (off + 20) land 1 = 1
+          end
         done
       end)
     t.usage_chunk_addr;
@@ -1431,8 +1852,7 @@ let unmount t =
 
 let coalesce_file t inum =
   check_alive t;
-  let was = t.in_maintenance in
-  t.in_maintenance <- true;
+  let maint_tok = maint_enter t in
   (match iget_opt t inum with
   | None -> ()
   | Some ino ->
@@ -1462,12 +1882,12 @@ let coalesce_file t inum =
       (* Rewriting a large file consumes clean segments while its old
          blocks die behind us; give the cleaner a chance between
          batches. *)
-      t.in_maintenance <- was;
+      maint_exit t maint_tok;
       maybe_clean t;
-      t.in_maintenance <- true
+      ignore (maint_enter t)
     done;
     Stats.incr t.stats "lfs.coalesced_files");
-  t.in_maintenance <- was;
+  maint_exit t maint_tok;
   maybe_clean t
 
 let contiguity t inum =
@@ -1506,10 +1926,9 @@ let coalesce_all t =
 
 let snapshot t =
   check_alive t;
-  let was = t.in_maintenance in
-  t.in_maintenance <- true;
+  let maint_tok = maint_enter t in
   checkpoint t;
-  t.in_maintenance <- was;
+  maint_exit t maint_tok;
   let cp =
     {
       Layout.cp_seq = t.cp_seq;
@@ -1604,6 +2023,17 @@ let check t =
       if u.state = Free && u.live <> 0 then
         fail "LFS.check: free segment %d has %d live blocks" i u.live)
     t.usage;
+  (* The incrementally-maintained reclaimable counter must agree with a
+     full recount — it replaced the cleaner's O(nsegments) folds and any
+     drift would silently skew batch-clean termination. *)
+  let recount =
+    Array.fold_left
+      (fun n u -> if u.state = Free || u.state = Pending then n + 1 else n)
+      0 t.usage
+  in
+  if t.n_reclaimable <> recount then
+    fail "LFS.check: reclaimable counter %d but recount says %d"
+      t.n_reclaimable recount;
   (* Inode-block refcounts. *)
   Hashtbl.iter
     (fun addr n ->
@@ -1723,7 +2153,7 @@ let snapshot_view t s =
       end)
     view.imap_chunk_addr;
   (* No syncer, no cleaner, no checkpoints: the view never writes. *)
-  view.in_maintenance <- true;
+  view.maint <- [ 0 ];
   let deny _ = Vfs.error Not_supported "snapshot view is read-only" in
   {
     Vfs.name = "lfs-snapshot";

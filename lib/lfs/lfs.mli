@@ -56,6 +56,20 @@ val nsegments : t -> int
 val live_blocks : t -> int -> int
 (** Live-block count of segment [i], per the usage table. *)
 
+val last_write : t -> int -> float
+(** Time data was last written into segment [i] — the cost-benefit
+    policy's age signal. Unlike the usage entry's bookkeeping timestamp
+    it is preserved across remounts (through the checkpointed usage
+    table) and inherited when the cleaner relocates cold survivors. *)
+
+val segment_cold : t -> int -> bool
+(** Whether segment [i] was written by the cleaner's relocation (cold)
+    log head. Persisted through the checkpointed usage table. *)
+
+val reclaimable_segments : t -> int
+(** Free + cleaned-pending segment count, maintained incrementally (the
+    cleaner's batch loop and the adaptive daemon read it every pass). *)
+
 val inum_of : t -> string -> int
 (** Inode number of a path. @raise Vfs.Error [Not_found]. *)
 

@@ -1,10 +1,10 @@
-let choose ~policy ~nsegments ~segment_blocks ~now ~live ~mtime ~candidate =
+let choose ~policy ~nsegments ~segment_blocks ~now ~live ~last_write ~candidate =
   let score i =
     let u = float_of_int (live i) /. float_of_int segment_blocks in
     match policy with
     | `Greedy -> -.float_of_int (live i)
     | `Cost_benefit ->
-      let age = Float.max 0.0 (now -. mtime i) in
+      let age = Float.max 0.0 (now -. last_write i) in
       (1.0 -. u) *. (1.0 +. age) /. (1.0 +. u)
   in
   let best = ref None in

@@ -1,11 +1,14 @@
 (** Segment-selection policies for the cleaner.
 
     Pure functions so the policies can be property-tested: given per-
-    segment live-block counts and modification times, pick the next
+    segment live-block counts and last-write times, pick the next
     victim. [`Greedy] takes the emptiest segment; [`Cost_benefit] is the
     Rosenblum/Ousterhout benefit-to-cost ratio
     [(1 - u) * age / (1 + u)], which prefers colder segments at equal
-    utilization. *)
+    utilization. The age signal is the time since data was last
+    {e written} into the segment — not the usage-table touch time, which
+    moves whenever the cleaner's own bookkeeping brushes the entry and
+    would make a decaying (colder) segment look younger. *)
 
 val choose :
   policy:[ `Greedy | `Cost_benefit ] ->
@@ -13,7 +16,7 @@ val choose :
   segment_blocks:int ->
   now:float ->
   live:(int -> int) ->
-  mtime:(int -> float) ->
+  last_write:(int -> float) ->
   candidate:(int -> bool) ->
   int option
 (** The victim segment, or [None] when no candidate exists. Segments for

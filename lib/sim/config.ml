@@ -33,6 +33,9 @@ type fs = {
   cleaner_low_segments : int;
   cleaner_high_segments : int;
   cleaner_policy : [ `Greedy | `Cost_benefit ];
+  cleaner_segregate : bool;
+  cleaner_adaptive : bool;
+  cleaner_backoff_qdepth : int;
   lfs_user_cleaner : bool;
   group_commit_timeout_s : float;
   group_commit_size : int;
@@ -89,7 +92,10 @@ let default_fs =
     checkpoint_segments = 8;
     cleaner_low_segments = 12;
     cleaner_high_segments = 32;
-    cleaner_policy = `Greedy;
+    cleaner_policy = `Cost_benefit;
+    cleaner_segregate = true;
+    cleaner_adaptive = true;
+    cleaner_backoff_qdepth = 2;
     lfs_user_cleaner = false;
     group_commit_timeout_s = 0.0 (* 0 = force at every commit *);
     group_commit_size = 4;

@@ -62,9 +62,24 @@ type fs = {
       (** start cleaning when free segments drop to this *)
   cleaner_high_segments : int;  (** stop cleaning at this many free *)
   cleaner_policy : [ `Greedy | `Cost_benefit ];
-      (** default [`Greedy]: under the TPC-B hot-update workload the
-          cost-benefit age term chases old, nearly-full segments and
-          inflates cleaning cost (see the cleaning-policy ablation) *)
+      (** default [`Cost_benefit]: the Rosenblum/Ousterhout
+          benefit-to-cost ratio, measured against [`Greedy] by the
+          cleanersweep experiment. (Earlier revisions defaulted to
+          greedy because a bookkeeping bug fed the policy usage-table
+          touch times instead of last-write times, which made decaying
+          segments look young and inverted the age term.) *)
+  cleaner_segregate : bool;
+      (** hot/cold segregation: the cleaner writes relocated survivors
+          to a separate open "cold" segment instead of re-mixing them
+          with fresh writes at the log head; default true *)
+  cleaner_adaptive : bool;
+      (** load-adaptive background cleaning: the cleaner daemon backs
+          off while the disk queue is deep and cleans toward the
+          high-water mark when the device idles, instead of waking only
+          at the low-water emergency; default true *)
+  cleaner_backoff_qdepth : int;
+      (** queue depth (outstanding requests across spindles) above which
+          the adaptive background cleaner stays off the arm; default 2 *)
   lfs_user_cleaner : bool;
       (** Section 5.4 ablation: a user-space cleaner does not lock the
           files being cleaned *)

@@ -80,6 +80,8 @@ type t = {
   mutable seq : int;
   mutable fg : int;  (* live (spawned, not yet finished) foreground fibers *)
   mutable in_fiber : bool;
+  mutable fiber_seq : int;  (* id source: one per spawned process *)
+  mutable cur : int;  (* id of the running process; only valid in a fiber *)
 }
 
 type cond = { mutable waiters : (unit -> unit) list }
@@ -93,6 +95,10 @@ let of_clock clock =
   List.find_map (fun (c, s) -> if c == clock then Some s else None) !registry
 
 let in_process t = t.in_fiber
+
+(* Identity of the running process. Suspension handlers restore it on
+   every resume, so it is stable across parks. *)
+let self t = t.cur
 
 let now t = Clock.now t.clock
 
@@ -134,6 +140,9 @@ let broadcast t c =
 (* Run [body] as a fiber under the suspension handler. The handler is
    deep, so every Suspend performed anywhere below [body] re-enters it. *)
 let exec t ~daemon body =
+  t.fiber_seq <- t.fiber_seq + 1;
+  let fid = t.fiber_seq in
+  t.cur <- fid;
   let finish () = if not daemon then t.fg <- t.fg - 1 in
   match_with body ()
     {
@@ -148,7 +157,10 @@ let exec t ~daemon body =
           | Suspend register ->
             Some
               (fun (k : (a, _) continuation) ->
-                register (fun () -> continue k ()))
+                register
+                  (fun () ->
+                    t.cur <- fid;
+                    continue k ()))
           | _ -> None);
     }
 
@@ -175,7 +187,15 @@ let run t =
 
 let create clock =
   let t =
-    { clock; heap = Heap.create (); seq = 0; fg = 0; in_fiber = false }
+    {
+      clock;
+      heap = Heap.create ();
+      seq = 0;
+      fg = 0;
+      in_fiber = false;
+      fiber_seq = 0;
+      cur = 0;
+    }
   in
   registry := (clock, t) :: List.filter (fun (c, _) -> c != clock) !registry;
   (* Route Clock.sleep_until through the scheduler — but only for calls

@@ -49,6 +49,11 @@ val in_process : t -> bool
 (** True while executing inside a spawned process — i.e. blocking
     operations are legal right now. *)
 
+val self : t -> int
+(** Identity of the running process: a positive id unique per spawned
+    process, stable across suspensions. Only meaningful while
+    [in_process] is true. *)
+
 val now : t -> float
 (** [Clock.now] of the attached clock. *)
 

@@ -82,11 +82,11 @@ type result = {
    append a history record, all under one transaction. *)
 let execute clock stats cfg db backend ~account ~teller ~branch ~delta =
   let cpu = cfg.Config.cpu in
-  let adjust bt key =
+  let adjust tbl bt key =
     let balance =
       match Btree.find bt key with
       | Some v -> parse_balance v
-      | None -> failwith ("TPC-B: missing record " ^ key)
+      | None -> failwith ("TPC-B: missing " ^ tbl ^ " record " ^ key)
     in
     Btree.insert bt key (balance_value (balance + delta))
   in
@@ -94,9 +94,9 @@ let execute clock stats cfg db backend ~account ~teller ~branch ~delta =
   | User env ->
     let txn = Libtp.begin_txn env in
     let bt fd = Btree.attach clock stats cpu (Pager.wal env txn fd) in
-    adjust (bt db.acct) (key10 account);
-    adjust (bt db.tell) (key10 teller);
-    adjust (bt db.br) (key10 branch);
+    adjust "acct" (bt db.acct) (key10 account);
+    adjust "tell" (bt db.tell) (key10 teller);
+    adjust "br" (bt db.br) (key10 branch);
     let hist =
       Recno.attach clock stats cpu (Pager.wal env txn db.hist)
         ~reclen:history_bytes
@@ -106,9 +106,9 @@ let execute clock stats cfg db backend ~account ~teller ~branch ~delta =
   | Kernel k ->
     let txn = Ktxn.txn_begin k in
     let bt fd = Btree.attach clock stats cpu (Ktxn.pager k txn ~inum:fd) in
-    adjust (bt db.acct) (key10 account);
-    adjust (bt db.tell) (key10 teller);
-    adjust (bt db.br) (key10 branch);
+    adjust "acct" (bt db.acct) (key10 account);
+    adjust "tell" (bt db.tell) (key10 teller);
+    adjust "br" (bt db.br) (key10 branch);
     let hist =
       Recno.attach clock stats cpu (Ktxn.pager k txn ~inum:db.hist)
         ~reclen:history_bytes

@@ -177,6 +177,40 @@ let test_tas_ablation_shape () =
       (tas.Ablation.tps > semaphores.Ablation.tps)
   | _ -> Alcotest.fail "expected three rows"
 
+let test_cleanersweep_shape () =
+  let arms =
+    [
+      { Cleanersweep.policy = `Greedy; segregate = false };
+      { Cleanersweep.policy = `Cost_benefit; segregate = true };
+    ]
+  in
+  let s =
+    Cleanersweep.run ~tps_scale:tiny_scale ~txns:120 ~seed:1 ~utils:[ 50; 80 ]
+      ~mpls:[ 1; 2 ] ~arms ()
+  in
+  Alcotest.(check int) "full grid" (2 * 2 * 2) (List.length s.Cleanersweep.points);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "positive TPS at util %d mpl %d" p.Cleanersweep.util_pct
+           p.Cleanersweep.mpl)
+        true
+        (p.Cleanersweep.run.Expcommon.result.Tpcb.tps > 0.0);
+      (* The counter-consistency invariant the bench-check rule enforces:
+         every cleaned segment (copying or dead-reclaim) observes exactly
+         one sample in the clean-latency histogram. *)
+      Alcotest.(check int) "segments_cleaned = cleans_observed"
+        p.Cleanersweep.segments_cleaned p.Cleanersweep.cleans_observed;
+      Alcotest.(check bool) "write cost non-negative" true
+        (p.Cleanersweep.write_cost >= 0.0))
+    s.Cleanersweep.points;
+  (* The fuller disk must actually exercise the cleaner somewhere. *)
+  Alcotest.(check bool) "cleaner ran at 80% utilization" true
+    (List.exists
+       (fun p ->
+         p.Cleanersweep.util_pct = 80 && p.Cleanersweep.segments_cleaned > 0)
+       s.Cleanersweep.points)
+
 let test_stats_helpers () =
   Alcotest.(check (float 1e-9)) "mean" 2.0 (Expcommon.mean [ 1.0; 2.0; 3.0 ]);
   Alcotest.(check (float 1e-9)) "mean empty" 0.0 (Expcommon.mean []);
@@ -199,6 +233,7 @@ let () =
         [
           Alcotest.test_case "coalescing" `Slow test_coalescing_ablation_shape;
           Alcotest.test_case "test-and-set" `Slow test_tas_ablation_shape;
+          Alcotest.test_case "cleanersweep" `Slow test_cleanersweep_shape;
         ] );
       ("helpers", [ Alcotest.test_case "mean/stdev" `Quick test_stats_helpers ]);
     ]

@@ -166,6 +166,23 @@ let sweep_tpcb_multistream () =
       (Sweep.sweep_tpcb_mpl ~ndisks:2 ~log_disk:true ~log_streams:2
          ~lock_grain:`Record Sweep.Lfs_user ~seed:7 ~txns:6 ~mpl:2 ~points:10)
 
+(* Crash sweep under genuine cleaning pressure: a 640-block disk (20
+   segments at the sweep's 32-block geometry) keeps the kernel cleaner —
+   cost-benefit victim selection, hot/cold segregation and the adaptive
+   daemon, all on by default — running throughout the workload, so crash
+   points land inside segment cleaning and cold-survivor relocation.
+   Recovery from a crash mid-relocation must still satisfy the TPC-B
+   oracle. *)
+let sweep_tpcb_cleaning_pressure () =
+  if full then
+    assert_clean
+      (Sweep.sweep_tpcb_mpl ~nblocks:640 Sweep.Lfs_kernel ~seed:13 ~txns:20
+         ~mpl:2 ~points:0)
+  else
+    assert_clean
+      (Sweep.sweep_tpcb_mpl ~nblocks:640 Sweep.Lfs_kernel ~seed:13 ~txns:6
+         ~mpl:2 ~points:10)
+
 (* Negative control: disable the roll-forward payload verification and
    the sweep must catch torn partial-segment writes that the hardened
    recovery path would have rejected. A harness that cannot detect a
@@ -209,6 +226,8 @@ let () =
             `Slow sweep_tpcb_record_grain;
           Alcotest.test_case "tpcb / lfs-user 2+log at MPL 2, 2 streams"
             `Slow sweep_tpcb_multistream;
+          Alcotest.test_case "tpcb / lfs-kernel under cleaning pressure"
+            `Slow sweep_tpcb_cleaning_pressure;
           Alcotest.test_case "broken recovery is caught" `Slow
             test_broken_recovery_is_caught;
         ] );

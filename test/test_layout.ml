@@ -52,6 +52,7 @@ let test_summary_roundtrip () =
       timestamp = 3.25;
       next_seg = 42;
       more = true;
+      cold = false;
       payload_ck = 0x1234_5678;
       entries = sample_entries;
     }
@@ -76,6 +77,7 @@ let test_summary_rejects_garbage () =
       timestamp = 0.0;
       next_seg = 0;
       more = false;
+      cold = false;
       payload_ck = 0;
       entries = sample_entries;
     }
@@ -104,7 +106,7 @@ let prop_summary_roundtrip =
         (map Int64.of_int (int_bound 1_000_000)))
     (fun (entries, next_seg, seq) ->
       let s =
-        { Layout.seq; timestamp = 1.5; next_seg; more = false; payload_ck = 7; entries }
+        { Layout.seq; timestamp = 1.5; next_seg; more = false; cold = false; payload_ck = 7; entries }
       in
       let b = Bytes.make bs '\000' in
       Layout.write_summary b s;
